@@ -1,0 +1,121 @@
+// Ablations on the communication-aware sparsified training design choices
+// (DESIGN.md §5):
+//   1. Proximal vs subgradient group-Lasso: the proximal operator drives
+//      blocks to *exact* zero, which the dead-block traffic analysis needs;
+//      the subgradient form only shrinks them asymptotically.
+//   2. Distance-mask exponent: how hard to push sparsity onto far pairs.
+//   3. Traffic granularity: per-feature-map vs per-(core,core)-block
+//      liveness.
+
+#include <cstdio>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  std::puts("Learn-to-Scale bench: sparsified-training ablations (MLP, 16 "
+            "cores)\n");
+
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const data::Dataset train_set = sim::dataset_for(spec, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, 2);
+
+  // --- 1. Proximal vs subgradient --------------------------------------
+  {
+    util::Table t("proximal vs subgradient group-Lasso (same lambda)");
+    t.set_header({"mode", "accuracy", "traffic", "dead-blocks", "sparsity"});
+    for (const auto mode :
+         {train::LassoMode::kProximal, train::LassoMode::kSubgradient}) {
+      sim::ExperimentConfig cfg;
+      cfg.cores = 16;
+      cfg.train.epochs = 5;
+      cfg.lambda_ss = 0.6;
+      cfg.lambda_mask = 0.6;
+      cfg.seed = 42;
+
+      const noc::MeshTopology topo = noc::MeshTopology::for_cores(cfg.cores);
+      util::Rng rng(cfg.seed);
+      nn::Network net = nn::build_network(spec, rng);
+      train::GroupLassoRegularizer reg(
+          core::build_group_sets(net, spec, cfg.cores),
+          train::distance_mask(topo), cfg.lambda_mask, mode);
+      const auto report =
+          train::train_classifier(net, train_set, test_set, cfg.train, &reg);
+      const auto live = core::traffic_live(net, spec, topo, 2);
+      const auto dense = core::traffic_dense(spec, topo, 2);
+      double dead = 0.0;
+      for (const auto& set : reg.groups()) {
+        dead += set.off_diagonal_dead_fraction();
+      }
+      dead /= static_cast<double>(reg.groups().size());
+      t.add_row({mode == train::LassoMode::kProximal ? "proximal"
+                                                     : "subgradient",
+                 util::fmt_percent(report.test_accuracy, 1),
+                 util::fmt_percent(static_cast<double>(live.total_bytes()) /
+                                   static_cast<double>(dense.total_bytes())),
+                 util::fmt_percent(dead),
+                 util::fmt_percent(report.weight_sparsity)});
+    }
+    t.print();
+    std::puts("Expected: subgradient mode leaves ~no exact zeros, so the\n"
+              "traffic analysis sees a dense network; proximal mode is what\n"
+              "makes the technique deployable.\n");
+  }
+
+  // --- 2. Mask exponent --------------------------------------------------
+  {
+    util::Table t("distance-mask exponent sweep (SS_Mask)");
+    t.set_header({"exponent", "accuracy", "traffic", "speedup", "energy-red",
+                  "avg-hops"});
+    for (const double expo : {0.5, 1.0, 2.0, 3.0}) {
+      sim::ExperimentConfig cfg;
+      cfg.cores = 16;
+      cfg.train.epochs = 5;
+      cfg.lambda_ss = 0.6;
+      cfg.lambda_mask = 0.6;
+      cfg.mask_exponent = expo;
+      cfg.seed = 42;
+      const auto outcomes =
+          sim::run_sparsified_experiment(spec, train_set, test_set, cfg);
+      const auto& mask = outcomes[2];
+      t.add_row({util::fmt_double(expo, 1),
+                 util::fmt_percent(mask.accuracy, 1),
+                 util::fmt_percent(mask.traffic_rate),
+                 util::fmt_speedup(mask.speedup),
+                 util::fmt_percent(mask.comm_energy_reduction),
+                 util::fmt_double(mask.mean_traffic_hops, 2)});
+    }
+    t.print();
+    std::puts("Expected: higher exponents squeeze surviving traffic onto\n"
+              "ever-shorter links (avg-hops falls) until accuracy pressure\n"
+              "pushes back.\n");
+  }
+
+  // --- 3. Traffic granularity -------------------------------------------
+  {
+    util::Table t("liveness granularity (SS_Mask traffic analysis)");
+    t.set_header({"granularity", "traffic", "speedup"});
+    for (const auto gran :
+         {core::Granularity::kFeatureMap, core::Granularity::kBlock}) {
+      sim::ExperimentConfig cfg;
+      cfg.cores = 16;
+      cfg.train.epochs = 5;
+      cfg.lambda_ss = 0.6;
+      cfg.lambda_mask = 0.6;
+      cfg.granularity = gran;
+      cfg.seed = 42;
+      const auto outcomes =
+          sim::run_sparsified_experiment(spec, train_set, test_set, cfg);
+      t.add_row({gran == core::Granularity::kFeatureMap ? "feature-map"
+                                                        : "core-block",
+                 util::fmt_percent(outcomes[2].traffic_rate),
+                 util::fmt_speedup(outcomes[2].speedup)});
+    }
+    t.print();
+    std::puts("Expected: feature-map granularity is never worse — a block\n"
+              "with one live feature map only ships that map.");
+  }
+  return 0;
+}

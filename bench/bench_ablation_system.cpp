@@ -1,0 +1,92 @@
+// System-model ablations (DESIGN.md §5):
+//   1. NoC:core clock ratio — how the communication share of inference
+//      latency (and hence the attainable speedup of the paper's methods)
+//      depends on the relative NoC speed. The paper's "~23% of AlexNet
+//      latency is communication" lands between ratio 1 and 4 in our model.
+//   2. Comm/compute overlap — the paper's metric charges blocking
+//      communication; overlapping it behind the previous layer's compute
+//      is the obvious system-level alternative and bounds the benefit.
+//   3. Memory-bound mode — when weight streaming is charged (weights not
+//      resident), large FC layers dominate and communication optimization
+//      loses leverage.
+
+#include <cstdio>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  std::puts("Learn-to-Scale bench: system-model ablations\n");
+
+  // --- 1. NoC clock ratio ------------------------------------------------
+  {
+    util::Table t("comm share of latency vs NoC:core clock ratio (16 cores)");
+    t.set_header({"network", "ratio 1", "ratio 2", "ratio 4"});
+    for (const nn::NetSpec& spec :
+         {nn::mlp_spec(), nn::lenet_spec(), nn::convnet_spec(),
+          nn::alexnet_spec()}) {
+      std::vector<std::string> row{spec.name};
+      for (const double ratio : {1.0, 2.0, 4.0}) {
+        sim::SystemConfig cfg;
+        cfg.cores = 16;
+        cfg.noc_clock_divider = ratio;
+        sim::CmpSystem system(cfg);
+        const auto traffic = core::traffic_dense(spec, system.topology(),
+                                                 cfg.bytes_per_value);
+        const auto r = system.run_inference(spec, traffic);
+        row.push_back(util::fmt_percent(r.comm_fraction()));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+    std::puts("");
+  }
+
+  // --- 2. Overlap --------------------------------------------------------
+  {
+    util::Table t("blocking vs overlapped communication (16 cores)");
+    t.set_header({"network", "blocking-cyc", "overlapped-cyc", "gain"});
+    for (const nn::NetSpec& spec :
+         {nn::mlp_spec(), nn::lenet_spec(), nn::convnet_spec()}) {
+      sim::SystemConfig blocked;
+      blocked.cores = 16;
+      sim::SystemConfig over = blocked;
+      over.overlap_comm = true;
+      sim::CmpSystem sb(blocked), so(over);
+      const auto traffic = core::traffic_dense(spec, sb.topology(),
+                                               blocked.bytes_per_value);
+      const auto rb = sb.run_inference(spec, traffic);
+      const auto ro = so.run_inference(spec, traffic);
+      t.add_row({spec.name, std::to_string(rb.total_cycles),
+                 std::to_string(ro.total_cycles),
+                 util::fmt_speedup(static_cast<double>(rb.total_cycles) /
+                                   static_cast<double>(ro.total_cycles))});
+    }
+    t.print();
+    std::puts("");
+  }
+
+  // --- 3. Weight streaming ------------------------------------------------
+  {
+    util::Table t("weights resident vs streamed (AlexNet, 16 cores)");
+    t.set_header({"mode", "total-cyc", "comm-share"});
+    for (const bool streaming : {false, true}) {
+      sim::SystemConfig cfg;
+      cfg.cores = 16;
+      cfg.accel.model_weight_streaming = streaming;
+      sim::CmpSystem system(cfg);
+      const auto spec = nn::alexnet_spec();
+      const auto traffic = core::traffic_dense(spec, system.topology(),
+                                               cfg.bytes_per_value);
+      const auto r = system.run_inference(spec, traffic);
+      t.add_row({streaming ? "streamed" : "resident",
+                 std::to_string(r.total_cycles),
+                 util::fmt_percent(r.comm_fraction())});
+    }
+    t.print();
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension experiment: composing the paper's two techniques.
+//
+// Structure-level grouping silences the grouped conv transitions by
+// construction; communication-aware sparsified training (SS_Mask) thins
+// whatever stays dense. They are orthogonal, so the hybrid should push
+// traffic below either alone:
+//
+//   Baseline   — dense ConvNet variant, traditional parallelization
+//   Grouped    — conv2/conv3 in 16 groups (TABLE III Parallel#2 style)
+//   SS_Mask    — dense topology + distance-masked group-Lasso
+//   Hybrid     — grouped conv + distance-masked group-Lasso on the rest
+
+#include <cstdio>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  std::puts("Learn-to-Scale bench: hybrid strategy (structure-level + "
+            "SS_Mask, 16 cores)\n");
+
+  sim::ExperimentConfig cfg;
+  cfg.cores = 16;
+  cfg.train.epochs = 3;
+  cfg.lambda_ss = 0.5;
+  cfg.lambda_mask = 0.5;
+  cfg.seed = 42;
+
+  const nn::NetSpec dense = nn::convnet_variant_expt_spec(32, 64, 128, 1);
+  const nn::NetSpec grouped = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  const data::Dataset train_set = sim::dataset_for(dense, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(dense, 256, 2);
+
+  const auto base = sim::run_structure_level_variant(dense, train_set,
+                                                     test_set, cfg, nullptr);
+  const auto grp = sim::run_structure_level_variant(grouped, train_set,
+                                                    test_set, cfg, &base);
+  // SS_Mask on the dense network (reuse the sparsified pipeline's third
+  // outcome).
+  const auto sparsified =
+      sim::run_sparsified_experiment(dense, train_set, test_set, cfg);
+  // The sparsified pipeline computes metrics against its own internal
+  // baseline, which is trained identically to `base` and simulated on the
+  // same system, so the numbers are directly comparable.
+  const auto& ss_mask = sparsified[2];
+  const auto hybrid =
+      sim::run_hybrid_variant(grouped, train_set, test_set, cfg, &base);
+
+  util::Table t("dense vs grouped vs SS_Mask vs hybrid");
+  t.set_header(
+      {"scheme", "accuracy", "traffic", "speedup", "noc-energy-red"});
+  auto row = [&](const char* label, const sim::StrategyOutcome& o) {
+    t.add_row({label, util::fmt_percent(o.accuracy, 1),
+               util::fmt_percent(o.traffic_rate), util::fmt_speedup(o.speedup),
+               util::fmt_percent(o.comm_energy_reduction)});
+  };
+  row("Baseline", base);
+  row("Grouped (n=16)", grp);
+  row("SS_Mask (dense)", ss_mask);
+  row("Hybrid", hybrid);
+  t.print();
+
+  std::puts("\nExpected: the hybrid has the lowest traffic and highest\n"
+            "speedup — grouping removes the conv transitions' traffic and\n"
+            "compute, the masked lasso thins the remaining FC transitions.");
+  return 0;
+}

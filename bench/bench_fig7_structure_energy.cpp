@@ -1,0 +1,66 @@
+// Reproduces paper Fig. 7: system performance speedup (left axis) and
+// communication energy reduction (right axis) for structure-level
+// parallelization, plus the overall energy reductions quoted in §V.A.1
+// (91% / 88% for Parallel#2 / #3).
+//
+// Same experiment as TABLE III, reported through the figure's metrics:
+//   * system speedup           — total baseline cycles / variant cycles
+//   * comm speedup             — blocking-communication cycle ratio
+//   * comm energy reduction    — 1 - variant NoC energy / baseline
+//   * overall energy reduction — 1 - variant total energy / baseline
+
+#include <cstdio>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  std::puts(
+      "Learn-to-Scale bench: Fig. 7 (structure-level speedup & energy, 16 "
+      "cores)\n");
+
+  sim::ExperimentConfig cfg;
+  cfg.cores = 16;
+  cfg.train.epochs = 3;
+  cfg.seed = 42;
+
+  const nn::NetSpec p1 = nn::convnet_variant_expt_spec(32, 64, 128, 1);
+  const nn::NetSpec p2 = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  const nn::NetSpec p3 = nn::convnet_variant_expt_spec(32, 96, 160, 16);
+
+  const data::Dataset train_set = sim::dataset_for(p1, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(p1, 256, 2);
+
+  const auto base =
+      sim::run_structure_level_variant(p1, train_set, test_set, cfg, nullptr);
+  const auto r2 =
+      sim::run_structure_level_variant(p2, train_set, test_set, cfg, &base);
+  const auto r3 =
+      sim::run_structure_level_variant(p3, train_set, test_set, cfg, &base);
+
+  auto comm_speedup = [&](const sim::StrategyOutcome& o) {
+    const auto base_comm = base.result.comm_cycles;
+    const auto v_comm = o.result.comm_cycles;
+    return v_comm == 0 ? 0.0
+                       : static_cast<double>(base_comm) /
+                             static_cast<double>(v_comm);
+  };
+
+  util::Table table("Fig. 7 metrics (paper: #2 4.9x perf / 91% overall "
+                    "energy, #3 4.6x / 88%)");
+  table.set_header({"variant", "perf-speedup", "comm-speedup",
+                    "comm-energy-red", "overall-energy-red"});
+  for (const auto* o : {&r2, &r3}) {
+    const bool is2 = (o == &r2);
+    const double cs = comm_speedup(*o);
+    table.add_row({is2 ? "Parallel#2" : "Parallel#3",
+                   util::fmt_speedup(o->speedup, 1),
+                   cs == 0.0 ? "inf (no traffic)" : util::fmt_speedup(cs, 1),
+                   util::fmt_percent(o->comm_energy_reduction),
+                   util::fmt_percent(o->total_energy_reduction)});
+  }
+  table.print();
+  return 0;
+}

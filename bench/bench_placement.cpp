@@ -1,0 +1,99 @@
+// Extension experiment: communication-aware *placement* vs communication-
+// aware *training*.
+//
+// SS_Mask teaches the network to keep its surviving traffic between nearby
+// cores. A post-hoc alternative for a distance-unaware SS model is to
+// permute which mesh core hosts which partition (simulated annealing over
+// byte-hops, core/placement.hpp). This bench trains MLP with SS and with
+// SS_Mask, then reports for each: identity placement vs optimized
+// placement. The question: can placement recover SS_Mask's advantage
+// without distance-aware training?
+
+#include <cstdio>
+
+#include "core/placement.hpp"
+#include "core/traffic.hpp"
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "sim/system.hpp"
+#include "train/masks.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ls;
+
+struct Row {
+  std::string label;
+  core::InferenceTraffic traffic;
+};
+
+}  // namespace
+
+int main() {
+  std::puts("Learn-to-Scale bench: placement optimization vs "
+            "communication-aware training (MLP, 16 cores)\n");
+
+  const std::size_t cores = 16;
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  const data::Dataset train_set = sim::dataset_for(spec, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, 2);
+
+  train::TrainConfig tcfg;
+  tcfg.epochs = 5;
+
+  std::vector<Row> rows;
+  // Dense baseline.
+  rows.push_back({"Baseline", core::traffic_dense(spec, topo, 2)});
+
+  // SS and SS_Mask live traffic.
+  for (const bool distance_aware : {false, true}) {
+    util::Rng rng(42);
+    nn::Network net = nn::build_network(spec, rng);
+    train::GroupLassoRegularizer reg(
+        core::build_group_sets(net, spec, cores),
+        distance_aware ? train::distance_mask(topo)
+                       : train::uniform_mask(cores),
+        0.6);
+    train::train_classifier(net, train_set, test_set, tcfg, &reg);
+    rows.push_back({distance_aware ? "SS_Mask" : "SS",
+                    core::traffic_live(net, spec, topo, 2)});
+  }
+
+  sim::SystemConfig cfg;
+  cfg.cores = cores;
+  sim::CmpSystem system(cfg);
+  const auto base = system.run_inference(spec, rows[0].traffic);
+
+  util::Table t("identity vs annealed placement (byte-hops and system "
+                "metrics)");
+  t.set_header({"scheme", "placement", "byte-hops", "comm-cyc", "speedup",
+                "noc-energy-red"});
+  for (const Row& row : rows) {
+    for (const bool optimized : {false, true}) {
+      util::Rng rng(7);
+      const core::Placement placement =
+          optimized ? core::optimize_placement(row.traffic, topo, rng)
+                    : core::Placement::identity(cores);
+      const auto mapped = core::remap_traffic(row.traffic, placement, topo);
+      const auto r = system.run_inference(spec, mapped);
+      t.add_row({row.label, optimized ? "annealed" : "identity",
+                 std::to_string(mapped.total_byte_hops()),
+                 std::to_string(r.comm_cycles),
+                 util::fmt_speedup(sim::speedup(base, r)),
+                 util::fmt_percent(sim::comm_energy_reduction(base, r))});
+    }
+  }
+  t.print();
+  std::puts(
+      "\nReading: annealed placement cannot help the dense baseline or SS\n"
+      "much — their traffic is all-to-all-ish, and every permutation of an\n"
+      "all-to-all is an all-to-all. SS_Mask's structured traffic is already\n"
+      "placed well by construction (training assumed the identity mapping),\n"
+      "so the lesson is that locality must be *learned into the sparsity\n"
+      "pattern*, not bolted on afterwards.");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Reproduces paper TABLE I: data volume to transmit in the NoC after layer
+// partitioning (traditional parallelization, 16 cores).
+//
+// Prints, per network, every layer transition with the analytic volume
+// (elements x 4 B x (P-1)^2/P; see core/comm_volume.hpp) next to the value
+// published in the paper where one exists.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/comm_volume.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ls::core::comm_volume_table;
+using ls::util::fmt_bytes;
+using ls::util::Table;
+
+// Published TABLE I entries (bytes), keyed by (network, consumer layer).
+const std::map<std::pair<std::string, std::string>, double> kPaperBytes = {
+    {{"MLP", "ip2"}, 28.0 * 1024},       {{"MLP", "ip3"}, 17.0 * 1024},
+    {{"LeNet", "conv2"}, 225.0 * 1024},  {{"LeNet", "ip1"}, 57.0 * 1024},
+    {{"LeNet", "ip2"}, 29.0 * 1024},     {{"ConvNet", "conv2"}, 450.0 * 1024},
+    {{"ConvNet", "conv3"}, 113.0 * 1024},
+    {{"ConvNet", "ip1"}, 57.0 * 1024},   {{"AlexNet", "conv2"}, 2.0e6},
+    {{"AlexNet", "conv3"}, 2.4e6},       {{"AlexNet", "conv4"}, 1.8e6},
+    {{"AlexNet", "conv5"}, 1.8e6},       {{"AlexNet", "ip1"}, 450.0 * 1024},
+    {{"AlexNet", "ip2"}, 57.0 * 1024},   {{"VGG19", "conv2_1"}, 42.0e6},
+    {{"VGG19", "conv3_1"}, 22.0e6},      {{"VGG19", "conv4_1"}, 11.0e6},
+    {{"VGG19", "conv5_1"}, 5.4e6},       {{"VGG19", "ip1"}, 1.4e6},
+    {{"VGG19", "ip2"}, 57.0 * 1024},
+};
+
+void print_network(const ls::nn::NetSpec& spec, std::size_t cores) {
+  Table t("TABLE I / " + spec.name + " (" + spec.dataset + ", " +
+          std::to_string(cores) + " cores)");
+  t.set_header({"transition into", "elements", "ours", "paper"});
+  for (const auto& e : comm_volume_table(spec, cores)) {
+    const auto it = kPaperBytes.find({spec.name, e.layer_name});
+    t.add_row({e.layer_name, std::to_string(e.elements), fmt_bytes(e.bytes),
+               it != kPaperBytes.end() ? fmt_bytes(it->second) : "-"});
+  }
+  t.print();
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Learn-to-Scale bench: TABLE I (NoC data volume, traditional "
+            "parallelization)\n");
+  const std::size_t cores = 16;
+  print_network(ls::nn::mlp_spec(), cores);
+  print_network(ls::nn::lenet_spec(), cores);
+  print_network(ls::nn::convnet_spec(), cores);
+  print_network(ls::nn::alexnet_spec(), cores);
+  print_network(ls::nn::vgg19_spec(), cores);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper TABLE III: performance of structure-level
+// parallelization on 16 cores.
+//
+//   Parallel#1 — ConvNet variant (c1-c2-c3), n = 1 group  -> baseline
+//   Parallel#2 — same channels, conv2/conv3 split into n = 16 groups
+//   Parallel#3 — widened channels (compensating accuracy), n = 16 groups
+//
+// Channel counts are scaled from the paper's 64-128-256 / 64-160-320 to
+// 32-64-128 / 32-96-160 so CPU training completes in-session (DESIGN.md);
+// the published ratios (Parallel#3 ~1.25-1.5x wider than #2) are preserved.
+
+#include <cstdio>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  std::puts(
+      "Learn-to-Scale bench: TABLE III (structure-level parallelization, "
+      "16 cores)\n");
+
+  sim::ExperimentConfig cfg;
+  cfg.cores = 16;
+  cfg.train.epochs = 3;
+  cfg.seed = 42;
+
+  const nn::NetSpec p1 = nn::convnet_variant_expt_spec(32, 64, 128, 1);
+  const nn::NetSpec p2 = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  const nn::NetSpec p3 = nn::convnet_variant_expt_spec(32, 96, 160, 16);
+
+  const data::Dataset train_set = sim::dataset_for(p1, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(p1, 256, 2);
+
+  const auto base =
+      sim::run_structure_level_variant(p1, train_set, test_set, cfg, nullptr);
+  const auto r2 =
+      sim::run_structure_level_variant(p2, train_set, test_set, cfg, &base);
+  const auto r3 =
+      sim::run_structure_level_variant(p3, train_set, test_set, cfg, &base);
+
+  util::Table table(
+      "TABLE III: structure-level parallelization (ours | paper accu/speedup)");
+  table.set_header(
+      {"variant", "kernels", "n", "accuracy", "speedup", "paper"});
+  table.add_row({"Parallel#1", "32-64-128", "1",
+                 util::fmt_double(base.accuracy, 3), "1x", "0.726 / 1x"});
+  table.add_row({"Parallel#2", "32-64-128", "16",
+                 util::fmt_double(r2.accuracy, 3),
+                 util::fmt_speedup(r2.speedup, 1), "0.698 / 4.9x"});
+  table.add_row({"Parallel#3", "32-96-160", "16",
+                 util::fmt_double(r3.accuracy, 3),
+                 util::fmt_speedup(r3.speedup, 1), "0.742 / 4.6x"});
+  table.print();
+
+  std::puts(
+      "\nExpected shape: both grouped variants speed up well beyond 1x\n"
+      "(conv2/conv3 transitions carry zero NoC traffic and their kernels\n"
+      "shrink by the group factor); Parallel#2 loses some accuracy to the\n"
+      "removed cross-group connections, Parallel#3 wins it back by widening\n"
+      "at a slightly lower speedup.");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces paper TABLE IV: performance and energy reduction of
+// communication-aware sparsified parallelization on a 16-core mesh CMP.
+//
+// For each network (MLP / LeNet / ConvNet / CaffeNet) three schemes are
+// trained and simulated:
+//   Baseline — dense training, traditional parallelization
+//   SS       — structured sparsity (uniform group-Lasso strength)
+//   SS_Mask  — communication-aware strength (distance-weighted mask)
+// and the paper's four metrics are printed next to the published values.
+// Architectures are channel-scaled and datasets synthetic (DESIGN.md
+// substitution table); the comparison targets the *shape* — ordering, and
+// rough win factors — not absolute numbers.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ls::util::fmt_percent;
+using ls::util::fmt_speedup;
+
+struct PaperRow {
+  double accuracy, traffic, speedup, energy_red;
+};
+
+// Published TABLE IV values, keyed by (network, scheme).
+const std::map<std::pair<std::string, std::string>, PaperRow> kPaper = {
+    {{"MLP", "Baseline"}, {0.9836, 1.00, 1.00, 0.00}},
+    {{"MLP", "SS"}, {0.9838, 0.30, 1.40, 0.59}},
+    {{"MLP", "SS_Mask"}, {0.9836, 0.11, 1.59, 0.81}},
+    {{"LeNet", "Baseline"}, {0.9917, 1.00, 1.00, 0.00}},
+    {{"LeNet", "SS"}, {0.9898, 0.82, 1.20, 0.15}},
+    {{"LeNet", "SS_Mask"}, {0.9860, 0.23, 1.51, 0.89}},
+    {{"ConvNet", "Baseline"}, {0.7875, 1.00, 1.00, 0.00}},
+    {{"ConvNet", "SS"}, {0.8015, 0.46, 1.19, 0.25}},
+    {{"ConvNet", "SS_Mask"}, {0.7961, 0.35, 1.32, 0.55}},
+    {{"CaffeNet", "Baseline"}, {0.5519, 1.00, 1.00, 0.00}},
+    {{"CaffeNet", "SS"}, {0.5502, 0.98, 1.02, 0.17}},
+    {{"CaffeNet", "SS_Mask"}, {0.5421, 0.57, 1.10, 0.38}},
+};
+
+struct NetCase {
+  ls::nn::NetSpec spec;
+  double lambda;
+  std::size_t epochs;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ls;
+  std::puts(
+      "Learn-to-Scale bench: TABLE IV (communication-aware sparsified "
+      "parallelization, 16 cores)\n");
+
+  const std::vector<NetCase> cases = {
+      {nn::mlp_expt_spec(), 0.6, 5},
+      {nn::lenet_expt_spec(), 0.5, 4},
+      {nn::convnet_expt_spec(), 0.4, 3},
+      {nn::caffenet_expt_spec(), 0.45, 3},
+  };
+
+  util::Table table("TABLE IV: accuracy / NoC traffic rate / system speedup "
+                    "/ NoC energy reduction (ours | paper)");
+  table.set_header({"net", "scheme", "accuracy", "traffic", "speedup",
+                    "energy-red", "avg-hops", "paper(t/s/e)"});
+
+  for (const NetCase& c : cases) {
+    sim::ExperimentConfig cfg;
+    cfg.cores = 16;
+    cfg.train.epochs = c.epochs;
+    cfg.lambda_ss = c.lambda;
+    cfg.lambda_mask = c.lambda;
+    cfg.seed = 42;
+
+    const data::Dataset train_set = sim::dataset_for(c.spec, 768, 1);
+    const data::Dataset test_set = sim::dataset_for(c.spec, 256, 2);
+    const auto outcomes =
+        sim::run_sparsified_experiment(c.spec, train_set, test_set, cfg);
+    for (const auto& o : outcomes) {
+      const auto it = kPaper.find({c.spec.name, o.scheme});
+      std::string paper = "-";
+      if (it != kPaper.end()) {
+        paper = fmt_percent(it->second.traffic) + "/" +
+                fmt_speedup(it->second.speedup) + "/" +
+                fmt_percent(it->second.energy_red);
+      }
+      table.add_row({c.spec.name, o.scheme, fmt_percent(o.accuracy, 1),
+                     fmt_percent(o.traffic_rate), fmt_speedup(o.speedup),
+                     fmt_percent(o.comm_energy_reduction),
+                     ls::util::fmt_double(o.mean_traffic_hops, 2), paper});
+    }
+  }
+  table.print();
+  std::puts(
+      "\nExpected shape: SS_Mask >= SS > Baseline on speedup and NoC energy\n"
+      "reduction, with SS_Mask holding accuracy at or near the baseline.\n"
+      "avg-hops shows the mechanism: SS_Mask's surviving traffic flows\n"
+      "between nearby cores (approaching 1-2 hops), while SS's and the\n"
+      "baseline's average the full mesh distance (~2.67 on a 4x4 mesh).");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Drive the flit-level mesh NoC simulator directly: compare traffic
+// patterns (neighbor ring, bit-reverse, all-to-all burst, hotspot) on the
+// paper's TABLE II configuration, and see how virtual channels and
+// physical channels change latency under the all-to-all layer-transition
+// burst the parallelized inference produces.
+
+#include <cstdio>
+#include <vector>
+
+#include "noc/energy.hpp"
+#include "noc/simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ls;
+using noc::Message;
+
+std::vector<Message> neighbor_ring(std::size_t cores, std::size_t bytes) {
+  std::vector<Message> msgs;
+  for (std::size_t s = 0; s < cores; ++s) {
+    msgs.push_back({s, (s + 1) % cores, bytes, 0});
+  }
+  return msgs;
+}
+
+std::vector<Message> bit_reverse(std::size_t cores, std::size_t bytes) {
+  std::vector<Message> msgs;
+  std::size_t bits = 0;
+  while ((1u << bits) < cores) ++bits;
+  for (std::size_t s = 0; s < cores; ++s) {
+    std::size_t d = 0;
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (s & (1u << b)) d |= 1u << (bits - 1 - b);
+    }
+    if (d != s) msgs.push_back({s, d, bytes, 0});
+  }
+  return msgs;
+}
+
+std::vector<Message> all_to_all(std::size_t cores, std::size_t bytes) {
+  std::vector<Message> msgs;
+  for (std::size_t s = 0; s < cores; ++s) {
+    for (std::size_t d = 0; d < cores; ++d) {
+      if (s != d) msgs.push_back({s, d, bytes, 0});
+    }
+  }
+  return msgs;
+}
+
+std::vector<Message> hotspot(std::size_t cores, std::size_t bytes) {
+  std::vector<Message> msgs;
+  for (std::size_t s = 1; s < cores; ++s) msgs.push_back({s, 0, bytes, 0});
+  return msgs;
+}
+
+void run_pattern(const char* name, const std::vector<Message>& msgs,
+                 util::Table& table) {
+  const noc::MeshTopology topo(4, 4);
+  const noc::MeshNocSimulator sim(topo, {});
+  const auto stats = sim.run(msgs);
+  const auto energy =
+      noc::energy_from_stats(stats, {}, topo.num_cores());
+  table.add_row({name, std::to_string(msgs.size()),
+                 std::to_string(stats.total_flits),
+                 std::to_string(stats.completion_cycle),
+                 util::fmt_double(stats.avg_packet_latency, 1),
+                 util::fmt_double(energy.total_pj() / 1000.0, 2) + " nJ"});
+}
+
+}  // namespace
+
+int main() {
+  std::puts("NoC playground: 4x4 mesh, TABLE II configuration "
+            "(512-bit flits, 20-flit packets, 3 VCs, DOR)\n");
+
+  util::Table patterns("traffic patterns, 4 KiB per message");
+  patterns.set_header(
+      {"pattern", "messages", "flits", "drain-cycles", "avg-pkt-lat",
+       "energy"});
+  run_pattern("neighbor-ring", neighbor_ring(16, 4096), patterns);
+  run_pattern("bit-reverse", bit_reverse(16, 4096), patterns);
+  run_pattern("hotspot->core0", hotspot(16, 4096), patterns);
+  run_pattern("all-to-all", all_to_all(16, 4096), patterns);
+  patterns.print();
+
+  std::puts("\nSweep: virtual channels and physical channels under the "
+            "all-to-all burst");
+  util::Table sweep("all-to-all, 4 KiB messages");
+  sweep.set_header({"vcs", "phys-channels", "drain-cycles", "avg-pkt-lat"});
+  for (std::size_t vcs : {1u, 2u, 3u, 4u}) {
+    for (std::size_t phys : {1u, 2u}) {
+      noc::NocConfig cfg;
+      cfg.vcs = vcs;
+      cfg.phys_channels = phys;
+      const noc::MeshNocSimulator sim(noc::MeshTopology(4, 4), cfg);
+      const auto stats = sim.run(all_to_all(16, 4096));
+      sweep.add_row({std::to_string(vcs), std::to_string(phys),
+                     std::to_string(stats.completion_cycle),
+                     util::fmt_double(stats.avg_packet_latency, 1)});
+    }
+  }
+  sweep.print();
+
+  std::puts("\nReading: the all-to-all layer-transition burst is the worst\n"
+            "pattern for the mesh — exactly the traffic traditional\n"
+            "parallelization injects at every layer boundary. More VCs and\n"
+            "wider links help but cannot change the asymptotics; removing\n"
+            "the traffic (grouping / sparsification) can.");
+  return 0;
+}

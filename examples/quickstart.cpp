@@ -1,0 +1,60 @@
+// Quickstart: train a small MLP with communication-aware group-Lasso
+// sparsification (the paper's SS_Mask scheme), then simulate a partitioned
+// single-pass inference on a 16-core mesh CMP and compare against the
+// traditional-parallelization baseline.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/traffic.hpp"
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "train/masks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+
+  // 1. Pick an architecture and a dataset. The spec describes layer shapes;
+  //    the dataset is a deterministic synthetic stand-in for MNIST.
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const data::Dataset train_set = sim::dataset_for(spec, 768, /*seed=*/1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, /*seed=*/2);
+
+  // 2. Configure the experiment: 16 cores, a short training run, moderate
+  //    group-Lasso strength.
+  sim::ExperimentConfig cfg;
+  cfg.cores = 16;
+  cfg.train.epochs = 5;
+  cfg.train.batch_size = 32;
+  cfg.lambda_ss = 0.6;   // group-Lasso strength; see bench_ablation_lasso
+  cfg.lambda_mask = 0.6; // for the sensitivity of the trade-off
+  cfg.verbose = true;
+
+  // 3. Run the three schemes: dense baseline, SS, SS_Mask.
+  const auto outcomes =
+      sim::run_sparsified_experiment(spec, train_set, test_set, cfg);
+
+  // 4. Report like the paper's TABLE IV.
+  util::Table table("quickstart: MLP on 16-core mesh CMP");
+  table.set_header({"scheme", "accuracy", "traffic", "speedup", "noc-energy"});
+  for (const auto& o : outcomes) {
+    table.add_row({o.scheme, util::fmt_percent(o.accuracy, 1),
+                   util::fmt_percent(o.traffic_rate),
+                   util::fmt_speedup(o.speedup),
+                   "-" + util::fmt_percent(o.comm_energy_reduction)});
+  }
+  table.print();
+
+  std::printf(
+      "\nThe SS_Mask scheme should show the best speedup at baseline-level "
+      "accuracy:\nthe distance-weighted group Lasso prunes long-distance "
+      "core-to-core weight\nblocks first, so whatever traffic survives flows "
+      "only between nearby cores\n(compare the two schemes' NoC energy per "
+      "transmitted byte).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Scalability study: how does the communication bottleneck of traditional
+// single-pass inference parallelization evolve as the CMP scales from 2 to
+// 64 cores — and how much of it can structure-level grouping remove?
+//
+// No training involved: this example exercises the analytic/architecture
+// side of the library (NetSpec analysis, dense traffic synthesis, the
+// flit-level NoC simulation and the accelerator cycle model).
+
+#include <cstdio>
+
+#include "core/grouping.hpp"
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace ls;
+  const nn::NetSpec dense = nn::convnet_spec();  // Caffe cifar10_quick dims
+
+  util::Table table("ConvNet single-pass inference vs core count");
+  table.set_header({"cores", "compute-cyc", "comm-cyc", "comm-share",
+                    "total-cyc", "speedup-vs-2", "grouped-total",
+                    "grouped-gain"});
+
+  double first_total = 0.0;
+  for (std::size_t cores : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    sim::SystemConfig cfg;
+    cfg.cores = cores;
+    sim::CmpSystem system(cfg);
+    const auto traffic =
+        core::traffic_dense(dense, system.topology(), cfg.bytes_per_value);
+    const auto r = system.run_inference(dense, traffic);
+
+    // Structure-level variant: group conv2/conv3 by the core count (the
+    // channel counts of cifar10_quick divide 2..32; cap the group count).
+    const std::size_t n = std::min<std::size_t>(cores, 32);
+    const auto grouped =
+        core::apply_grouping(dense, core::default_grouping_targets(dense), n);
+    const auto gtraffic =
+        core::traffic_dense(grouped, system.topology(), cfg.bytes_per_value);
+    const auto gr = system.run_inference(grouped, gtraffic);
+
+    if (first_total == 0.0) first_total = static_cast<double>(r.total_cycles);
+    table.add_row(
+        {std::to_string(cores), std::to_string(r.compute_cycles),
+         std::to_string(r.comm_cycles),
+         util::fmt_percent(r.comm_fraction()),
+         std::to_string(r.total_cycles),
+         util::fmt_speedup(first_total / static_cast<double>(r.total_cycles)),
+         std::to_string(gr.total_cycles),
+         util::fmt_speedup(static_cast<double>(r.total_cycles) /
+                           static_cast<double>(gr.total_cycles))});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: compute parallelizes (compute-cyc falls with cores) but\n"
+      "the synchronization traffic grows, so the communication share of\n"
+      "latency climbs and total speedup saturates — the paper's motivation\n"
+      "(§III.B). The grouped variant removes conv2/conv3 synchronization\n"
+      "entirely and its advantage widens with scale (§V.B).\n");
+  return 0;
+}

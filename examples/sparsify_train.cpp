@@ -1,0 +1,92 @@
+// Train a LeNet-style network with the communication-aware group-Lasso
+// (SS_Mask) and visualize what it learned: the per-layer (producer core x
+// consumer core) block liveness matrix — the ASCII analogue of the paper's
+// Fig. 6(b) "final weights matrix in group-level".
+//
+// Live blocks ('#') mean core p still sends feature maps to core c; dead
+// blocks ('.') mean that link was pruned away in training. Expect the
+// diagonal to stay fully alive (free: same-core data), near-diagonal /
+// short-hop blocks to survive, and long-hop blocks to die first.
+
+#include <cstdio>
+
+#include "core/traffic.hpp"
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "train/masks.hpp"
+#include "train/trainer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_block_matrix(const ls::core::LayerGroupSet& set,
+                        const ls::noc::MeshTopology& topo) {
+  std::printf("\nlayer %s: %zux%zu blocks (producer rows, consumer cols)\n",
+              set.layer_name.c_str(), set.cores, set.cores);
+  std::printf("    ");
+  for (std::size_t c = 0; c < set.cores; ++c) std::printf("%zx", c % 16);
+  std::printf("\n");
+  for (std::size_t p = 0; p < set.cores; ++p) {
+    std::printf("  %zx ", p % 16);
+    for (std::size_t c = 0; c < set.cores; ++c) {
+      const bool dead = set.block(p, c).empty() || set.block_dead(p, c);
+      std::printf("%c", dead ? '.' : '#');
+    }
+    std::printf("   mean hops of live: ");
+    double hops = 0;
+    std::size_t live = 0;
+    for (std::size_t c = 0; c < set.cores; ++c) {
+      if (p != c && !set.block(p, c).empty() && !set.block_dead(p, c)) {
+        hops += static_cast<double>(topo.hops(p, c));
+        ++live;
+      }
+    }
+    if (live > 0) {
+      std::printf("%.2f", hops / static_cast<double>(live));
+    } else {
+      std::printf("-");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace ls;
+  const std::size_t cores = 16;
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+
+  const data::Dataset train_set = sim::dataset_for(spec, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, 2);
+
+  util::Rng rng(42);
+  nn::Network net = nn::build_network(spec, rng);
+  train::GroupLassoRegularizer reg(core::build_group_sets(net, spec, cores),
+                                   train::distance_mask(topo), 0.5);
+
+  train::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.verbose = true;
+  std::printf("training %s with SS_Mask group-Lasso on %zu cores...\n",
+              spec.name.c_str(), cores);
+  const auto report =
+      train::train_classifier(net, train_set, test_set, cfg, &reg);
+
+  std::printf("\ntest accuracy %.3f, weight sparsity %.1f%%, %zu blocks "
+              "pruned to zero\n",
+              report.test_accuracy, 100.0 * report.weight_sparsity,
+              report.dead_blocks_killed);
+
+  for (const auto& set : reg.groups()) print_block_matrix(set, topo);
+
+  const auto traffic = core::traffic_live(net, spec, topo, 2);
+  const auto dense = core::traffic_dense(spec, topo, 2);
+  std::printf("\nNoC traffic: %zu bytes live vs %zu dense (%.0f%% rate)\n",
+              traffic.total_bytes(), dense.total_bytes(),
+              100.0 * static_cast<double>(traffic.total_bytes()) /
+                  static_cast<double>(dense.total_bytes()));
+  return 0;
+}

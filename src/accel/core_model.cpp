@@ -1,0 +1,47 @@
+#include "accel/core_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ls::accel {
+
+CoreModel::CoreModel(const AccelConfig& cfg) : cfg_(cfg) {
+  if (cfg_.pe_rows == 0 || cfg_.pe_cols == 0 || cfg_.bytes_per_value == 0 ||
+      cfg_.pe_utilization <= 0.0 || cfg_.pe_utilization > 1.0 ||
+      cfg_.dram_bytes_per_cycle <= 0.0) {
+    throw std::invalid_argument("degenerate accelerator config");
+  }
+}
+
+LayerCoreCost CoreModel::layer_cost(const LayerPartitionWork& work) const {
+  LayerCoreCost cost;
+  if (work.macs == 0) return cost;
+
+  const double effective_macs_per_cycle =
+      static_cast<double>(cfg_.macs_per_cycle()) * cfg_.pe_utilization;
+  cost.compute_cycles = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(work.macs) / effective_macs_per_cycle));
+
+  // Weights resident in the SB need one DRAM fill which we amortize away
+  // (steady-state inference reuses them); weights beyond the SB must be
+  // streamed every pass — only charged when the memory-bound ablation is on.
+  if (cfg_.model_weight_streaming &&
+      work.weight_bytes > cfg_.weight_buffer_bytes) {
+    const std::uint64_t streamed = work.weight_bytes;
+    cost.dram_cycles = static_cast<std::uint64_t>(std::ceil(
+        static_cast<double>(streamed) / cfg_.dram_bytes_per_cycle));
+    cost.energy_pj += static_cast<double>(streamed) * cfg_.dram_pj_per_byte;
+  }
+
+  // Every MAC reads a weight and an activation from SRAM and the results
+  // are written back once.
+  cost.energy_pj += static_cast<double>(work.macs) * cfg_.mac_pj;
+  cost.energy_pj += static_cast<double>(work.macs) *
+                    static_cast<double>(2 * cfg_.bytes_per_value) *
+                    cfg_.sram_read_pj_per_byte;
+  cost.energy_pj += static_cast<double>(work.output_bytes) *
+                    cfg_.sram_write_pj_per_byte;
+  return cost;
+}
+
+}  // namespace ls::accel

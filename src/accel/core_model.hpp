@@ -1,0 +1,82 @@
+#pragma once
+// Analytic cycle/energy model of a DianNao-style neural accelerator core
+// (the "in-house simulator that faithfully simulates DianNao [2]" of the
+// paper's §V; see the substitution table in DESIGN.md).
+//
+// Matches TABLE II: 16x16 PEs per core, one 128 KB weight buffer (SB), two
+// 32 KB data buffers (NBin/NBout), 16-bit fixed-point arithmetic. The model
+// charges:
+//   * compute cycles  = MACs / (PE count x utilization)
+//   * weight-streaming cycles when the layer partition's weights exceed the
+//     SB (DianNao double-buffers, so streaming overlaps compute; the layer
+//     cost is the max of the two)
+// and energy for MACs, SRAM traffic, and DRAM traffic.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ls::accel {
+
+struct AccelConfig {
+  std::size_t pe_rows = 16;
+  std::size_t pe_cols = 16;
+  std::size_t weight_buffer_bytes = 128 * 1024;
+  std::size_t data_buffer_bytes = 32 * 1024;  ///< each of NBin / NBout
+  std::size_t bytes_per_value = 2;            ///< 16-bit fixed point
+  /// Average PE-array utilization on dense conv/fc tiles. Real mappings
+  /// lose cycles to edge tiles and drain/fill; 0.85 is typical for
+  /// DianNao-class dataflows.
+  double pe_utilization = 0.85;
+  /// Per-core share of memory-controller bandwidth when streaming weights
+  /// (bytes per core cycle). The chip-level LPDDR3 channel is modeled in
+  /// ls::sim, which divides bandwidth across concurrently-streaming cores.
+  double dram_bytes_per_cycle = 4.0;
+  /// When true, layer partitions whose weights exceed the SB charge
+  /// weight-streaming cycles/energy. Off by default: the paper's latency
+  /// metric follows the DaDianNao convention of weights resident on-chip,
+  /// counting only compute and inter-core synchronization. Enable for the
+  /// memory-bound ablation.
+  bool model_weight_streaming = false;
+
+  // Energy coefficients (pJ), representative 65 nm DianNao-class values.
+  double mac_pj = 0.9;              ///< one 16-bit MAC
+  double sram_read_pj_per_byte = 0.35;
+  double sram_write_pj_per_byte = 0.45;
+  double dram_pj_per_byte = 35.0;
+
+  std::size_t macs_per_cycle() const { return pe_rows * pe_cols; }
+};
+
+/// Workload of one layer partition assigned to one core.
+struct LayerPartitionWork {
+  std::uint64_t macs = 0;          ///< multiply-accumulates
+  std::uint64_t weight_bytes = 0;  ///< weights this core must hold/stream
+  std::uint64_t input_bytes = 0;   ///< activation bytes read
+  std::uint64_t output_bytes = 0;  ///< activation bytes produced
+};
+
+struct LayerCoreCost {
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t dram_cycles = 0;  ///< weight streaming (overlapped)
+  double energy_pj = 0.0;
+
+  /// Effective latency: streaming is double-buffered behind compute.
+  std::uint64_t cycles() const {
+    return compute_cycles > dram_cycles ? compute_cycles : dram_cycles;
+  }
+};
+
+class CoreModel {
+ public:
+  explicit CoreModel(const AccelConfig& cfg = {});
+
+  /// Cost of running one layer partition on one core.
+  LayerCoreCost layer_cost(const LayerPartitionWork& work) const;
+
+  const AccelConfig& config() const { return cfg_; }
+
+ private:
+  AccelConfig cfg_;
+};
+
+}  // namespace ls::accel

@@ -1,0 +1,37 @@
+#include "core/comm_volume.hpp"
+
+namespace ls::core {
+
+std::vector<CommVolumeEntry> comm_volume_table(const nn::NetSpec& spec,
+                                               std::size_t cores,
+                                               double bytes_per_value) {
+  const auto analysis = nn::analyze(spec);
+  const double p = static_cast<double>(cores);
+  const double factor = (p - 1.0) * (p - 1.0) / p;
+
+  std::vector<CommVolumeEntry> table;
+  bool seen_first_compute = false;
+  for (const nn::LayerAnalysis& a : analysis) {
+    if (!a.is_compute()) continue;
+    if (seen_first_compute) {
+      CommVolumeEntry e;
+      e.layer_name = a.spec.name;
+      e.elements = a.in.numel();
+      e.bytes = static_cast<double>(e.elements) * bytes_per_value * factor;
+      table.push_back(e);
+    }
+    seen_first_compute = true;
+  }
+  return table;
+}
+
+double total_comm_volume(const nn::NetSpec& spec, std::size_t cores,
+                         double bytes_per_value) {
+  double total = 0.0;
+  for (const auto& e : comm_volume_table(spec, cores, bytes_per_value)) {
+    total += e.bytes;
+  }
+  return total;
+}
+
+}  // namespace ls::core

@@ -1,0 +1,40 @@
+#pragma once
+// Analytic data-volume model behind the paper's TABLE I ("data volume to
+// transmit in NoC after layer partitioning and parallelization").
+//
+// Accounting (reverse-engineered from the published MLP/ConvNet/AlexNet
+// entries, documented in EXPERIMENTS.md): at the transition into compute
+// layer L, the previous layer's D output elements are spread over the P
+// cores; synchronizing them costs
+//
+//     bytes(L) = D x 4 x (P - 1)^2 / P
+//
+// i.e. 4-byte (training-framework float) values with an all-to-all
+// broadcast factor of (P-1)^2/P (= 14.06 for P = 16). The simulators use
+// 16-bit fixed-point values instead — this model exists only to regenerate
+// TABLE I's rows.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.hpp"
+
+namespace ls::core {
+
+struct CommVolumeEntry {
+  std::string layer_name;  ///< consumer compute layer
+  std::size_t elements = 0;  ///< producer output elements synchronized
+  double bytes = 0.0;
+};
+
+/// Per-transition data volume for the given core count.
+std::vector<CommVolumeEntry> comm_volume_table(const nn::NetSpec& spec,
+                                               std::size_t cores,
+                                               double bytes_per_value = 4.0);
+
+/// Total over all transitions.
+double total_comm_volume(const nn::NetSpec& spec, std::size_t cores,
+                         double bytes_per_value = 4.0);
+
+}  // namespace ls::core

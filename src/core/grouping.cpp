@@ -1,0 +1,49 @@
+#include "core/grouping.hpp"
+
+#include <stdexcept>
+
+namespace ls::core {
+
+nn::NetSpec apply_grouping(const nn::NetSpec& spec,
+                           const std::vector<std::string>& conv_layers,
+                           std::size_t n) {
+  if (n == 0) throw std::invalid_argument("zero groups");
+  nn::NetSpec out = spec;
+  for (const std::string& name : conv_layers) {
+    bool found = false;
+    for (nn::LayerSpec& layer : out.layers) {
+      if (layer.name != name) continue;
+      if (layer.kind != nn::LayerKind::kConv) {
+        throw std::invalid_argument(name + " is not a conv layer");
+      }
+      if (layer.out_channels % n != 0) {
+        throw std::invalid_argument(name + " channels not divisible by " +
+                                    std::to_string(n));
+      }
+      layer.groups = n;
+      found = true;
+      break;
+    }
+    if (!found) throw std::invalid_argument("no conv layer named " + name);
+  }
+  // Validate divisibility of *input* channels too (depends on the previous
+  // layer), by running the analyzer.
+  nn::analyze(out);
+  return out;
+}
+
+std::vector<std::string> default_grouping_targets(const nn::NetSpec& spec) {
+  std::vector<std::string> names;
+  bool first = true;
+  for (const nn::LayerSpec& layer : spec.layers) {
+    if (layer.kind != nn::LayerKind::kConv) continue;
+    if (first) {
+      first = false;
+      continue;
+    }
+    names.push_back(layer.name);
+  }
+  return names;
+}
+
+}  // namespace ls::core

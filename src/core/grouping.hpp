@@ -1,0 +1,30 @@
+#pragma once
+// Structure-level parallelization transform (paper §IV.B, Fig. 4).
+//
+// Rewrites an architecture so that selected conv layers are split into n
+// independent channel groups. When n equals the core count and group i is
+// mapped to core i (our balanced contiguous partition does exactly that),
+// the transitions into those layers carry no inter-core traffic, at the
+// price of removed cross-group connections (and hence possible accuracy
+// loss, compensated by widening — paper TABLE III Parallel#3).
+
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.hpp"
+
+namespace ls::core {
+
+/// Returns a copy of `spec` with `groups = n` on the named conv layers.
+/// Throws if a named layer is missing, is not conv, or has channel counts
+/// not divisible by n.
+nn::NetSpec apply_grouping(const nn::NetSpec& spec,
+                           const std::vector<std::string>& conv_layers,
+                           std::size_t n);
+
+/// The paper's heuristic (§IV.B): group the conv layers with
+/// high-dimension kernels — every conv except the first, whose input is the
+/// replicated image. Returns their names.
+std::vector<std::string> default_grouping_targets(const nn::NetSpec& spec);
+
+}  // namespace ls::core

@@ -1,0 +1,31 @@
+#include "core/partition.hpp"
+
+#include <stdexcept>
+
+namespace ls::core {
+
+std::vector<UnitRange> balanced_ranges(std::size_t units, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("zero parts");
+  std::vector<UnitRange> ranges(parts);
+  const std::size_t base = units / parts;
+  const std::size_t extra = units % parts;
+  std::size_t cursor = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t count = base + (p < extra ? 1 : 0);
+    ranges[p] = {cursor, cursor + count};
+    cursor += count;
+  }
+  return ranges;
+}
+
+std::size_t owner_of(std::size_t u, std::size_t units, std::size_t parts) {
+  if (u >= units) throw std::out_of_range("unit index");
+  const std::size_t base = units / parts;
+  const std::size_t extra = units % parts;
+  const std::size_t fat = (base + 1) * extra;  // units covered by fat parts
+  if (u < fat) return u / (base + 1);
+  if (base == 0) throw std::logic_error("unit beyond all ranges");
+  return extra + (u - fat) / base;
+}
+
+}  // namespace ls::core

@@ -1,0 +1,207 @@
+#include "core/partitioned_inference.hpp"
+
+#include <stdexcept>
+
+#include "core/partition.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
+
+namespace ls::core {
+
+namespace {
+
+using nn::Tensor;
+
+/// True when consumer core range reads any non-zero weight of input unit
+/// u (same rules as traffic.cpp's walker).
+bool unit_live(const nn::Layer& layer, const nn::LayerAnalysis& a,
+               std::size_t in_units, std::size_t u, const UnitRange& out_r) {
+  if (a.spec.kind == nn::LayerKind::kConv) {
+    const auto& conv = dynamic_cast<const nn::Conv2D&>(layer);
+    const auto& cfg = conv.config();
+    const std::size_t cin_g = in_units / cfg.groups;
+    const std::size_t cout_g = cfg.out_channels / cfg.groups;
+    const std::size_t grp = u / cin_g;
+    const std::size_t icg = u % cin_g;
+    const std::size_t k2 = cfg.kernel * cfg.kernel;
+    const std::size_t lo = std::max(out_r.begin, grp * cout_g);
+    const std::size_t hi = std::min(out_r.end, (grp + 1) * cout_g);
+    for (std::size_t oc = lo; oc < hi; ++oc) {
+      const float* w = conv.weight().value.data() + (oc * cin_g + icg) * k2;
+      for (std::size_t i = 0; i < k2; ++i) {
+        if (w[i] != 0.0f) return true;
+      }
+    }
+    return false;
+  }
+  const auto& fc = dynamic_cast<const nn::FullyConnected&>(layer);
+  const std::size_t in_features = fc.in_features();
+  const std::size_t elems = in_features / in_units;
+  for (std::size_t o = out_r.begin; o < out_r.end; ++o) {
+    const float* w = fc.weight().value.data() + o * in_features + u * elems;
+    for (std::size_t e = 0; e < elems; ++e) {
+      if (w[e] != 0.0f) return true;
+    }
+  }
+  return false;
+}
+
+/// Zeroes input unit u in a masked copy (4D channel or 2D column range).
+void zero_unit(Tensor& t, std::size_t in_units, std::size_t u) {
+  const auto& shape = t.shape();
+  const std::size_t n_samples = shape[0];
+  if (shape.rank() == 4) {
+    const std::size_t per = shape[2] * shape[3];
+    for (std::size_t n = 0; n < n_samples; ++n) {
+      float* base = t.data() + (n * shape[1] + u) * per;
+      for (std::size_t i = 0; i < per; ++i) base[i] = 0.0f;
+    }
+    return;
+  }
+  const std::size_t features = shape[1];
+  const std::size_t elems = features / in_units;
+  for (std::size_t n = 0; n < n_samples; ++n) {
+    float* base = t.data() + n * features + u * elems;
+    for (std::size_t i = 0; i < elems; ++i) base[i] = 0.0f;
+  }
+}
+
+/// Copies consumer core range rows/channels from `part` into `whole`.
+void copy_out_range(const Tensor& part, Tensor& whole,
+                    const UnitRange& range) {
+  const auto& shape = whole.shape();
+  const std::size_t n_samples = shape[0];
+  if (shape.rank() == 4) {
+    const std::size_t per = shape[2] * shape[3];
+    for (std::size_t n = 0; n < n_samples; ++n) {
+      for (std::size_t c = range.begin; c < range.end; ++c) {
+        const float* src = part.data() + (n * shape[1] + c) * per;
+        float* dst = whole.data() + (n * shape[1] + c) * per;
+        for (std::size_t i = 0; i < per; ++i) dst[i] = src[i];
+      }
+    }
+    return;
+  }
+  const std::size_t features = shape[1];
+  for (std::size_t n = 0; n < n_samples; ++n) {
+    for (std::size_t f = range.begin; f < range.end; ++f) {
+      whole.data()[n * features + f] = part.data()[n * features + f];
+    }
+  }
+}
+
+}  // namespace
+
+PartitionedInference::PartitionedInference(nn::Network& net,
+                                           const nn::NetSpec& spec,
+                                           std::size_t cores,
+                                           Granularity granularity,
+                                           std::size_t bytes_per_value)
+    : net_(net),
+      spec_(spec),
+      cores_(cores),
+      granularity_(granularity),
+      bytes_per_value_(bytes_per_value) {
+  if (cores == 0) throw std::invalid_argument("zero cores");
+  if (nn::analyze(spec).size() != net.num_layers()) {
+    throw std::invalid_argument("spec/network layer count mismatch");
+  }
+}
+
+Tensor PartitionedInference::run(const Tensor& input, bool quantize_fixed16,
+                                 int frac_bits) {
+  const auto analysis = nn::analyze(spec_);
+  exchanges_.clear();
+
+  Tensor current = input;
+  bool seen_first_compute = false;
+  std::size_t prev_out_units = spec_.input.c;
+
+  for (std::size_t li = 0; li < analysis.size(); ++li) {
+    const nn::LayerAnalysis& a = analysis[li];
+    nn::Layer& layer = net_.layer(li);
+
+    if (!a.is_compute()) {
+      current = layer.forward(current, /*training=*/false);
+      continue;
+    }
+
+    if (!seen_first_compute) {
+      // Input image is replicated on every core: the sliced computation
+      // is numerically identical to one whole-layer pass.
+      seen_first_compute = true;
+      prev_out_units = a.out.c;
+      current = layer.forward(current, /*training=*/false);
+      if (quantize_fixed16) current.quantize_fixed16(frac_bits);
+      continue;
+    }
+
+    const std::size_t in_units = prev_out_units;
+    const auto in_ranges = balanced_ranges(in_units, cores_);
+    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
+                                      ? a.spec.out_channels
+                                      : a.spec.out_features;
+    const auto out_ranges = balanced_ranges(out_units, cores_);
+    const std::size_t unit_elems = a.in.numel() / in_units;
+
+    ExchangeRecord record;
+    record.layer_name = a.spec.name;
+
+    Tensor assembled(layer.output_shape(current.shape()), 0.0f);
+    for (std::size_t c = 0; c < cores_; ++c) {
+      if (out_ranges[c].count() == 0) continue;
+
+      // Decide availability of every input unit on core c.
+      std::vector<bool> available(in_units, false);
+      // Feature-map granularity: unit u arrives iff live(u, c).
+      // Block granularity: all of p's units arrive iff any is live.
+      std::vector<bool> block_live(cores_, false);
+      if (granularity_ == Granularity::kBlock) {
+        for (std::size_t u = 0; u < in_units; ++u) {
+          const std::size_t p = owner_of(u, in_units, cores_);
+          if (p != c && !block_live[p] &&
+              unit_live(layer, a, in_units, u, out_ranges[c])) {
+            block_live[p] = true;
+          }
+        }
+      }
+      for (std::size_t u = 0; u < in_units; ++u) {
+        const std::size_t p = owner_of(u, in_units, cores_);
+        if (p == c) {
+          available[u] = true;
+          continue;
+        }
+        const bool sent =
+            granularity_ == Granularity::kBlock
+                ? block_live[p]
+                : unit_live(layer, a, in_units, u, out_ranges[c]);
+        if (sent) {
+          available[u] = true;
+          ++record.transfers;
+          record.bytes += unit_elems * bytes_per_value_;
+        }
+      }
+
+      Tensor masked = current;
+      for (std::size_t u = 0; u < in_units; ++u) {
+        if (!available[u]) zero_unit(masked, in_units, u);
+      }
+      const Tensor part = layer.forward(masked, /*training=*/false);
+      copy_out_range(part, assembled, out_ranges[c]);
+    }
+
+    exchanges_.push_back(std::move(record));
+    current = std::move(assembled);
+    if (quantize_fixed16) current.quantize_fixed16(frac_bits);
+    prev_out_units = out_units;
+  }
+  return current;
+}
+
+std::size_t PartitionedInference::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : exchanges_) total += e.bytes;
+  return total;
+}
+
+}  // namespace ls::core

@@ -1,0 +1,70 @@
+#pragma once
+// Functional execution of a partitioned single-pass inference.
+//
+// The cycle-level models (ls::sim) answer "how fast"; this module answers
+// "is it still correct": it actually runs the network as P per-core kernel
+// slices with explicit feature-map exchanges between layers, so the
+// paper's two correctness claims become checkable properties:
+//
+//   * §IV.A  — traditional parallelization "will produce the same output
+//     result as the non-parallelized network";
+//   * §IV.C  — transfers whose consumer-side weights are all zero can be
+//     dropped without changing the inference result (the foundation of
+//     communication-aware sparsified parallelization).
+//
+// A consumer core sees an input tensor in which every feature map it
+// neither owns nor receives is zero; its kernel slice then runs on that
+// masked view. The exchange log records exactly which maps crossed the
+// NoC, and must agree with the analytic traffic model (traffic_live) —
+// the test suite cross-validates the two.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/layer_spec.hpp"
+#include "nn/network.hpp"
+
+namespace ls::core {
+
+/// One layer transition's actual exchanges.
+struct ExchangeRecord {
+  std::string layer_name;          ///< consumer compute layer
+  std::size_t transfers = 0;       ///< (feature map, consumer) pairs sent
+  std::size_t bytes = 0;           ///< payload at bytes_per_value
+};
+
+class PartitionedInference {
+ public:
+  /// `net` must have been built from `spec`. The executor borrows both.
+  PartitionedInference(nn::Network& net, const nn::NetSpec& spec,
+                       std::size_t cores,
+                       Granularity granularity = Granularity::kFeatureMap,
+                       std::size_t bytes_per_value = 2);
+
+  /// Runs a batch {N, C, H, W} through the partitioned network and
+  /// returns the assembled logits. When `quantize_fixed16` is true, every
+  /// layer boundary activation is additionally passed through 16-bit
+  /// fixed-point quantization (frac_bits fractional bits), modeling the
+  /// accelerator datapath.
+  tensor::Tensor run(const tensor::Tensor& input,
+                     bool quantize_fixed16 = false, int frac_bits = 8);
+
+  /// Exchange log of the most recent run().
+  const std::vector<ExchangeRecord>& exchanges() const { return exchanges_; }
+
+  /// Total bytes exchanged in the most recent run (one inference;
+  /// comparable to traffic_live(...).total_bytes() for batch size 1).
+  std::size_t total_bytes() const;
+
+ private:
+  nn::Network& net_;
+  const nn::NetSpec& spec_;
+  std::size_t cores_;
+  Granularity granularity_;
+  std::size_t bytes_per_value_;
+  std::vector<ExchangeRecord> exchanges_;
+};
+
+}  // namespace ls::core

@@ -1,0 +1,107 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ls::core {
+
+std::uint64_t PipelineAssignment::max_stage_macs() const {
+  std::uint64_t m = 0;
+  for (const auto& s : stages) m = std::max(m, s.macs);
+  return m;
+}
+
+double PipelineAssignment::mean_stage_macs() const {
+  if (stages.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : stages) total += static_cast<double>(s.macs);
+  return total / static_cast<double>(stages.size());
+}
+
+double PipelineAssignment::imbalance() const {
+  const double mean = mean_stage_macs();
+  return mean > 0.0 ? static_cast<double>(max_stage_macs()) / mean : 1.0;
+}
+
+namespace {
+
+/// True if the layer MAC sequence can be covered by <= parts contiguous
+/// segments each with sum <= cap.
+bool feasible(const std::vector<std::uint64_t>& macs, std::size_t parts,
+              std::uint64_t cap) {
+  std::size_t used = 1;
+  std::uint64_t acc = 0;
+  for (std::uint64_t m : macs) {
+    if (m > cap) return false;
+    if (acc + m > cap) {
+      ++used;
+      acc = 0;
+      if (used > parts) return false;
+    }
+    acc += m;
+  }
+  return true;
+}
+
+}  // namespace
+
+PipelineAssignment assign_pipeline(const nn::NetSpec& spec, std::size_t cores,
+                                   std::size_t bytes_per_value) {
+  if (cores == 0) throw std::invalid_argument("zero cores");
+  const auto analysis = nn::analyze(spec);
+
+  // Compute-layer MACs and the activation volume at each layer's output
+  // (pool/relu downstream of a compute layer shrink what actually crosses
+  // a stage boundary; we charge the volume entering the *next* compute
+  // layer, consistent with the intra-layer traffic model).
+  std::vector<std::uint64_t> macs;
+  std::vector<std::size_t> boundary_elems;  // into next compute layer
+  for (std::size_t i = 0; i < analysis.size(); ++i) {
+    if (!analysis[i].is_compute()) continue;
+    macs.push_back(analysis[i].macs);
+    // Find the next compute layer's input volume.
+    std::size_t elems = analysis[i].out.numel();
+    for (std::size_t j = i + 1; j < analysis.size(); ++j) {
+      if (analysis[j].is_compute()) {
+        elems = analysis[j].in.numel();
+        break;
+      }
+      elems = analysis[j].out.numel();
+    }
+    boundary_elems.push_back(elems);
+  }
+  if (macs.empty()) throw std::invalid_argument("no compute layers");
+
+  // Binary-search the minimal cap; then greedily emit stages under it.
+  std::uint64_t lo = *std::max_element(macs.begin(), macs.end());
+  std::uint64_t hi = 0;
+  for (std::uint64_t m : macs) hi += m;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (feasible(macs, cores, mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  PipelineAssignment out;
+  PipelineStage cur;
+  cur.begin = 0;
+  for (std::size_t i = 0; i < macs.size(); ++i) {
+    if (cur.macs + macs[i] > lo && cur.macs > 0) {
+      cur.end = i;
+      cur.boundary_bytes = boundary_elems[i - 1] * bytes_per_value;
+      out.stages.push_back(cur);
+      cur = PipelineStage{};
+      cur.begin = i;
+    }
+    cur.macs += macs[i];
+  }
+  cur.end = macs.size();
+  cur.boundary_bytes = 0;  // final stage emits the (tiny) logits
+  out.stages.push_back(cur);
+  return out;
+}
+
+}  // namespace ls::core

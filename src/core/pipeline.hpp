@@ -1,0 +1,49 @@
+#pragma once
+// Inter-layer (pipeline) model parallelism — the alternative the paper
+// argues against (§II.B: "pipelining layers with distinct hyper-parameters
+// cause severe load-imbalance issue on cores").
+//
+// Layers are assigned to cores as contiguous *stages*; activations flow
+// stage to stage. For a single-pass inference only one stage computes at a
+// time, so pipelining buys latency nothing; its steady-state throughput is
+// gated by the slowest stage, which the load imbalance of real networks
+// makes poor. This module exists to reproduce that comparison
+// quantitatively (bench_pipeline_vs_intra).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer_spec.hpp"
+
+namespace ls::core {
+
+/// Stage s covers compute layers [begin, end) (indices into the
+/// compute-layer order) and runs on core s.
+struct PipelineStage {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t macs = 0;           ///< total MACs of the stage
+  std::size_t boundary_bytes = 0;   ///< activation bytes leaving the stage
+};
+
+struct PipelineAssignment {
+  std::vector<PipelineStage> stages;
+
+  std::uint64_t max_stage_macs() const;
+  double mean_stage_macs() const;
+  /// max / mean stage MACs; 1.0 = perfectly balanced.
+  double imbalance() const;
+};
+
+/// Splits the compute layers of `spec` into at most `cores` contiguous
+/// stages minimizing the maximum stage MACs (optimal contiguous partition
+/// via binary search + greedy feasibility). Stages never split a layer —
+/// the imbalance this leaves behind *is* the phenomenon under study.
+/// `bytes_per_value` sizes the stage-boundary activation transfers.
+PipelineAssignment assign_pipeline(const nn::NetSpec& spec,
+                                   std::size_t cores,
+                                   std::size_t bytes_per_value);
+
+}  // namespace ls::core

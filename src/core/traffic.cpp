@@ -1,0 +1,192 @@
+#include "core/traffic.hpp"
+
+#include <stdexcept>
+
+#include "core/partition.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
+
+namespace ls::core {
+
+namespace {
+
+/// Aggregates per-(p,c) byte counts into messages.
+class TransitionBuilder {
+ public:
+  TransitionBuilder(std::size_t cores, const noc::MeshTopology& topo)
+      : cores_(cores), topo_(topo), bytes_(cores * cores, 0) {}
+
+  void add(std::size_t p, std::size_t c, std::size_t bytes) {
+    if (p == c) return;  // local data, no NoC traffic
+    bytes_[p * cores_ + c] += bytes;
+  }
+
+  TransitionTraffic finish(std::string layer_name) const {
+    TransitionTraffic t;
+    t.layer_name = std::move(layer_name);
+    for (std::size_t p = 0; p < cores_; ++p) {
+      for (std::size_t c = 0; c < cores_; ++c) {
+        const std::size_t b = bytes_[p * cores_ + c];
+        if (b == 0) continue;
+        t.messages.push_back({p, c, b, 0});
+        t.total_bytes += b;
+        t.total_byte_hops += b * topo_.hops(p, c);
+      }
+    }
+    return t;
+  }
+
+ private:
+  std::size_t cores_;
+  const noc::MeshTopology& topo_;
+  std::vector<std::size_t> bytes_;
+};
+
+}  // namespace
+
+std::size_t InferenceTraffic::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& t : transitions) total += t.total_bytes;
+  return total;
+}
+
+std::size_t InferenceTraffic::total_byte_hops() const {
+  std::size_t total = 0;
+  for (const auto& t : transitions) total += t.total_byte_hops;
+  return total;
+}
+
+namespace {
+
+/// Shared walker over compute-layer transitions. When `net` is null the
+/// analysis is connectivity-only (dense / structure-level baseline);
+/// otherwise liveness is read from the trained weights.
+InferenceTraffic walk_transitions(nn::Network* net, const nn::NetSpec& spec,
+                                  const noc::MeshTopology& topo,
+                                  std::size_t bytes_per_value,
+                                  Granularity granularity) {
+  const std::size_t cores = topo.num_cores();
+  const auto analysis = nn::analyze(spec);
+  if (net != nullptr && analysis.size() != net->num_layers()) {
+    throw std::invalid_argument("spec/network layer count mismatch");
+  }
+
+  InferenceTraffic traffic;
+  bool seen_first_compute = false;
+  std::size_t prev_out_units = spec.input.c;
+
+  for (std::size_t li = 0; li < analysis.size(); ++li) {
+    const nn::LayerAnalysis& a = analysis[li];
+    if (!a.is_compute()) continue;
+    if (!seen_first_compute) {
+      seen_first_compute = true;
+      prev_out_units = a.out.c;
+      continue;
+    }
+
+    const std::size_t in_units = prev_out_units;
+    const std::size_t unit_bytes =
+        a.in.numel() / in_units * bytes_per_value;
+    const auto in_ranges = balanced_ranges(in_units, cores);
+    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
+                                      ? a.spec.out_channels
+                                      : a.spec.out_features;
+    const auto out_ranges = balanced_ranges(out_units, cores);
+
+    TransitionBuilder builder(cores, topo);
+
+    const nn::Layer* layer = net ? &net->layer(li) : nullptr;
+    if (layer != nullptr && layer->name() != a.spec.name) {
+      throw std::logic_error("spec/network mismatch at " + a.spec.name);
+    }
+
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (out_ranges[c].count() == 0) continue;
+      for (std::size_t u = 0; u < in_units; ++u) {
+        const std::size_t p = owner_of(u, in_units, cores);
+        if (p == c) continue;
+
+        bool live = true;
+        if (a.spec.kind == nn::LayerKind::kConv) {
+          // Connectivity restriction from channel grouping.
+          const std::size_t groups = a.spec.groups;
+          const std::size_t cin_g = in_units / groups;
+          const std::size_t cout_g = out_units / groups;
+          const std::size_t grp = u / cin_g;
+          const std::size_t oc_lo = std::max(out_ranges[c].begin, grp * cout_g);
+          const std::size_t oc_hi =
+              std::min(out_ranges[c].end, (grp + 1) * cout_g);
+          if (oc_lo >= oc_hi) {
+            live = false;
+          } else if (layer != nullptr) {
+            const auto* conv = dynamic_cast<const nn::Conv2D*>(layer);
+            const std::size_t k2 = a.spec.kernel * a.spec.kernel;
+            const std::size_t icg = u % cin_g;
+            live = false;
+            for (std::size_t oc = oc_lo; oc < oc_hi && !live; ++oc) {
+              const float* w =
+                  conv->weight().value.data() + (oc * cin_g + icg) * k2;
+              for (std::size_t i = 0; i < k2; ++i) {
+                if (w[i] != 0.0f) {
+                  live = true;
+                  break;
+                }
+              }
+            }
+          }
+        } else if (layer != nullptr) {
+          const auto* fc = dynamic_cast<const nn::FullyConnected*>(layer);
+          const std::size_t in_features = fc->in_features();
+          const std::size_t elems = in_features / in_units;
+          live = false;
+          for (std::size_t o = out_ranges[c].begin;
+               o < out_ranges[c].end && !live; ++o) {
+            const float* w =
+                fc->weight().value.data() + o * in_features + u * elems;
+            for (std::size_t e = 0; e < elems; ++e) {
+              if (w[e] != 0.0f) {
+                live = true;
+                break;
+              }
+            }
+          }
+        }
+        if (live) builder.add(p, c, unit_bytes);
+      }
+    }
+
+    // Block granularity: if any unit of p is live for c, send all of p's
+    // units (coarser; matches the group-Lasso group definition exactly).
+    if (granularity == Granularity::kBlock && net != nullptr) {
+      TransitionTraffic fine = builder.finish(a.spec.name);
+      TransitionBuilder coarse(cores, topo);
+      for (const noc::Message& m : fine.messages) {
+        coarse.add(m.src, m.dst, in_ranges[m.src].count() * unit_bytes);
+      }
+      traffic.transitions.push_back(coarse.finish(a.spec.name));
+    } else {
+      traffic.transitions.push_back(builder.finish(a.spec.name));
+    }
+
+    prev_out_units = out_units;
+  }
+  return traffic;
+}
+
+}  // namespace
+
+InferenceTraffic traffic_dense(const nn::NetSpec& spec,
+                               const noc::MeshTopology& topo,
+                               std::size_t bytes_per_value) {
+  return walk_transitions(nullptr, spec, topo, bytes_per_value,
+                          Granularity::kFeatureMap);
+}
+
+InferenceTraffic traffic_live(nn::Network& net, const nn::NetSpec& spec,
+                              const noc::MeshTopology& topo,
+                              std::size_t bytes_per_value,
+                              Granularity granularity) {
+  return walk_transitions(&net, spec, topo, bytes_per_value, granularity);
+}
+
+}  // namespace ls::core

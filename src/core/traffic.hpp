@@ -1,0 +1,64 @@
+#pragma once
+// Layer-transition synchronization traffic of a partitioned inference.
+//
+// Between two consecutive compute layers, producer core p must send the
+// feature maps it owns to every consumer core c whose kernels actually read
+// them (paper Fig. 3). Three analyses:
+//
+// * traffic_dense   — connectivity only (from the architecture spec). For a
+//   dense layer every off-core map is needed: this is the *traditional
+//   parallelization* baseline. Grouped conv layers (structure-level
+//   parallelization) only need maps within their group, which is what makes
+//   them communication-free when group i is co-located with core i.
+// * traffic_live    — from trained weights: feature map u owned by p is sent
+//   to c only if some non-zero weight of c's kernels reads u (paper Fig. 5:
+//   all-zero kernel slices make the transfer unnecessary). This is what the
+//   group-Lasso sparsified networks (SS / SS_Mask) are evaluated with.
+// * block granularity variant — liveness decided per (p, c) weight block
+//   instead of per feature map (ablation; matches the group definition).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "noc/simulator.hpp"
+#include "nn/layer_spec.hpp"
+#include "nn/network.hpp"
+
+namespace ls::core {
+
+/// Liveness granularity for traffic_live.
+enum class Granularity {
+  kFeatureMap,  ///< per input feature map (default; what hardware would do)
+  kBlock,       ///< per (producer core, consumer core) weight block
+};
+
+/// Traffic of one layer transition (into compute layer `layer_name`).
+struct TransitionTraffic {
+  std::string layer_name;  ///< consumer compute layer
+  std::vector<noc::Message> messages;
+  std::size_t total_bytes = 0;
+  std::size_t total_byte_hops = 0;  ///< bytes x mesh hop distance
+};
+
+/// Whole-inference traffic. Each transition's messages inject at cycle 0
+/// of their own burst — the system simulator runs the NoC once per
+/// transition, matching the paper's layer-by-layer synchronization.
+struct InferenceTraffic {
+  std::vector<TransitionTraffic> transitions;
+  std::size_t total_bytes() const;
+  std::size_t total_byte_hops() const;
+};
+
+/// Traditional-parallelization traffic from the architecture alone.
+InferenceTraffic traffic_dense(const nn::NetSpec& spec,
+                               const noc::MeshTopology& topo,
+                               std::size_t bytes_per_value);
+
+/// Live traffic from trained weights (net must match spec).
+InferenceTraffic traffic_live(nn::Network& net, const nn::NetSpec& spec,
+                              const noc::MeshTopology& topo,
+                              std::size_t bytes_per_value,
+                              Granularity granularity = Granularity::kFeatureMap);
+
+}  // namespace ls::core

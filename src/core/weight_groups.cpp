@@ -1,0 +1,136 @@
+#include "core/weight_groups.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
+
+namespace ls::core {
+
+double LayerGroupSet::block_norm(std::size_t p, std::size_t c) const {
+  double sq = 0.0;
+  for (std::size_t idx : block(p, c)) {
+    const double w = weight->value[idx];
+    sq += w * w;
+  }
+  return std::sqrt(sq);
+}
+
+bool LayerGroupSet::block_dead(std::size_t p, std::size_t c) const {
+  for (std::size_t idx : block(p, c)) {
+    if (weight->value[idx] != 0.0f) return false;
+  }
+  return true;
+}
+
+void LayerGroupSet::kill_block(std::size_t p, std::size_t c) {
+  for (std::size_t idx : block(p, c)) weight->value[idx] = 0.0f;
+}
+
+double LayerGroupSet::off_diagonal_dead_fraction() const {
+  std::size_t dead = 0, total = 0;
+  for (std::size_t p = 0; p < cores; ++p) {
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (p == c) continue;
+      if (block(p, c).empty()) continue;
+      ++total;
+      if (block_dead(p, c)) ++dead;
+    }
+  }
+  return total ? static_cast<double>(dead) / static_cast<double>(total) : 0.0;
+}
+
+std::vector<LayerGroupSet> build_group_sets(nn::Network& net,
+                                            const nn::NetSpec& spec,
+                                            std::size_t cores) {
+  if (cores == 0) throw std::invalid_argument("zero cores");
+  const auto analysis = nn::analyze(spec);
+  if (analysis.size() != net.num_layers()) {
+    throw std::invalid_argument("spec/network layer count mismatch");
+  }
+
+  std::vector<LayerGroupSet> sets;
+  bool seen_first_compute = false;
+  std::size_t prev_out_units = spec.input.c;
+
+  for (std::size_t li = 0; li < analysis.size(); ++li) {
+    const nn::LayerAnalysis& a = analysis[li];
+    if (!a.is_compute()) continue;
+    if (!seen_first_compute) {
+      // First compute layer reads the replicated input image: no traffic,
+      // no groups.
+      seen_first_compute = true;
+      prev_out_units = a.out.c;
+      continue;
+    }
+    if (a.spec.kind == nn::LayerKind::kConv && a.spec.groups > 1) {
+      prev_out_units = a.out.c;
+      continue;  // structure-level grouped layer; not group-Lasso material
+    }
+
+    LayerGroupSet set;
+    set.layer_name = a.spec.name;
+    set.cores = cores;
+    set.in_units = prev_out_units;
+    set.in_ranges = balanced_ranges(set.in_units, cores);
+    set.block_indices.assign(cores * cores, {});
+
+    nn::Layer& layer = net.layer(li);
+    if (a.spec.kind == nn::LayerKind::kConv) {
+      auto* conv = dynamic_cast<nn::Conv2D*>(&layer);
+      if (conv == nullptr || conv->name() != a.spec.name) {
+        throw std::logic_error("spec/network mismatch at " + a.spec.name);
+      }
+      if (conv->config().in_channels != set.in_units) {
+        throw std::logic_error("conv in-channel mismatch at " + a.spec.name);
+      }
+      set.weight = &conv->weight();
+      set.out_units = conv->config().out_channels;
+      set.out_ranges = balanced_ranges(set.out_units, cores);
+      const std::size_t cin = conv->config().in_channels;
+      const std::size_t k = conv->config().kernel;
+      for (std::size_t oc = 0; oc < set.out_units; ++oc) {
+        const std::size_t c = owner_of(oc, set.out_units, cores);
+        for (std::size_t ic = 0; ic < cin; ++ic) {
+          const std::size_t p = owner_of(ic, set.in_units, cores);
+          auto& block = set.block_indices[p * cores + c];
+          const std::size_t base = (oc * cin + ic) * k * k;
+          for (std::size_t kk = 0; kk < k * k; ++kk) {
+            block.push_back(base + kk);
+          }
+        }
+      }
+    } else {
+      auto* fc = dynamic_cast<nn::FullyConnected*>(&layer);
+      if (fc == nullptr || fc->name() != a.spec.name) {
+        throw std::logic_error("spec/network mismatch at " + a.spec.name);
+      }
+      set.weight = &fc->weight();
+      set.out_units = fc->out_features();
+      set.out_ranges = balanced_ranges(set.out_units, cores);
+      const std::size_t in_features = fc->in_features();
+      if (in_features % set.in_units != 0) {
+        throw std::logic_error("fc features not a multiple of in units at " +
+                               a.spec.name);
+      }
+      // Columns of unit u: [u*elems, (u+1)*elems) — the flattened H*W
+      // footprint of feature map u.
+      const std::size_t elems = in_features / set.in_units;
+      for (std::size_t o = 0; o < set.out_units; ++o) {
+        const std::size_t c = owner_of(o, set.out_units, cores);
+        for (std::size_t u = 0; u < set.in_units; ++u) {
+          const std::size_t p = owner_of(u, set.in_units, cores);
+          auto& block = set.block_indices[p * cores + c];
+          const std::size_t base = o * in_features + u * elems;
+          for (std::size_t e = 0; e < elems; ++e) block.push_back(base + e);
+        }
+      }
+    }
+    prev_out_units = set.out_units;
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace ls::core

@@ -1,0 +1,62 @@
+#pragma once
+// P x P weight-block groups for group-Lasso training and live-traffic
+// analysis.
+//
+// For each compute layer after the first, the weight tensor is partitioned
+// into P x P blocks: block (p, c) holds every weight connecting an input
+// unit (feature map / neuron) owned by producer core p to an output unit
+// owned by consumer core c (paper §IV.C.3: "we firstly partition the weight
+// matrix into several groups of the same number as the square of the core
+// number"). When block (p, c) is entirely zero, core p never needs to send
+// its activations to core c.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "nn/layer_spec.hpp"
+#include "nn/network.hpp"
+
+namespace ls::core {
+
+/// Block groups of one compute layer.
+struct LayerGroupSet {
+  std::string layer_name;
+  nn::Param* weight = nullptr;  ///< borrowed from the network
+  std::size_t cores = 0;
+  std::size_t in_units = 0;   ///< producer units (prev layer out channels)
+  std::size_t out_units = 0;  ///< this layer's out channels / neurons
+  std::vector<UnitRange> in_ranges;   ///< per producer core
+  std::vector<UnitRange> out_ranges;  ///< per consumer core
+  /// Flat weight indices of block (p, c), at [p * cores + c].
+  std::vector<std::vector<std::size_t>> block_indices;
+
+  const std::vector<std::size_t>& block(std::size_t p, std::size_t c) const {
+    return block_indices[p * cores + c];
+  }
+
+  /// L2 norm of block (p, c).
+  double block_norm(std::size_t p, std::size_t c) const;
+
+  /// True if every weight in block (p, c) is exactly zero.
+  bool block_dead(std::size_t p, std::size_t c) const;
+
+  /// Zeroes all weights of block (p, c).
+  void kill_block(std::size_t p, std::size_t c);
+
+  /// Fraction of off-diagonal blocks that are dead.
+  double off_diagonal_dead_fraction() const;
+};
+
+/// Builds group sets for every compute layer of `net` except the first
+/// (whose input, the image, is replicated on all cores and induces no
+/// traffic). `spec` must be the architecture `net` was built from — it
+/// provides activation shapes. Grouped conv layers (groups > 1) are skipped:
+/// structure-level parallelization already fixes their communication by
+/// construction, and group-Lasso is not applied to them in the paper.
+std::vector<LayerGroupSet> build_group_sets(nn::Network& net,
+                                            const nn::NetSpec& spec,
+                                            std::size_t cores);
+
+}  // namespace ls::core

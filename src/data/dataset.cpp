@@ -1,0 +1,206 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ls::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+/// Per-class smooth prototype: Gaussian blobs plus an oriented grating,
+/// deterministic in (seed, class, channel).
+struct Prototype {
+  std::vector<float> pixels;  ///< C*H*W
+};
+
+Prototype make_prototype(const SyntheticSpec& spec, std::size_t cls) {
+  util::Rng rng(util::hash_u64(spec.seed * 1315423911ull + cls));
+  Prototype proto;
+  proto.pixels.assign(spec.channels * spec.height * spec.width, 0.0f);
+  const double H = static_cast<double>(spec.height);
+  const double W = static_cast<double>(spec.width);
+
+  for (std::size_t c = 0; c < spec.channels; ++c) {
+    // 3 Gaussian blobs
+    struct Blob {
+      double cx, cy, sigma, amp;
+    };
+    std::vector<Blob> blobs;
+    for (int b = 0; b < 3; ++b) {
+      blobs.push_back({rng.uniform(0.2, 0.8) * W, rng.uniform(0.2, 0.8) * H,
+                       rng.uniform(0.08, 0.22) * std::min(H, W),
+                       rng.uniform(0.5, 1.0)});
+    }
+    // One oriented grating
+    const double theta = rng.uniform(0.0, M_PI);
+    const double freq = rng.uniform(1.5, 4.0) * 2.0 * M_PI / std::min(H, W);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    const double grating_amp = rng.uniform(0.15, 0.35);
+
+    for (std::size_t y = 0; y < spec.height; ++y) {
+      for (std::size_t x = 0; x < spec.width; ++x) {
+        double v = 0.0;
+        for (const Blob& blob : blobs) {
+          const double dx = static_cast<double>(x) - blob.cx;
+          const double dy = static_cast<double>(y) - blob.cy;
+          v += blob.amp *
+               std::exp(-(dx * dx + dy * dy) / (2.0 * blob.sigma * blob.sigma));
+        }
+        const double proj = std::cos(theta) * static_cast<double>(x) +
+                            std::sin(theta) * static_cast<double>(y);
+        v += grating_amp * (0.5 + 0.5 * std::sin(freq * proj + phase));
+        proto.pixels[(c * spec.height + y) * spec.width + x] =
+            static_cast<float>(std::clamp(v, 0.0, 1.5));
+      }
+    }
+  }
+  return proto;
+}
+
+}  // namespace
+
+Dataset Dataset::slice(std::size_t lo, std::size_t hi) const {
+  if (lo > hi || hi > size()) throw std::out_of_range("dataset slice");
+  const auto& shape = images.shape();
+  const std::size_t per = shape[1] * shape[2] * shape[3];
+  Dataset out;
+  out.num_classes = num_classes;
+  out.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(lo),
+                    labels.begin() + static_cast<std::ptrdiff_t>(hi));
+  out.images = Tensor(Shape{hi - lo, shape[1], shape[2], shape[3]});
+  std::copy(images.data() + lo * per, images.data() + hi * per,
+            out.images.data());
+  return out;
+}
+
+Dataset make_synthetic(const SyntheticSpec& spec) {
+  if (spec.samples == 0 || spec.num_classes == 0) {
+    throw std::invalid_argument("empty synthetic spec");
+  }
+  std::vector<Prototype> protos;
+  protos.reserve(spec.num_classes);
+  for (std::size_t cls = 0; cls < spec.num_classes; ++cls) {
+    protos.push_back(make_prototype(spec, cls));
+  }
+
+  Dataset ds;
+  ds.num_classes = spec.num_classes;
+  ds.images = Tensor(Shape{spec.samples, spec.channels, spec.height,
+                           spec.width});
+  ds.labels.resize(spec.samples);
+
+  util::Rng rng(util::hash_u64(spec.seed ^ 0xa5a5a5a5a5a5a5a5ull) ^
+                util::hash_u64(spec.sample_seed));
+  const auto shift_span = static_cast<std::int64_t>(spec.max_shift);
+  for (std::size_t i = 0; i < spec.samples; ++i) {
+    const auto cls = static_cast<std::uint32_t>(i % spec.num_classes);
+    ds.labels[i] = cls;
+    const Prototype& proto = protos[cls];
+    const std::int64_t dx = rng.uniform_int(-shift_span, shift_span);
+    const std::int64_t dy = rng.uniform_int(-shift_span, shift_span);
+    const double amp = rng.uniform(0.85, 1.15);
+    for (std::size_t c = 0; c < spec.channels; ++c) {
+      for (std::size_t y = 0; y < spec.height; ++y) {
+        for (std::size_t x = 0; x < spec.width; ++x) {
+          const std::int64_t sy = static_cast<std::int64_t>(y) - dy;
+          const std::int64_t sx = static_cast<std::int64_t>(x) - dx;
+          double v = 0.0;
+          if (sy >= 0 && sy < static_cast<std::int64_t>(spec.height) &&
+              sx >= 0 && sx < static_cast<std::int64_t>(spec.width)) {
+            v = amp * proto.pixels[(c * spec.height +
+                                    static_cast<std::size_t>(sy)) *
+                                       spec.width +
+                                   static_cast<std::size_t>(sx)];
+          }
+          v += rng.normal(0.0, spec.noise);
+          ds.images.at4(i, c, y, x) =
+              static_cast<float>(std::clamp(v, 0.0, 1.5));
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+Dataset mnist_like(std::size_t samples, std::uint64_t sample_seed) {
+  SyntheticSpec spec;
+  spec.channels = 1;
+  spec.height = 28;
+  spec.width = 28;
+  spec.samples = samples;
+  spec.sample_seed = sample_seed;
+  spec.noise = 0.18;
+  return make_synthetic(spec);
+}
+
+Dataset cifar_like(std::size_t samples, std::uint64_t sample_seed) {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = 32;
+  spec.width = 32;
+  spec.samples = samples;
+  spec.seed = 0x5bd1e995u;
+  spec.sample_seed = sample_seed;
+  spec.noise = 0.25;
+  return make_synthetic(spec);
+}
+
+Dataset imagenet10_like(std::size_t samples, std::size_t hw,
+                        std::uint64_t sample_seed) {
+  SyntheticSpec spec;
+  spec.channels = 3;
+  spec.height = hw;
+  spec.width = hw;
+  spec.samples = samples;
+  spec.seed = 0x9747b28cull;
+  spec.sample_seed = sample_seed;
+  spec.noise = 0.28;
+  spec.max_shift = hw / 12;
+  return make_synthetic(spec);
+}
+
+Batcher::Batcher(const Dataset& data, std::size_t batch_size,
+                 std::uint64_t seed)
+    : data_(data), batch_size_(batch_size), rng_(seed) {
+  if (batch_size_ == 0) throw std::invalid_argument("zero batch size");
+  order_.resize(data.size());
+  std::iota(order_.begin(), order_.end(), 0u);
+  reset();
+}
+
+void Batcher::reset() {
+  // Fisher-Yates with our deterministic RNG.
+  for (std::size_t i = order_.size(); i > 1; --i) {
+    const std::size_t j = rng_.uniform_index(i);
+    std::swap(order_[i - 1], order_[j]);
+  }
+  cursor_ = 0;
+}
+
+std::size_t Batcher::batches_per_epoch() const {
+  return (data_.size() + batch_size_ - 1) / batch_size_;
+}
+
+bool Batcher::next(Tensor& images, std::vector<std::uint32_t>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t count = std::min(batch_size_, order_.size() - cursor_);
+  const auto& shape = data_.images.shape();
+  const std::size_t per = shape[1] * shape[2] * shape[3];
+  images = Tensor(Shape{count, shape[1], shape[2], shape[3]});
+  labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t src = order_[cursor_ + i];
+    std::copy(data_.images.data() + src * per,
+              data_.images.data() + (src + 1) * per, images.data() + i * per);
+    labels[i] = data_.labels[src];
+  }
+  cursor_ += count;
+  return true;
+}
+
+}  // namespace ls::data

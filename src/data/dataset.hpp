@@ -1,0 +1,87 @@
+#pragma once
+// Synthetic datasets standing in for MNIST / Cifar-10 / ImageNet10.
+//
+// The paper's experiments need datasets only as a vehicle: the claims are
+// about the communication structure the networks *learn* under group-Lasso
+// regularization, not about absolute benchmark accuracy. These generators
+// produce deterministic, class-conditional images of the same shapes as the
+// originals, with controllable difficulty, so the training-side experiments
+// run end to end offline (see the substitution table in DESIGN.md).
+//
+// Generation scheme: each class gets a fixed smooth prototype (a sum of
+// random Gaussian blobs and an oriented grating, derived from seed+class);
+// each sample is the prototype under a small random translation, amplitude
+// jitter, and additive pixel noise.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ls::data {
+
+struct Dataset {
+  tensor::Tensor images;  ///< {N, C, H, W}, values roughly in [0, 1]
+  std::vector<std::uint32_t> labels;
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+
+  /// Rows [lo, hi) as a new dataset (shares nothing; copies).
+  Dataset slice(std::size_t lo, std::size_t hi) const;
+};
+
+struct SyntheticSpec {
+  std::size_t num_classes = 10;
+  std::size_t channels = 1;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  std::size_t samples = 1024;
+  double noise = 0.20;          ///< additive noise stddev
+  std::size_t max_shift = 2;    ///< translation jitter in pixels
+  /// Seeds the class *prototypes* — train and test splits of the same task
+  /// must share it, or they describe different classification problems.
+  std::uint64_t seed = 1;
+  /// Seeds the per-sample jitter/noise — differs between train and test.
+  std::uint64_t sample_seed = 0;
+};
+
+/// General generator.
+Dataset make_synthetic(const SyntheticSpec& spec);
+
+/// 28x28x1, 10 classes (MNIST stand-in). `sample_seed` picks the split
+/// (use different values for train and test of the *same* task).
+Dataset mnist_like(std::size_t samples, std::uint64_t sample_seed);
+
+/// 32x32x3, 10 classes (Cifar-10 stand-in).
+Dataset cifar_like(std::size_t samples, std::uint64_t sample_seed);
+
+/// hw x hw x3, 10 classes (ImageNet10 stand-in; paper used 10 ILSVRC
+/// classes).
+Dataset imagenet10_like(std::size_t samples, std::size_t hw,
+                        std::uint64_t sample_seed);
+
+/// Shuffled minibatch iterator over a dataset.
+class Batcher {
+ public:
+  Batcher(const Dataset& data, std::size_t batch_size, std::uint64_t seed);
+
+  /// Starts a new epoch (reshuffles).
+  void reset();
+
+  /// Fills `images`/`labels` with the next batch; returns false at epoch
+  /// end. The final batch of an epoch may be smaller than batch_size.
+  bool next(tensor::Tensor& images, std::vector<std::uint32_t>& labels);
+
+  std::size_t batches_per_epoch() const;
+
+ private:
+  const Dataset& data_;
+  std::size_t batch_size_;
+  util::Rng rng_;
+  std::vector<std::uint32_t> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace ls::data

@@ -1,0 +1,45 @@
+#include "nn/activations.hpp"
+
+#include <stdexcept>
+
+namespace ls::nn {
+
+Tensor ReLU::forward(const Tensor& in, bool training) {
+  Tensor out = in;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    if (out[i] < 0.0f) out[i] = 0.0f;
+  }
+  if (training) cached_input_ = in;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("relu backward without training forward");
+  }
+  Tensor grad_in = grad_out;
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    if (cached_input_[i] <= 0.0f) grad_in[i] = 0.0f;
+  }
+  return grad_in;
+}
+
+Shape Flatten::output_shape(const Shape& in) const {
+  std::size_t features = 1;
+  for (std::size_t i = 1; i < in.rank(); ++i) features *= in[i];
+  return Shape{in[0], features};
+}
+
+Tensor Flatten::forward(const Tensor& in, bool training) {
+  if (training) cached_input_shape_ = in.shape();
+  return in.reshaped(output_shape(in.shape()));
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  if (cached_input_shape_.empty()) {
+    throw std::logic_error("flatten backward without training forward");
+  }
+  return grad_out.reshaped(cached_input_shape_);
+}
+
+}  // namespace ls::nn

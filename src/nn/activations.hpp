@@ -1,0 +1,37 @@
+#pragma once
+// Stateless activation layers.
+
+#include "nn/layer.hpp"
+
+namespace ls::nn {
+
+class ReLU final : public Layer {
+ public:
+  explicit ReLU(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& in, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const std::string& name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+ private:
+  std::string name_;
+  Tensor cached_input_;
+};
+
+/// Reshapes {N,C,H,W} to {N, C*H*W}. Identity on 2D input.
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+  Tensor forward(const Tensor& in, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  const std::string& name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override;
+
+ private:
+  std::string name_;
+  Shape cached_input_shape_;
+};
+
+}  // namespace ls::nn

@@ -1,0 +1,218 @@
+#include "nn/conv2d.hpp"
+
+#include <stdexcept>
+
+namespace ls::nn {
+
+namespace {
+Shape weight_shape(const Conv2DConfig& cfg) {
+  return Shape{cfg.out_channels, cfg.in_channels / cfg.groups, cfg.kernel,
+               cfg.kernel};
+}
+
+void validate(const Conv2DConfig& cfg) {
+  if (cfg.in_channels == 0 || cfg.out_channels == 0 || cfg.kernel == 0 ||
+      cfg.stride == 0) {
+    throw std::invalid_argument("conv2d: zero-sized config field");
+  }
+  if (cfg.groups == 0 || cfg.in_channels % cfg.groups != 0 ||
+      cfg.out_channels % cfg.groups != 0) {
+    throw std::invalid_argument(
+        "conv2d: groups must divide in_channels and out_channels");
+  }
+}
+}  // namespace
+
+Conv2D::Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      weight_(name_ + ".w",
+              (validate(cfg),
+               Tensor::he_normal(weight_shape(cfg),
+                                 cfg.in_channels / cfg.groups * cfg.kernel *
+                                     cfg.kernel,
+                                 rng))),
+      bias_(name_ + ".b", Tensor::zeros(Shape{cfg.out_channels})) {}
+
+Shape Conv2D::output_shape(const Shape& in) const {
+  if (in.rank() != 4) throw std::invalid_argument("conv2d expects NCHW input");
+  if (in[1] != cfg_.in_channels) {
+    throw std::invalid_argument("conv2d input channel mismatch for " + name_);
+  }
+  const std::size_t H = in[2], W = in[3];
+  if (H + 2 * cfg_.pad < cfg_.kernel || W + 2 * cfg_.pad < cfg_.kernel) {
+    throw std::invalid_argument("conv2d kernel larger than padded input");
+  }
+  const std::size_t oh = (H + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
+  const std::size_t ow = (W + 2 * cfg_.pad - cfg_.kernel) / cfg_.stride + 1;
+  return Shape{in[0], cfg_.out_channels, oh, ow};
+}
+
+Tensor Conv2D::forward(const Tensor& in, bool training) {
+  const Shape out_shape = output_shape(in.shape());
+  Tensor out(out_shape);
+  const std::size_t N = in.shape()[0];
+  const std::size_t C = cfg_.in_channels;
+  const std::size_t H = in.shape()[2], W = in.shape()[3];
+  const std::size_t OC = cfg_.out_channels;
+  const std::size_t OH = out_shape[2], OW = out_shape[3];
+  const std::size_t K = cfg_.kernel;
+  const std::size_t S = cfg_.stride, P = cfg_.pad;
+  const std::size_t cin_g = C / cfg_.groups;
+  const std::size_t cout_g = OC / cfg_.groups;
+
+  const float* in_base = in.data();
+  const float* w_base = weight_.value.data();
+  float* out_base = out.data();
+
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* in_n = in_base + n * C * H * W;
+    float* out_n = out_base + n * OC * OH * OW;
+    for (std::size_t g = 0; g < cfg_.groups; ++g) {
+      for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
+        const std::size_t oc = g * cout_g + ocg;
+        const float b = cfg_.bias ? bias_.value[oc] : 0.0f;
+        float* out_c = out_n + oc * OH * OW;
+        const float* w_oc = w_base + oc * cin_g * K * K;
+        for (std::size_t oh = 0; oh < OH; ++oh) {
+          for (std::size_t ow = 0; ow < OW; ++ow) {
+            float acc = b;
+            const std::ptrdiff_t ih0 =
+                static_cast<std::ptrdiff_t>(oh * S) -
+                static_cast<std::ptrdiff_t>(P);
+            const std::ptrdiff_t iw0 =
+                static_cast<std::ptrdiff_t>(ow * S) -
+                static_cast<std::ptrdiff_t>(P);
+            const std::size_t kh_lo =
+                ih0 < 0 ? static_cast<std::size_t>(-ih0) : 0;
+            const std::size_t kh_hi = std::min(
+                K, static_cast<std::size_t>(
+                       std::max<std::ptrdiff_t>(
+                           0, static_cast<std::ptrdiff_t>(H) - ih0)));
+            const std::size_t kw_lo =
+                iw0 < 0 ? static_cast<std::size_t>(-iw0) : 0;
+            const std::size_t kw_hi = std::min(
+                K, static_cast<std::size_t>(
+                       std::max<std::ptrdiff_t>(
+                           0, static_cast<std::ptrdiff_t>(W) - iw0)));
+            const std::size_t kw_n = kw_hi > kw_lo ? kw_hi - kw_lo : 0;
+            for (std::size_t icg = 0; icg < cin_g; ++icg) {
+              const float* in_c = in_n + (g * cin_g + icg) * H * W;
+              const float* w_ic = w_oc + icg * K * K;
+              for (std::size_t kh = kh_lo; kh < kh_hi; ++kh) {
+                const float* in_row =
+                    in_c +
+                    static_cast<std::size_t>(
+                        ih0 + static_cast<std::ptrdiff_t>(kh)) *
+                        W +
+                    static_cast<std::size_t>(
+                        iw0 + static_cast<std::ptrdiff_t>(kw_lo));
+                const float* w_row = w_ic + kh * K + kw_lo;
+                for (std::size_t kw = 0; kw < kw_n; ++kw) {
+                  acc += in_row[kw] * w_row[kw];
+                }
+              }
+            }
+            out_c[oh * OW + ow] = acc;
+          }
+        }
+      }
+    }
+  }
+  if (training) cached_input_ = in;
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("conv2d backward without training forward");
+  }
+  const Tensor& in = cached_input_;
+  Tensor grad_in(in.shape(), 0.0f);
+  const Shape out_shape = grad_out.shape();
+  const std::size_t N = in.shape()[0];
+  const std::size_t H = in.shape()[2], W = in.shape()[3];
+  const std::size_t OH = out_shape[2], OW = out_shape[3];
+  const std::size_t K = cfg_.kernel;
+  const std::size_t cin_g = cfg_.in_channels / cfg_.groups;
+  const std::size_t cout_g = cfg_.out_channels / cfg_.groups;
+
+  const std::size_t C = cfg_.in_channels;
+  const std::size_t OC = cfg_.out_channels;
+  const std::size_t S = cfg_.stride, P = cfg_.pad;
+  const float* in_base = in.data();
+  const float* go_base = grad_out.data();
+  const float* w_base = weight_.value.data();
+  float* wg_base = weight_.grad.data();
+  float* gi_base = grad_in.data();
+
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* in_n = in_base + n * C * H * W;
+    float* gi_n = gi_base + n * C * H * W;
+    const float* go_n = go_base + n * OC * OH * OW;
+    for (std::size_t g = 0; g < cfg_.groups; ++g) {
+      for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
+        const std::size_t oc = g * cout_g + ocg;
+        const float* go_c = go_n + oc * OH * OW;
+        const float* w_oc = w_base + oc * cin_g * K * K;
+        float* wg_oc = wg_base + oc * cin_g * K * K;
+        for (std::size_t oh = 0; oh < OH; ++oh) {
+          for (std::size_t ow = 0; ow < OW; ++ow) {
+            const float go = go_c[oh * OW + ow];
+            if (go == 0.0f) continue;
+            if (cfg_.bias) bias_.grad[oc] += go;
+            const std::ptrdiff_t ih0 =
+                static_cast<std::ptrdiff_t>(oh * S) -
+                static_cast<std::ptrdiff_t>(P);
+            const std::ptrdiff_t iw0 =
+                static_cast<std::ptrdiff_t>(ow * S) -
+                static_cast<std::ptrdiff_t>(P);
+            const std::size_t kh_lo =
+                ih0 < 0 ? static_cast<std::size_t>(-ih0) : 0;
+            const std::size_t kh_hi = std::min(
+                K, static_cast<std::size_t>(
+                       std::max<std::ptrdiff_t>(
+                           0, static_cast<std::ptrdiff_t>(H) - ih0)));
+            const std::size_t kw_lo =
+                iw0 < 0 ? static_cast<std::size_t>(-iw0) : 0;
+            const std::size_t kw_hi = std::min(
+                K, static_cast<std::size_t>(
+                       std::max<std::ptrdiff_t>(
+                           0, static_cast<std::ptrdiff_t>(W) - iw0)));
+            const std::size_t kw_n = kw_hi > kw_lo ? kw_hi - kw_lo : 0;
+            for (std::size_t icg = 0; icg < cin_g; ++icg) {
+              const std::size_t ic = g * cin_g + icg;
+              const float* in_c = in_n + ic * H * W;
+              float* gi_c = gi_n + ic * H * W;
+              const float* w_ic = w_oc + icg * K * K;
+              float* wg_ic = wg_oc + icg * K * K;
+              for (std::size_t kh = kh_lo; kh < kh_hi; ++kh) {
+                const std::size_t row = static_cast<std::size_t>(
+                    (ih0 + static_cast<std::ptrdiff_t>(kh)) *
+                        static_cast<std::ptrdiff_t>(W) +
+                    iw0 + static_cast<std::ptrdiff_t>(kw_lo));
+                const float* in_row = in_c + row;
+                float* gi_row = gi_c + row;
+                const float* w_row = w_ic + kh * K + kw_lo;
+                float* wg_row = wg_ic + kh * K + kw_lo;
+                for (std::size_t kw = 0; kw < kw_n; ++kw) {
+                  wg_row[kw] += go * in_row[kw];
+                  gi_row[kw] += go * w_row[kw];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2D::params() {
+  std::vector<Param*> p{&weight_};
+  if (cfg_.bias) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace ls::nn

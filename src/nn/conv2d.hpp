@@ -1,0 +1,51 @@
+#pragma once
+// 2D convolution with optional channel grouping.
+//
+// Grouping (`groups > 1`) is the mechanism behind the paper's
+// *structure-level parallelization* (§IV.B, Fig. 4): with g groups, output
+// channels in group i only read input channels in group i, so when group i's
+// producer and consumer kernels are mapped to the same core, the layer
+// transition needs no inter-core communication.
+
+#include <cstddef>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+
+struct Conv2DConfig {
+  std::size_t in_channels = 0;
+  std::size_t out_channels = 0;
+  std::size_t kernel = 3;     ///< square kernel Kh == Kw
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+  std::size_t groups = 1;     ///< channel groups; 1 = dense layer
+  bool bias = true;
+};
+
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng);
+
+  Tensor forward(const Tensor& in, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  const std::string& name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override;
+
+  const Conv2DConfig& config() const { return cfg_; }
+  /// Weight layout: {Cout, Cin/groups, K, K}.
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  Conv2DConfig cfg_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;
+};
+
+}  // namespace ls::nn

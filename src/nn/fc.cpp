@@ -1,0 +1,84 @@
+#include "nn/fc.hpp"
+
+#include <stdexcept>
+
+namespace ls::nn {
+
+FullyConnected::FullyConnected(std::string name, std::size_t in_features,
+                               std::size_t out_features, util::Rng& rng,
+                               bool bias)
+    : name_(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias),
+      weight_(name_ + ".w", Tensor::he_normal(Shape{out_features, in_features},
+                                              in_features, rng)),
+      bias_(name_ + ".b", Tensor::zeros(Shape{out_features})) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("fc: zero-sized features");
+  }
+}
+
+Shape FullyConnected::output_shape(const Shape& in) const {
+  std::size_t features = 1;
+  for (std::size_t i = 1; i < in.rank(); ++i) features *= in[i];
+  if (in.rank() == 1) features = in[0];
+  const std::size_t n = in.rank() == 1 ? 1 : in[0];
+  if (features != in_features_) {
+    throw std::invalid_argument("fc input feature mismatch for " + name_);
+  }
+  return Shape{n, out_features_};
+}
+
+Tensor FullyConnected::forward(const Tensor& in, bool training) {
+  const Shape out_shape = output_shape(in.shape());
+  const std::size_t N = out_shape[0];
+  Tensor flat = in.reshaped(Shape{N, in_features_});
+  Tensor out(out_shape);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      float acc = has_bias_ ? bias_.value[o] : 0.0f;
+      const float* w = weight_.value.data() + o * in_features_;
+      const float* x = flat.data() + n * in_features_;
+      for (std::size_t i = 0; i < in_features_; ++i) acc += w[i] * x[i];
+      out.at2(n, o) = acc;
+    }
+  }
+  if (training) {
+    cached_input_ = flat;
+    cached_input_shape_ = in.shape();
+  }
+  return out;
+}
+
+Tensor FullyConnected::backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("fc backward without training forward");
+  }
+  const std::size_t N = cached_input_.shape()[0];
+  Tensor grad_flat(Shape{N, in_features_}, 0.0f);
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float go = grad_out.at2(n, o);
+      if (go == 0.0f) continue;
+      if (has_bias_) bias_.grad[o] += go;
+      float* wg = weight_.grad.data() + o * in_features_;
+      const float* w = weight_.value.data() + o * in_features_;
+      const float* x = cached_input_.data() + n * in_features_;
+      float* gx = grad_flat.data() + n * in_features_;
+      for (std::size_t i = 0; i < in_features_; ++i) {
+        wg[i] += go * x[i];
+        gx[i] += go * w[i];
+      }
+    }
+  }
+  return grad_flat.reshaped(cached_input_shape_);
+}
+
+std::vector<Param*> FullyConnected::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace ls::nn

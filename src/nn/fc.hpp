@@ -1,0 +1,38 @@
+#pragma once
+// Fully-connected (inner-product) layer. Accepts {N, In} or any 4D input
+// which it treats as flattened per sample.
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+
+class FullyConnected final : public Layer {
+ public:
+  FullyConnected(std::string name, std::size_t in_features,
+                 std::size_t out_features, util::Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& in, bool training) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  const std::string& name() const override { return name_; }
+  Shape output_shape(const Shape& in) const override;
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  /// Weight layout: {Out, In}.
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+
+ private:
+  std::string name_;
+  std::size_t in_features_;
+  std::size_t out_features_;
+  bool has_bias_;
+  Param weight_;
+  Param bias_;
+  Tensor cached_input_;  ///< flattened {N, In}
+  Shape cached_input_shape_;
+};
+
+}  // namespace ls::nn

@@ -1,0 +1,54 @@
+#pragma once
+// Layer interface for the from-scratch neural-network library.
+//
+// Training support (full backward pass) is required because the paper's core
+// contribution — communication-aware sparsified parallelization — is a
+// *training-time* technique: group-Lasso regularization with per-group
+// strength derived from NoC hop distances (paper §IV.C).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ls::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// A learnable parameter: value plus the gradient accumulated by backward().
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape(), 0.0f) {}
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Runs the layer on `in`, caching whatever backward() needs when
+  /// `training` is true.
+  virtual Tensor forward(const Tensor& in, bool training) = 0;
+
+  /// Propagates `grad_out` (dL/d-output) back, accumulating parameter
+  /// gradients and returning dL/d-input. Must follow a training-mode
+  /// forward().
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for stateless layers). Pointers remain
+  /// valid for the life of the layer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Human-readable layer name, e.g. "conv2".
+  virtual const std::string& name() const = 0;
+
+  /// Output shape for a given input shape (without running data through).
+  virtual Shape output_shape(const Shape& in) const = 0;
+};
+
+}  // namespace ls::nn

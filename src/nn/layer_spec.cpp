@@ -1,0 +1,138 @@
+#include "nn/layer_spec.hpp"
+
+#include <stdexcept>
+
+namespace ls::nn {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv:
+      return "conv";
+    case LayerKind::kFullyConnected:
+      return "fc";
+    case LayerKind::kPool:
+      return "pool";
+    case LayerKind::kReLU:
+      return "relu";
+    case LayerKind::kFlatten:
+      return "flatten";
+  }
+  return "?";
+}
+
+LayerSpec LayerSpec::conv(std::string name, std::size_t out_channels,
+                          std::size_t kernel, std::size_t stride,
+                          std::size_t pad, std::size_t groups) {
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.name = std::move(name);
+  s.out_channels = out_channels;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  s.groups = groups;
+  return s;
+}
+
+LayerSpec LayerSpec::fc(std::string name, std::size_t out_features) {
+  LayerSpec s;
+  s.kind = LayerKind::kFullyConnected;
+  s.name = std::move(name);
+  s.out_features = out_features;
+  return s;
+}
+
+LayerSpec LayerSpec::pool(std::string name, std::size_t window,
+                          std::size_t stride) {
+  LayerSpec s;
+  s.kind = LayerKind::kPool;
+  s.name = std::move(name);
+  s.window = window;
+  s.pool_stride = stride;
+  return s;
+}
+
+LayerSpec LayerSpec::relu(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kReLU;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::flatten(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kFlatten;
+  s.name = std::move(name);
+  return s;
+}
+
+std::vector<LayerAnalysis> analyze(const NetSpec& spec) {
+  std::vector<LayerAnalysis> out;
+  out.reserve(spec.layers.size());
+  ActShape cur = spec.input;
+  for (const LayerSpec& layer : spec.layers) {
+    LayerAnalysis a;
+    a.spec = layer;
+    a.in = cur;
+    switch (layer.kind) {
+      case LayerKind::kConv: {
+        if (layer.groups == 0 || cur.c % layer.groups != 0 ||
+            layer.out_channels % layer.groups != 0) {
+          throw std::invalid_argument("conv groups mismatch in " + layer.name);
+        }
+        if (cur.h + 2 * layer.pad < layer.kernel ||
+            cur.w + 2 * layer.pad < layer.kernel) {
+          throw std::invalid_argument("conv kernel too large in " + layer.name);
+        }
+        const std::size_t oh =
+            (cur.h + 2 * layer.pad - layer.kernel) / layer.stride + 1;
+        const std::size_t ow =
+            (cur.w + 2 * layer.pad - layer.kernel) / layer.stride + 1;
+        a.out = {layer.out_channels, oh, ow};
+        const std::size_t cin_g = cur.c / layer.groups;
+        a.weight_count =
+            layer.out_channels * cin_g * layer.kernel * layer.kernel;
+        a.macs = a.out.numel() * cin_g * layer.kernel * layer.kernel;
+        break;
+      }
+      case LayerKind::kFullyConnected: {
+        const std::size_t in_features = cur.numel();
+        a.out = {layer.out_features, 1, 1};
+        a.weight_count = layer.out_features * in_features;
+        a.macs = a.weight_count;
+        break;
+      }
+      case LayerKind::kPool: {
+        if (cur.h < layer.window || cur.w < layer.window) {
+          throw std::invalid_argument("pool window too large in " + layer.name);
+        }
+        a.out = {cur.c, (cur.h - layer.window) / layer.pool_stride + 1,
+                 (cur.w - layer.window) / layer.pool_stride + 1};
+        break;
+      }
+      case LayerKind::kReLU:
+        a.out = cur;
+        break;
+      case LayerKind::kFlatten:
+        a.out = {cur.numel(), 1, 1};
+        break;
+    }
+    cur = a.out;
+    out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t total_macs(const NetSpec& spec) {
+  std::size_t total = 0;
+  for (const auto& a : analyze(spec)) total += a.macs;
+  return total;
+}
+
+std::size_t total_weights(const NetSpec& spec) {
+  std::size_t total = 0;
+  for (const auto& a : analyze(spec)) total += a.weight_count;
+  return total;
+}
+
+}  // namespace ls::nn

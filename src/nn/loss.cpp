@@ -1,0 +1,66 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ls::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax expects {N, classes}");
+  }
+  const std::size_t N = logits.shape()[0], C = logits.shape()[1];
+  Tensor probs(logits.shape());
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + n * C;
+    float* out = probs.data() + n * C;
+    const float mx = *std::max_element(row, row + C);
+    double denom = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      out[c] = std::exp(row[c] - mx);
+      denom += out[c];
+    }
+    const auto inv = static_cast<float>(1.0 / denom);
+    for (std::size_t c = 0; c < C; ++c) out[c] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint32_t>& labels) {
+  const std::size_t N = logits.shape()[0], C = logits.shape()[1];
+  if (labels.size() != N) {
+    throw std::invalid_argument("label count != batch size");
+  }
+  LossResult result;
+  result.grad_logits = softmax(logits);
+  double total = 0.0;
+  const auto inv_n = 1.0f / static_cast<float>(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    if (labels[n] >= C) throw std::out_of_range("label out of range");
+    float* row = result.grad_logits.data() + n * C;
+    const double p = std::max(static_cast<double>(row[labels[n]]), 1e-12);
+    total -= std::log(p);
+    row[labels[n]] -= 1.0f;
+    for (std::size_t c = 0; c < C; ++c) row[c] *= inv_n;
+  }
+  result.loss = total / static_cast<double>(N);
+  return result;
+}
+
+std::vector<std::uint32_t> argmax_rows(const Tensor& logits) {
+  const std::size_t N = logits.shape()[0], C = logits.shape()[1];
+  std::vector<std::uint32_t> out(N);
+  for (std::size_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + n * C;
+    out[n] = static_cast<std::uint32_t>(
+        std::max_element(row, row + C) - row);
+  }
+  return out;
+}
+
+}  // namespace ls::nn

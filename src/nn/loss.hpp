@@ -1,0 +1,26 @@
+#pragma once
+// Softmax + cross-entropy loss head.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ls::nn {
+
+struct LossResult {
+  double loss = 0.0;           ///< mean cross-entropy over the batch
+  tensor::Tensor grad_logits;  ///< dL/dlogits, already divided by batch size
+};
+
+/// Computes softmax cross-entropy for logits {N, classes} and integer labels.
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 const std::vector<std::uint32_t>& labels);
+
+/// Row-wise softmax probabilities of logits {N, classes}.
+tensor::Tensor softmax(const tensor::Tensor& logits);
+
+/// Argmax class per row of logits {N, classes}.
+std::vector<std::uint32_t> argmax_rows(const tensor::Tensor& logits);
+
+}  // namespace ls::nn

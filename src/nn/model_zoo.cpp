@@ -1,0 +1,278 @@
+#include "nn/model_zoo.hpp"
+
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
+#include "nn/pool.hpp"
+
+namespace ls::nn {
+
+NetSpec mlp_spec() {
+  NetSpec s;
+  s.name = "MLP";
+  s.dataset = "MNIST";
+  s.input = {1, 28, 28};
+  s.layers = {
+      LayerSpec::flatten("flatten"), LayerSpec::fc("ip1", 512),
+      LayerSpec::relu("relu1"),      LayerSpec::fc("ip2", 304),
+      LayerSpec::relu("relu2"),      LayerSpec::fc("ip3", 10),
+  };
+  return s;
+}
+
+NetSpec lenet_spec() {
+  NetSpec s;
+  s.name = "LeNet";
+  s.dataset = "MNIST";
+  s.input = {1, 28, 28};
+  s.layers = {
+      LayerSpec::conv("conv1", 20, 5),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", 50, 5),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 500),
+      LayerSpec::relu("relu1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec convnet_spec() {
+  NetSpec s;
+  s.name = "ConvNet";
+  s.dataset = "Cifar-10";
+  s.input = {3, 32, 32};
+  s.layers = {
+      LayerSpec::conv("conv1", 32, 5, 1, 2),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::relu("relu1"),
+      LayerSpec::conv("conv2", 32, 5, 1, 2),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::conv("conv3", 64, 5, 1, 2),
+      LayerSpec::relu("relu3"),
+      LayerSpec::pool("pool3", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 64),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec alexnet_spec() {
+  NetSpec s;
+  s.name = "AlexNet";
+  s.dataset = "ImageNet";
+  s.input = {3, 227, 227};
+  s.layers = {
+      LayerSpec::conv("conv1", 96, 11, 4),
+      LayerSpec::relu("relu1"),
+      LayerSpec::pool("pool1", 3, 2),
+      LayerSpec::conv("conv2", 256, 5, 1, 2),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 3, 2),
+      LayerSpec::conv("conv3", 384, 3, 1, 1),
+      LayerSpec::relu("relu3"),
+      LayerSpec::conv("conv4", 384, 3, 1, 1),
+      LayerSpec::relu("relu4"),
+      LayerSpec::conv("conv5", 256, 3, 1, 1),
+      LayerSpec::relu("relu5"),
+      LayerSpec::pool("pool5", 3, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 4096),
+      LayerSpec::relu("relu6"),
+      LayerSpec::fc("ip2", 4096),
+      LayerSpec::relu("relu7"),
+      LayerSpec::fc("ip3", 1000),
+  };
+  return s;
+}
+
+NetSpec vgg19_spec() {
+  NetSpec s;
+  s.name = "VGG19";
+  s.dataset = "ImageNet";
+  s.input = {3, 224, 224};
+  auto block = [&](const std::string& base, std::size_t channels,
+                   std::size_t convs) {
+    for (std::size_t i = 1; i <= convs; ++i) {
+      s.layers.push_back(LayerSpec::conv(base + "_" + std::to_string(i),
+                                         channels, 3, 1, 1));
+      s.layers.push_back(
+          LayerSpec::relu("relu_" + base + "_" + std::to_string(i)));
+    }
+    s.layers.push_back(LayerSpec::pool("pool_" + base, 2, 2));
+  };
+  s.name = "VGG19";
+  block("conv1", 64, 2);
+  block("conv2", 128, 2);
+  block("conv3", 256, 4);
+  block("conv4", 512, 4);
+  block("conv5", 512, 4);
+  s.layers.push_back(LayerSpec::flatten("flatten"));
+  s.layers.push_back(LayerSpec::fc("ip1", 4096));
+  s.layers.push_back(LayerSpec::relu("relu_ip1"));
+  s.layers.push_back(LayerSpec::fc("ip2", 4096));
+  s.layers.push_back(LayerSpec::relu("relu_ip2"));
+  s.layers.push_back(LayerSpec::fc("ip3", 1000));
+  return s;
+}
+
+NetSpec convnet_variant_spec(std::size_t c1, std::size_t c2, std::size_t c3,
+                             std::size_t groups) {
+  NetSpec s;
+  s.name = "ConvNet-" + std::to_string(c1) + "-" + std::to_string(c2) + "-" +
+           std::to_string(c3) + "-g" + std::to_string(groups);
+  s.dataset = "ImageNet10";
+  s.input = {3, 64, 64};
+  s.layers = {
+      LayerSpec::conv("conv1", c1, 5, 1, 2),
+      LayerSpec::relu("relu1"),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", c2, 3, 1, 1, groups),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::conv("conv3", c3, 3, 1, 1, groups),
+      LayerSpec::relu("relu3"),
+      LayerSpec::pool("pool3", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 64),
+      LayerSpec::relu("relu_ip1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec mlp_expt_spec() {
+  NetSpec s = mlp_spec();
+  s.name = "MLP";
+  return s;  // full published size is already CPU-trainable
+}
+
+NetSpec lenet_expt_spec() {
+  NetSpec s;
+  s.name = "LeNet";
+  s.dataset = "mnist-like";
+  s.input = {1, 28, 28};
+  s.layers = {
+      LayerSpec::conv("conv1", 16, 5),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", 32, 5),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 128),
+      LayerSpec::relu("relu1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec convnet_expt_spec() {
+  NetSpec s;
+  s.name = "ConvNet";
+  s.dataset = "cifar-like";
+  s.input = {3, 32, 32};
+  s.layers = {
+      LayerSpec::conv("conv1", 16, 5, 1, 2),
+      LayerSpec::relu("relu1"),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", 32, 3, 1, 1),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::conv("conv3", 64, 3, 1, 1),
+      LayerSpec::relu("relu3"),
+      LayerSpec::pool("pool3", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 64),
+      LayerSpec::relu("relu_ip1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec caffenet_expt_spec() {
+  NetSpec s;
+  s.name = "CaffeNet";
+  s.dataset = "imagenet10-like";
+  s.input = {3, 64, 64};
+  s.layers = {
+      LayerSpec::conv("conv1", 16, 7, 2),
+      LayerSpec::relu("relu1"),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", 32, 5, 1, 2),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::conv("conv3", 64, 3, 1, 1),
+      LayerSpec::relu("relu3"),
+      LayerSpec::pool("pool3", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 128),
+      LayerSpec::relu("relu_ip1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+NetSpec convnet_variant_expt_spec(std::size_t c1, std::size_t c2,
+                                  std::size_t c3, std::size_t groups) {
+  NetSpec s;
+  s.name = "ConvNet-" + std::to_string(c1) + "-" + std::to_string(c2) + "-" +
+           std::to_string(c3) + "-g" + std::to_string(groups);
+  s.dataset = "imagenet10-like";
+  s.input = {3, 32, 32};
+  s.layers = {
+      LayerSpec::conv("conv1", c1, 5, 1, 2),
+      LayerSpec::relu("relu1"),
+      LayerSpec::pool("pool1", 2, 2),
+      LayerSpec::conv("conv2", c2, 3, 1, 1, groups),
+      LayerSpec::relu("relu2"),
+      LayerSpec::pool("pool2", 2, 2),
+      LayerSpec::conv("conv3", c3, 3, 1, 1, groups),
+      LayerSpec::relu("relu3"),
+      LayerSpec::pool("pool3", 2, 2),
+      LayerSpec::flatten("flatten"),
+      LayerSpec::fc("ip1", 64),
+      LayerSpec::relu("relu_ip1"),
+      LayerSpec::fc("ip2", 10),
+  };
+  return s;
+}
+
+Network build_network(const NetSpec& spec, util::Rng& rng) {
+  Network net(spec.name);
+  const auto analysis = analyze(spec);  // validates the spec
+  for (const LayerAnalysis& a : analysis) {
+    const LayerSpec& l = a.spec;
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        Conv2DConfig cfg;
+        cfg.in_channels = a.in.c;
+        cfg.out_channels = l.out_channels;
+        cfg.kernel = l.kernel;
+        cfg.stride = l.stride;
+        cfg.pad = l.pad;
+        cfg.groups = l.groups;
+        net.emplace<Conv2D>(l.name, cfg, rng);
+        break;
+      }
+      case LayerKind::kFullyConnected:
+        net.emplace<FullyConnected>(l.name, a.in.numel(), l.out_features, rng);
+        break;
+      case LayerKind::kPool:
+        net.emplace<Pool2D>(l.name, PoolKind::kMax, l.window, l.pool_stride);
+        break;
+      case LayerKind::kReLU:
+        net.emplace<ReLU>(l.name);
+        break;
+      case LayerKind::kFlatten:
+        net.emplace<Flatten>(l.name);
+        break;
+    }
+  }
+  return net;
+}
+
+}  // namespace ls::nn

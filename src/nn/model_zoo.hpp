@@ -1,0 +1,71 @@
+#pragma once
+// Network architectures used throughout the paper's evaluation.
+//
+// Two families:
+//
+// * Full-scale specs (`mlp`, `lenet`, `convnet`, `alexnet`, `vgg19`) with
+//   the published layer dimensions. These drive the *analytic* models
+//   (TABLE I traffic volumes, accelerator cycle counts) and are never
+//   trained here.
+//
+// * Experiment specs (`*_expt`) — same layer *structure* but with channel
+//   counts scaled so that from-scratch CPU training completes in seconds on
+//   the synthetic datasets (see DESIGN.md substitution table). These are the
+//   networks actually trained for TABLE III/IV/V/VI.
+//
+// `build_network` instantiates any spec into a trainable ls::nn::Network.
+
+#include "nn/layer_spec.hpp"
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+
+// --- Full-scale specs (analytics only) -----------------------------------
+
+/// 3-layer MLP 784-512-304-10 on MNIST (paper §V).
+NetSpec mlp_spec();
+
+/// Caffe LeNet: conv 20@5x5, pool, conv 50@5x5, pool, ip 500, ip 10.
+NetSpec lenet_spec();
+
+/// Caffe cifar10_quick ConvNet: conv 32/32/64 @5x5, ip 64, ip 10.
+NetSpec convnet_spec();
+
+/// CaffeNet/AlexNet-shape (dense conv2, 227x227 input).
+NetSpec alexnet_spec();
+
+/// VGG19 (224x224 input).
+NetSpec vgg19_spec();
+
+/// ConvNet variant of TABLE III with the given conv kernel counts
+/// (conv1-conv2-conv3) and group count n applied to conv2 and conv3.
+NetSpec convnet_variant_spec(std::size_t c1, std::size_t c2, std::size_t c3,
+                             std::size_t groups);
+
+// --- Experiment specs (trainable, scaled) --------------------------------
+
+/// MLP is small enough to train at full published size.
+NetSpec mlp_expt_spec();
+
+/// Scaled LeNet: conv 16@5x5, pool, conv 32@5x5, pool, fc 128, fc 10 on
+/// 28x28x1 input.
+NetSpec lenet_expt_spec();
+
+/// Scaled ConvNet on 32x32x3 input: conv 16/32/64, fc 10.
+NetSpec convnet_expt_spec();
+
+/// Scaled CaffeNet on 64x64x3 input: conv 16/32/64, fc 128, fc 10.
+NetSpec caffenet_expt_spec();
+
+/// Scaled TABLE III ConvNet variant on 32x32x3 "ImageNet10" input.
+/// Parallel#1/#2 use (32, 64, 128); Parallel#3 uses (32, 96, 160).
+NetSpec convnet_variant_expt_spec(std::size_t c1, std::size_t c2,
+                                  std::size_t c3, std::size_t groups);
+
+// --- Instantiation --------------------------------------------------------
+
+/// Builds a trainable Network from a spec (He-normal init from rng).
+Network build_network(const NetSpec& spec, util::Rng& rng);
+
+}  // namespace ls::nn

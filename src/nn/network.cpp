@@ -1,0 +1,79 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+namespace ls::nn {
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Tensor Network::forward(const Tensor& in, bool training) {
+  Tensor x = in;
+  for (auto& layer : layers_) x = layer->forward(x, training);
+  return x;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Network::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> all;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+Layer& Network::layer_by_name(const std::string& name) {
+  for (auto& layer : layers_) {
+    if (layer->name() == name) return *layer;
+  }
+  throw std::invalid_argument("no layer named " + name + " in " + name_);
+}
+
+std::size_t Network::num_params() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+double Network::sparsity() {
+  std::size_t zeros = 0, total = 0;
+  for (Param* p : params()) {
+    zeros += p->value.count_zeros();
+    total += p->value.numel();
+  }
+  return total ? static_cast<double>(zeros) / static_cast<double>(total) : 0.0;
+}
+
+std::vector<std::uint32_t> Network::predict(const Tensor& in) {
+  return argmax_rows(forward(in, /*training=*/false));
+}
+
+double Network::accuracy(const Tensor& in,
+                         const std::vector<std::uint32_t>& labels) {
+  const auto preds = predict(in);
+  if (preds.size() != labels.size()) {
+    throw std::invalid_argument("accuracy: label count mismatch");
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++hits;
+  }
+  return preds.empty() ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(preds.size());
+}
+
+}  // namespace ls::nn

@@ -1,0 +1,111 @@
+#include "nn/pool.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace ls::nn {
+
+Pool2D::Pool2D(std::string name, PoolKind kind, std::size_t window,
+               std::size_t stride)
+    : name_(std::move(name)), kind_(kind), window_(window), stride_(stride) {
+  if (window == 0 || stride == 0) {
+    throw std::invalid_argument("pool: zero window or stride");
+  }
+}
+
+Shape Pool2D::output_shape(const Shape& in) const {
+  if (in.rank() != 4) throw std::invalid_argument("pool expects NCHW input");
+  if (in[2] < window_ || in[3] < window_) {
+    throw std::invalid_argument("pool window larger than input");
+  }
+  const std::size_t oh = (in[2] - window_) / stride_ + 1;
+  const std::size_t ow = (in[3] - window_) / stride_ + 1;
+  return Shape{in[0], in[1], oh, ow};
+}
+
+Tensor Pool2D::forward(const Tensor& in, bool training) {
+  const Shape out_shape = output_shape(in.shape());
+  Tensor out(out_shape);
+  const std::size_t N = in.shape()[0], C = in.shape()[1];
+  const std::size_t H = in.shape()[2], W = in.shape()[3];
+  const std::size_t OH = out_shape[2], OW = out_shape[3];
+  if (training && kind_ == PoolKind::kMax) {
+    argmax_.assign(out.numel(), 0);
+  }
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow, ++out_idx) {
+          if (kind_ == PoolKind::kMax) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::size_t best_idx = 0;
+            for (std::size_t kh = 0; kh < window_; ++kh) {
+              for (std::size_t kw = 0; kw < window_; ++kw) {
+                const std::size_t ih = oh * stride_ + kh;
+                const std::size_t iw = ow * stride_ + kw;
+                const std::size_t idx = ((n * C + c) * H + ih) * W + iw;
+                if (in[idx] > best) {
+                  best = in[idx];
+                  best_idx = idx;
+                }
+              }
+            }
+            out[out_idx] = best;
+            if (training) argmax_[out_idx] = static_cast<std::uint32_t>(best_idx);
+          } else {
+            float acc = 0.0f;
+            for (std::size_t kh = 0; kh < window_; ++kh) {
+              for (std::size_t kw = 0; kw < window_; ++kw) {
+                const std::size_t ih = oh * stride_ + kh;
+                const std::size_t iw = ow * stride_ + kw;
+                acc += in[((n * C + c) * H + ih) * W + iw];
+              }
+            }
+            out[out_idx] = acc / static_cast<float>(window_ * window_);
+          }
+        }
+      }
+    }
+  }
+  if (training) cached_input_shape_ = in.shape();
+  return out;
+}
+
+Tensor Pool2D::backward(const Tensor& grad_out) {
+  if (cached_input_shape_.empty()) {
+    throw std::logic_error("pool backward without training forward");
+  }
+  Tensor grad_in(cached_input_shape_, 0.0f);
+  if (kind_ == PoolKind::kMax) {
+    for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+      grad_in[argmax_[i]] += grad_out[i];
+    }
+    return grad_in;
+  }
+  const Shape out_shape = grad_out.shape();
+  const std::size_t N = out_shape[0], C = out_shape[1];
+  const std::size_t OH = out_shape[2], OW = out_shape[3];
+  const std::size_t H = cached_input_shape_[2], W = cached_input_shape_[3];
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  std::size_t out_idx = 0;
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t c = 0; c < C; ++c) {
+      for (std::size_t oh = 0; oh < OH; ++oh) {
+        for (std::size_t ow = 0; ow < OW; ++ow, ++out_idx) {
+          const float g = grad_out[out_idx] * inv;
+          for (std::size_t kh = 0; kh < window_; ++kh) {
+            for (std::size_t kw = 0; kw < window_; ++kw) {
+              const std::size_t ih = oh * stride_ + kh;
+              const std::size_t iw = ow * stride_ + kw;
+              grad_in[((n * C + c) * H + ih) * W + iw] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace ls::nn

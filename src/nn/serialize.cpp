@@ -1,0 +1,104 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace ls::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'S', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!in) throw std::runtime_error("truncated checkpoint");
+  return v;
+}
+
+}  // namespace
+
+void save_params(Network& net, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  const auto params = net.params();
+  write_pod(out, static_cast<std::uint32_t>(params.size()));
+  for (const Param* p : params) {
+    write_pod(out, static_cast<std::uint32_t>(p->name.size()));
+    out.write(p->name.data(),
+              static_cast<std::streamsize>(p->name.size()));
+    write_pod(out, static_cast<std::uint32_t>(p->value.shape().rank()));
+    for (std::size_t d : p->value.shape().dims()) {
+      write_pod(out, static_cast<std::uint64_t>(d));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.numel() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("write failure on " + path);
+}
+
+void load_params(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not an LSNN checkpoint");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("unsupported checkpoint version in " + path);
+  }
+  const auto count = read_pod<std::uint32_t>(in);
+
+  // Stage everything first so a malformed file leaves the net untouched.
+  std::map<std::string, tensor::Tensor> staged;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto rank = read_pod<std::uint32_t>(in);
+    if (rank == 0 || rank > 4) {
+      throw std::runtime_error("bad tensor rank in " + path);
+    }
+    std::vector<std::size_t> dims(rank);
+    for (auto& d : dims) d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    tensor::Tensor t{tensor::Shape(dims)};
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    if (!in) throw std::runtime_error("truncated checkpoint " + path);
+    staged.emplace(std::move(name), std::move(t));
+  }
+
+  const auto params = net.params();
+  if (params.size() != staged.size()) {
+    throw std::runtime_error("parameter count mismatch loading " + path);
+  }
+  for (Param* p : params) {
+    const auto it = staged.find(p->name);
+    if (it == staged.end()) {
+      throw std::runtime_error("missing parameter " + p->name + " in " + path);
+    }
+    if (!(it->second.shape() == p->value.shape())) {
+      throw std::runtime_error("shape mismatch for " + p->name + " in " +
+                               path);
+    }
+  }
+  for (Param* p : params) {
+    p->value = std::move(staged.at(p->name));
+  }
+}
+
+}  // namespace ls::nn

@@ -1,0 +1,30 @@
+#pragma once
+// Binary parameter checkpointing.
+//
+// The sparsified experiments train the same architecture several times;
+// checkpoints let users train once (e.g. in examples/sparsify_train) and
+// re-analyze traffic offline, and they document the exact on-disk format a
+// deployment toolchain would consume.
+//
+// Format (little-endian):
+//   magic "LSNN" | u32 version | u32 param count |
+//   per param: u32 name length | name bytes | u32 rank | u64 dims... |
+//              f32 data...
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace ls::nn {
+
+/// Writes every parameter of `net` to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_params(Network& net, const std::string& path);
+
+/// Loads parameters into `net`; every stored name must match a parameter
+/// of identical shape (extra/missing/mismatched parameters throw, nothing
+/// is partially applied — the network is only mutated after full
+/// validation).
+void load_params(Network& net, const std::string& path);
+
+}  // namespace ls::nn

@@ -1,0 +1,29 @@
+#include "noc/energy.hpp"
+
+namespace ls::noc {
+
+NocEnergy energy_from_stats(const NocStats& stats, const EnergyConfig& cfg,
+                            std::size_t num_routers) {
+  NocEnergy e;
+  e.router_pj =
+      static_cast<double>(stats.router_traversals) * cfg.router_pj_per_flit;
+  e.link_pj = static_cast<double>(stats.flit_hops) * cfg.link_pj_per_flit;
+  e.static_pj = cfg.static_pw_per_router_pj_per_cycle *
+                static_cast<double>(stats.completion_cycle) *
+                static_cast<double>(num_routers);
+  return e;
+}
+
+NocEnergy energy_for_transfer(std::size_t bytes, std::size_t hops,
+                              const NocConfig& noc, const EnergyConfig& cfg) {
+  NocEnergy e;
+  if (bytes == 0 || hops == 0) return e;
+  const std::size_t flits = (bytes + noc.flit_bytes - 1) / noc.flit_bytes;
+  e.router_pj = static_cast<double>(flits) * static_cast<double>(hops + 1) *
+                cfg.router_pj_per_flit;
+  e.link_pj = static_cast<double>(flits) * static_cast<double>(hops) *
+              cfg.link_pj_per_flit;
+  return e;
+}
+
+}  // namespace ls::noc

@@ -1,0 +1,38 @@
+#pragma once
+// DSENT-style NoC energy model (see DESIGN.md substitution table).
+//
+// DSENT reports per-traversal energies for router datapath + control and
+// for the inter-router links; total interconnect energy is then a linear
+// function of flit x router crossings and flit x link crossings, which the
+// simulator counts exactly. Coefficients below are representative 32 nm,
+// ~1 GHz, 512-bit-datapath values; the experiments only use energy
+// *ratios* (paper reports "energy reduction" percentages), so the absolute
+// scale cancels out.
+
+#include "noc/simulator.hpp"
+
+namespace ls::noc {
+
+struct EnergyConfig {
+  double router_pj_per_flit = 11.7;  ///< buffer wr+rd, VC/SW alloc, crossbar
+  double link_pj_per_flit = 7.9;     ///< 1 mm 512-bit link traversal
+  double static_pw_per_router_pj_per_cycle = 0.0;  ///< optional leakage term
+};
+
+struct NocEnergy {
+  double router_pj = 0.0;
+  double link_pj = 0.0;
+  double static_pj = 0.0;
+  double total_pj() const { return router_pj + link_pj + static_pj; }
+};
+
+/// Energy of a simulated transfer, from the simulator's traversal counts.
+NocEnergy energy_from_stats(const NocStats& stats, const EnergyConfig& cfg,
+                            std::size_t num_routers);
+
+/// Analytic energy of moving `bytes` from src to dst (hops known), without
+/// simulation — used by the fast traffic-only estimators.
+NocEnergy energy_for_transfer(std::size_t bytes, std::size_t hops,
+                              const NocConfig& noc, const EnergyConfig& cfg);
+
+}  // namespace ls::noc

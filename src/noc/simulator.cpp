@@ -1,0 +1,286 @@
+#include "noc/simulator.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace ls::noc {
+
+namespace {
+
+// Router ports. kLocal is both injection (as input) and ejection (as
+// output direction).
+enum Port : std::size_t { kLocal = 0, kNorth, kSouth, kWest, kEast, kNumPorts };
+
+Port opposite(Port p) {
+  switch (p) {
+    case kNorth:
+      return kSouth;
+    case kSouth:
+      return kNorth;
+    case kWest:
+      return kEast;
+    case kEast:
+      return kWest;
+    default:
+      return kLocal;
+  }
+}
+
+struct Flit {
+  std::uint32_t packet = 0;
+  std::uint16_t dst = 0;
+  bool tail = false;
+};
+
+struct InFlight {
+  std::uint64_t arrival = 0;
+  Flit flit;
+  std::size_t router = 0;
+  std::size_t port = 0;
+  std::size_t vc = 0;
+};
+
+struct InFlightLater {
+  bool operator()(const InFlight& a, const InFlight& b) const {
+    return a.arrival > b.arrival;
+  }
+};
+
+}  // namespace
+
+MeshNocSimulator::MeshNocSimulator(MeshTopology topo, NocConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  if (cfg_.flit_bytes == 0 || cfg_.max_packet_flits == 0 || cfg_.vcs == 0 ||
+      cfg_.vc_depth == 0 || cfg_.phys_channels == 0) {
+    throw std::invalid_argument("degenerate NoC config");
+  }
+  if (cfg_.vcs > 8) {
+    throw std::invalid_argument("at most 8 virtual channels supported");
+  }
+}
+
+std::size_t MeshNocSimulator::flits_for_bytes(std::size_t bytes) const {
+  return (bytes + cfg_.flit_bytes - 1) / cfg_.flit_bytes;
+}
+
+std::uint64_t MeshNocSimulator::zero_load_latency(const Message& m) const {
+  const std::size_t flits = std::max<std::size_t>(1, flits_for_bytes(m.bytes));
+  const std::size_t hops = topo_.hops(m.src, m.dst);
+  // Head flit pays (router_latency + 1 link cycle) per hop plus the final
+  // router; body flits stream behind at the link rate.
+  const std::uint64_t head =
+      static_cast<std::uint64_t>(hops + 1) * cfg_.router_latency +
+      static_cast<std::uint64_t>(hops);
+  const std::uint64_t serialization =
+      (flits - 1) / cfg_.phys_channels;
+  return head + serialization;
+}
+
+NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
+                               std::uint64_t max_cycles) const {
+  const std::size_t n = topo_.num_cores();
+  const std::size_t vcs = cfg_.vcs;
+
+  // Input buffers: [router][port][vc] FIFO of flits.
+  std::vector<std::deque<Flit>> fifo(n * kNumPorts * vcs);
+  // Occupancy counts FIFO contents plus in-flight flits headed there
+  // (credit accounting happens at send time).
+  std::vector<std::size_t> occupancy(n * kNumPorts * vcs, 0);
+  auto buf_idx = [vcs](std::size_t router, std::size_t port, std::size_t vc) {
+    return (router * kNumPorts + port) * vcs + vc;
+  };
+
+  // Packet bookkeeping.
+  struct PacketInfo {
+    std::uint64_t inject = 0;
+    std::uint64_t delivered = 0;
+    bool done = false;
+  };
+  std::vector<PacketInfo> packets;
+
+  // Pending injection flits per source node, in order.
+  struct PendingFlit {
+    std::uint64_t ready = 0;
+    Flit flit;
+    std::size_t vc = 0;
+  };
+  std::vector<std::deque<PendingFlit>> inject_q(n);
+
+  NocStats stats;
+  std::uint64_t next_packet = 0;
+  for (const Message& m : messages) {
+    if (m.src >= n || m.dst >= n) throw std::out_of_range("message endpoint");
+    if (m.src == m.dst || m.bytes == 0) continue;  // no NoC traffic
+    std::size_t flits_left = flits_for_bytes(m.bytes);
+    while (flits_left > 0) {
+      const std::size_t in_pkt = std::min(flits_left, cfg_.max_packet_flits);
+      const auto pkt_id = static_cast<std::uint32_t>(next_packet++);
+      const std::size_t vc = pkt_id % vcs;
+      packets.push_back({m.inject_cycle, 0, false});
+      for (std::size_t f = 0; f < in_pkt; ++f) {
+        Flit flit;
+        flit.packet = pkt_id;
+        flit.dst = static_cast<std::uint16_t>(m.dst);
+        flit.tail = (f + 1 == in_pkt);
+        inject_q[m.src].push_back({m.inject_cycle, flit, vc});
+        ++stats.total_flits;
+      }
+      flits_left -= in_pkt;
+    }
+  }
+  stats.packets = packets.size();
+  if (stats.total_flits == 0) return stats;
+
+  std::priority_queue<InFlight, std::vector<InFlight>, InFlightLater> in_flight;
+
+  // Round-robin pointers per (router, output port).
+  std::vector<std::size_t> rr(n * kNumPorts, 0);
+  // Flit counts per directed inter-router link (router x direction).
+  std::vector<std::uint64_t> link_flits(n * kNumPorts, 0);
+
+  auto route_dir = [this](std::size_t router, std::size_t dst) -> Port {
+    const Coord here = topo_.coord(router);
+    const Coord there = topo_.coord(dst);
+    if (cfg_.routing == Routing::kXY) {
+      if (there.x > here.x) return kEast;
+      if (there.x < here.x) return kWest;
+      if (there.y > here.y) return kSouth;
+      if (there.y < here.y) return kNorth;
+    } else {
+      if (there.y > here.y) return kSouth;
+      if (there.y < here.y) return kNorth;
+      if (there.x > here.x) return kEast;
+      if (there.x < here.x) return kWest;
+    }
+    return kLocal;
+  };
+  auto neighbor = [this](std::size_t router, Port dir) -> std::size_t {
+    const Coord c = topo_.coord(router);
+    switch (dir) {
+      case kNorth:
+        return topo_.core_at({c.x, c.y - 1});
+      case kSouth:
+        return topo_.core_at({c.x, c.y + 1});
+      case kWest:
+        return topo_.core_at({c.x - 1, c.y});
+      case kEast:
+        return topo_.core_at({c.x + 1, c.y});
+      default:
+        return router;
+    }
+  };
+
+  std::uint64_t delivered_flits = 0;
+  std::uint64_t total_pkt_latency = 0;
+  std::uint64_t cycle = 0;
+
+  for (; delivered_flits < stats.total_flits; ++cycle) {
+    if (cycle > max_cycles) {
+      throw std::runtime_error("NoC simulation exceeded max_cycles");
+    }
+
+    // 1. Land in-flight flits whose arrival time is now.
+    while (!in_flight.empty() && in_flight.top().arrival <= cycle) {
+      const InFlight f = in_flight.top();
+      in_flight.pop();
+      fifo[buf_idx(f.router, f.port, f.vc)].push_back(f.flit);
+      // occupancy was already incremented at send time
+    }
+
+    // 2. Injection: move pending flits into the local input port.
+    for (std::size_t src = 0; src < n; ++src) {
+      std::size_t injected = 0;
+      while (!inject_q[src].empty() && injected < cfg_.phys_channels) {
+        const PendingFlit& pf = inject_q[src].front();
+        if (pf.ready > cycle) break;
+        const std::size_t bi = buf_idx(src, kLocal, pf.vc);
+        if (occupancy[bi] >= cfg_.vc_depth) break;
+        ++occupancy[bi];
+        fifo[bi].push_back(pf.flit);
+        inject_q[src].pop_front();
+        ++injected;
+      }
+    }
+
+    // 3. Switch allocation: per router, per output direction, grant up to
+    // phys_channels head flits (round-robin over input port x vc).
+    for (std::size_t r = 0; r < n; ++r) {
+      // Track single-dequeue-per-cycle per input (port,vc).
+      bool popped[kNumPorts][8] = {};
+      for (std::size_t out = 0; out < kNumPorts; ++out) {
+        const auto dir = static_cast<Port>(out);
+        std::size_t granted = 0;
+        const std::size_t slots = kNumPorts * vcs;
+        std::size_t& ptr = rr[r * kNumPorts + out];
+        for (std::size_t step = 0; step < slots && granted < cfg_.phys_channels;
+             ++step) {
+          const std::size_t slot = (ptr + step) % slots;
+          const std::size_t in_port = slot / vcs;
+          const std::size_t vc = slot % vcs;
+          if (popped[in_port][vc]) continue;
+          auto& q = fifo[buf_idx(r, in_port, vc)];
+          if (q.empty()) continue;
+          const Flit& head = q.front();
+          if (route_dir(r, head.dst) != dir) continue;
+
+          if (dir == kLocal) {
+            // Ejection.
+            PacketInfo& pkt = packets[head.packet];
+            if (head.tail) {
+              pkt.delivered = cycle;
+              pkt.done = true;
+              const std::uint64_t lat = cycle - pkt.inject;
+              total_pkt_latency += lat;
+              stats.max_packet_latency =
+                  std::max(stats.max_packet_latency, lat);
+            }
+            ++stats.router_traversals;
+            ++delivered_flits;
+            --occupancy[buf_idx(r, in_port, vc)];
+            q.pop_front();
+            popped[in_port][vc] = true;
+            ++granted;
+            continue;
+          }
+
+          const std::size_t next_r = neighbor(r, dir);
+          const std::size_t next_bi = buf_idx(next_r, opposite(dir), vc);
+          if (occupancy[next_bi] >= cfg_.vc_depth) continue;  // no credit
+          ++occupancy[next_bi];
+          --occupancy[buf_idx(r, in_port, vc)];
+          InFlight fl;
+          fl.arrival = cycle + cfg_.router_latency + 1;
+          fl.flit = head;
+          fl.router = next_r;
+          fl.port = opposite(dir);
+          fl.vc = vc;
+          in_flight.push(fl);
+          ++link_flits[r * kNumPorts + out];
+          ++stats.flit_hops;
+          ++stats.router_traversals;
+          q.pop_front();
+          popped[in_port][vc] = true;
+          ++granted;
+        }
+        ptr = (ptr + 1) % slots;
+      }
+    }
+  }
+
+  for (const std::uint64_t count : link_flits) {
+    if (count > 0) {
+      ++stats.links_used;
+      stats.max_link_flits = std::max(stats.max_link_flits, count);
+    }
+  }
+  stats.completion_cycle = cycle;
+  stats.avg_packet_latency =
+      stats.packets ? static_cast<double>(total_pkt_latency) /
+                          static_cast<double>(stats.packets)
+                    : 0.0;
+  return stats;
+}
+
+}  // namespace ls::noc

@@ -1,0 +1,83 @@
+#pragma once
+// Flit-level 2D-mesh NoC simulator (BookSim2 substitute; see DESIGN.md).
+//
+// Models the configuration of the paper's TABLE II: 512-bit flits, 20-flit
+// packets, 3-stage routers, dimension-ordered (XY) routing, virtual
+// channels with credit-based flow control, and 2 physical channels per
+// link direction. The layer-transition synchronization traffic of a
+// partitioned inference is injected as a burst of messages and simulated
+// until delivery; the completion cycle is the "computation-blocking
+// communication" time the paper's speedup metric is built on.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace ls::noc {
+
+/// Dimension-ordered routing variant: XY routes the X dimension first
+/// (the paper's configuration), YX the Y dimension. Both are minimal and
+/// deadlock-free on a mesh.
+enum class Routing { kXY, kYX };
+
+struct NocConfig {
+  std::size_t flit_bytes = 64;       ///< 512-bit flit (TABLE II)
+  std::size_t max_packet_flits = 20; ///< packet size cap (TABLE II)
+  std::size_t vcs = 3;               ///< virtual channels (TABLE II)
+  std::size_t vc_depth = 4;          ///< buffer slots per VC
+  std::size_t router_latency = 3;    ///< router pipeline stages (TABLE II)
+  std::size_t phys_channels = 2;     ///< parallel links per direction
+  Routing routing = Routing::kXY;    ///< dimensional-ordered (TABLE II)
+};
+
+/// One unicast transfer of `bytes` payload from core src to core dst,
+/// injected at `inject_cycle`.
+struct Message {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t bytes = 0;
+  std::uint64_t inject_cycle = 0;
+};
+
+struct NocStats {
+  std::uint64_t completion_cycle = 0;  ///< cycle the last flit ejects
+  std::uint64_t total_flits = 0;
+  std::uint64_t flit_hops = 0;            ///< link traversals
+  std::uint64_t router_traversals = 0;    ///< router crossings (hops + 1 each)
+  std::uint64_t packets = 0;
+  double avg_packet_latency = 0.0;
+  std::uint64_t max_packet_latency = 0;
+  /// Flits carried by the busiest inter-router link — the congestion
+  /// hotspot the layer-transition burst creates.
+  std::uint64_t max_link_flits = 0;
+  /// Links that carried at least one flit.
+  std::size_t links_used = 0;
+};
+
+class MeshNocSimulator {
+ public:
+  MeshNocSimulator(MeshTopology topo, NocConfig cfg);
+
+  /// Simulates the message set to completion. Throws if the network fails
+  /// to drain within `max_cycles` (indicates a configuration/logic error —
+  /// XY routing with credits cannot deadlock).
+  NocStats run(const std::vector<Message>& messages,
+               std::uint64_t max_cycles = 200'000'000ull) const;
+
+  /// Closed-form zero-load check value: serialization + per-hop pipeline
+  /// latency of a single message, ignoring contention. Used by tests.
+  std::uint64_t zero_load_latency(const Message& m) const;
+
+  const MeshTopology& topology() const { return topo_; }
+  const NocConfig& config() const { return cfg_; }
+
+  /// Number of flits needed for `bytes` of payload.
+  std::size_t flits_for_bytes(std::size_t bytes) const;
+
+ private:
+  MeshTopology topo_;
+  NocConfig cfg_;
+};
+
+}  // namespace ls::noc

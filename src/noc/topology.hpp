@@ -1,0 +1,60 @@
+#pragma once
+// 2D mesh topology: core coordinates and hop distances.
+//
+// The paper's SS_Mask technique keys the group-Lasso strength of weight
+// block (p, c) to the Manhattan hop distance between cores p and c under
+// dimension-ordered routing (Fig. 6(a)), so the distance matrix defined
+// here is shared by the NoC simulator, the traffic/energy models, and the
+// trainer's strength masks.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace ls::noc {
+
+struct Coord {
+  std::size_t x = 0;  ///< column
+  std::size_t y = 0;  ///< row
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+class MeshTopology {
+ public:
+  MeshTopology(std::size_t cols, std::size_t rows);
+
+  /// Near-square mesh for the given core count (16 -> 4x4, 8 -> 4x2,
+  /// 32 -> 8x4). Throws if cores is not expressible as cols x rows with
+  /// cols, rows >= 1.
+  static MeshTopology for_cores(std::size_t cores);
+
+  std::size_t cols() const { return cols_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t num_cores() const { return cols_ * rows_; }
+
+  Coord coord(std::size_t core) const;
+  std::size_t core_at(Coord c) const;
+
+  /// Manhattan hop distance (the DOR path length).
+  std::size_t hops(std::size_t a, std::size_t b) const;
+
+  /// Full num_cores x num_cores hop-distance matrix (Fig. 6(a) factor mask
+  /// source).
+  std::vector<std::vector<std::size_t>> distance_matrix() const;
+
+  /// Mean hop distance over all ordered pairs (a != b).
+  double mean_hops() const;
+
+  /// Network diameter (max hop distance).
+  std::size_t diameter() const;
+
+  /// Bisection link count (links crossing the vertical mid-cut; a proxy for
+  /// bisection bandwidth in the scalability discussion of §V.B).
+  std::size_t bisection_links() const;
+
+ private:
+  std::size_t cols_;
+  std::size_t rows_;
+};
+
+}  // namespace ls::noc

@@ -1,0 +1,85 @@
+#pragma once
+// End-to-end experiment pipelines shared by the bench binaries.
+//
+// * Sparsified pipeline (TABLE IV / VI): train the same architecture three
+//   times — dense baseline, SS (uniform group-Lasso), SS_Mask (distance-
+//   weighted group-Lasso) — then extract live traffic from the trained
+//   weights and run the CMP simulation of one inference for each. Reported
+//   exactly like the paper: accuracy, NoC traffic rate, system speedup,
+//   NoC energy reduction (all relative to the dense baseline under
+//   traditional parallelization).
+//
+// * Structure-level pipeline (TABLE III / V, Fig. 7/8): train grouped
+//   variants of an architecture and compare their simulated inference
+//   against the ungrouped (n = 1) baseline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "train/trainer.hpp"
+
+namespace ls::sim {
+
+struct ExperimentConfig {
+  std::size_t cores = 16;
+  train::TrainConfig train{};
+  double lambda_ss = 2e-3;    ///< group-Lasso strength for SS
+  double lambda_mask = 2e-3;  ///< base strength for SS_Mask (mask scales it)
+  double mask_exponent = 1.0;
+  core::Granularity granularity = core::Granularity::kFeatureMap;
+  SystemConfig system{};
+  std::uint64_t seed = 42;
+  bool verbose = false;
+};
+
+struct StrategyOutcome {
+  std::string scheme;  ///< "Baseline", "SS", "SS_Mask", "n=16", ...
+  double accuracy = 0.0;
+  double traffic_rate = 1.0;
+  double speedup = 1.0;
+  double comm_energy_reduction = 0.0;
+  double total_energy_reduction = 0.0;
+  double dead_block_fraction = 0.0;
+  double weight_sparsity = 0.0;
+  /// Byte-weighted mean hop distance of the surviving NoC traffic. The
+  /// SS_Mask mechanism shows up here directly: its residual traffic flows
+  /// between nearby cores ("one or two hops away", §V.A.2).
+  double mean_traffic_hops = 0.0;
+  InferenceResult result{};
+};
+
+/// Builds the matching synthetic dataset for a spec (by its dataset tag and
+/// input shape).
+data::Dataset dataset_for(const nn::NetSpec& spec, std::size_t samples,
+                          std::uint64_t seed);
+
+/// TABLE IV / VI pipeline: returns {Baseline, SS, SS_Mask} outcomes.
+std::vector<StrategyOutcome> run_sparsified_experiment(
+    const nn::NetSpec& spec, const data::Dataset& train_set,
+    const data::Dataset& test_set, const ExperimentConfig& cfg);
+
+/// TABLE III / V pipeline: trains `spec` with conv grouping factor n on its
+/// default targets (all conv layers but the first) and simulates it;
+/// `baseline` must be the n=1 outcome of the same pipeline (pass nullptr
+/// when computing the baseline itself).
+StrategyOutcome run_structure_level_variant(
+    const nn::NetSpec& grouped_spec, const data::Dataset& train_set,
+    const data::Dataset& test_set, const ExperimentConfig& cfg,
+    const StrategyOutcome* baseline);
+
+/// Extension: hybrid of the paper's two techniques. Trains `grouped_spec`
+/// (whose grouped conv layers are communication-free by construction)
+/// *with* distance-masked group-Lasso on the remaining dense layers, so
+/// the FC/ungrouped transitions sparsify too. Traffic comes from the
+/// trained weights (traffic_live).
+StrategyOutcome run_hybrid_variant(const nn::NetSpec& grouped_spec,
+                                   const data::Dataset& train_set,
+                                   const data::Dataset& test_set,
+                                   const ExperimentConfig& cfg,
+                                   const StrategyOutcome* baseline);
+
+}  // namespace ls::sim

@@ -1,0 +1,60 @@
+#include "sim/pipeline_model.hpp"
+
+#include <stdexcept>
+
+namespace ls::sim {
+
+PipelineResult run_pipeline(const nn::NetSpec& spec,
+                            const core::PipelineAssignment& assignment,
+                            const SystemConfig& cfg) {
+  if (assignment.stages.empty()) {
+    throw std::invalid_argument("empty pipeline assignment");
+  }
+  if (assignment.stages.size() > cfg.cores) {
+    throw std::invalid_argument("more stages than cores");
+  }
+  const auto analysis = nn::analyze(spec);
+  std::vector<nn::LayerAnalysis> compute_layers;
+  for (const auto& a : analysis) {
+    if (a.is_compute()) compute_layers.push_back(a);
+  }
+
+  const accel::CoreModel core_model(cfg.accel);
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cfg.cores);
+  const noc::MeshNocSimulator noc_sim(topo, cfg.noc);
+
+  PipelineResult result;
+  result.load_imbalance = assignment.imbalance();
+
+  for (std::size_t s = 0; s < assignment.stages.size(); ++s) {
+    const core::PipelineStage& stage = assignment.stages[s];
+    // The whole stage runs on one core: per-layer costs add up.
+    std::uint64_t compute = 0;
+    for (std::size_t li = stage.begin; li < stage.end; ++li) {
+      const nn::LayerAnalysis& a = compute_layers.at(li);
+      accel::LayerPartitionWork work;
+      work.macs = a.macs;
+      work.weight_bytes = a.weight_count * cfg.bytes_per_value;
+      work.input_bytes = a.in.numel() * cfg.bytes_per_value;
+      work.output_bytes = a.out.numel() * cfg.bytes_per_value;
+      compute += core_model.layer_cost(work).cycles();
+    }
+    result.stage_compute_cycles.push_back(compute);
+
+    std::uint64_t transfer = 0;
+    if (s + 1 < assignment.stages.size() && stage.boundary_bytes > 0) {
+      const noc::Message m{s, s + 1, stage.boundary_bytes, 0};
+      transfer = static_cast<std::uint64_t>(
+          static_cast<double>(noc_sim.run({m}).completion_cycle) *
+          cfg.noc_clock_divider);
+    }
+    result.stage_transfer_cycles.push_back(transfer);
+
+    result.single_pass_cycles += compute + transfer;
+    result.initiation_interval =
+        std::max(result.initiation_interval, compute + transfer);
+  }
+  return result;
+}
+
+}  // namespace ls::sim

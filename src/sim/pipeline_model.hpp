@@ -1,0 +1,31 @@
+#pragma once
+// System model for inter-layer pipeline parallelism (core/pipeline.hpp):
+// each stage runs whole layers on one core; activations hop to the next
+// stage's core over the NoC. Reported against intra-layer parallelism by
+// bench_pipeline_vs_intra, reproducing the paper's §II.B argument.
+
+#include "core/pipeline.hpp"
+#include "sim/system.hpp"
+
+namespace ls::sim {
+
+struct PipelineResult {
+  /// One inference through the pipe: stages run strictly one after
+  /// another (no intra-inference overlap is possible for a single pass).
+  std::uint64_t single_pass_cycles = 0;
+  /// Steady-state initiation interval with many inferences in flight:
+  /// gated by the slowest stage (compute or its outbound transfer).
+  std::uint64_t initiation_interval = 0;
+  double load_imbalance = 1.0;  ///< max/mean stage MACs
+  std::vector<std::uint64_t> stage_compute_cycles;
+  std::vector<std::uint64_t> stage_transfer_cycles;
+};
+
+/// Evaluates a pipeline assignment of `spec` on the system configuration.
+/// Stage s is placed on core s of the mesh (consecutive stages are 1-2
+/// hops apart under the row-major layout).
+PipelineResult run_pipeline(const nn::NetSpec& spec,
+                            const core::PipelineAssignment& assignment,
+                            const SystemConfig& cfg);
+
+}  // namespace ls::sim

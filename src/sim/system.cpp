@@ -1,0 +1,117 @@
+#include "sim/system.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "core/partition.hpp"
+
+namespace ls::sim {
+
+CmpSystem::CmpSystem(const SystemConfig& cfg)
+    : cfg_(cfg), topo_(noc::MeshTopology::for_cores(cfg.cores)) {
+  // Each streaming core gets an equal share of the memory channel.
+  accel::AccelConfig per_core = cfg_.accel;
+  per_core.dram_bytes_per_cycle =
+      cfg_.chip_dram_bytes_per_cycle / static_cast<double>(cfg_.cores);
+  core_model_ = accel::CoreModel(per_core);
+}
+
+InferenceResult CmpSystem::run_inference(
+    const nn::NetSpec& spec, const core::InferenceTraffic& traffic) const {
+  const auto analysis = nn::analyze(spec);
+  const std::size_t P = cfg_.cores;
+
+  std::unordered_map<std::string, const core::TransitionTraffic*> by_layer;
+  for (const auto& t : traffic.transitions) {
+    by_layer.emplace(t.layer_name, &t);
+  }
+
+  noc::MeshNocSimulator noc_sim(topo_, cfg_.noc);
+
+  InferenceResult result;
+  std::uint64_t prev_compute = 0;
+  for (const nn::LayerAnalysis& a : analysis) {
+    if (!a.is_compute()) continue;
+
+    LayerTimeline tl;
+    tl.layer_name = a.spec.name;
+
+    // --- Communication into this layer --------------------------------
+    const auto it = by_layer.find(a.spec.name);
+    if (it != by_layer.end() && !it->second->messages.empty()) {
+      tl.noc_stats = noc_sim.run(it->second->messages);
+      tl.comm_cycles = static_cast<std::uint64_t>(
+          static_cast<double>(tl.noc_stats.completion_cycle) *
+          cfg_.noc_clock_divider);
+      tl.traffic_bytes = it->second->total_bytes;
+      tl.noc_energy_pj =
+          noc::energy_from_stats(tl.noc_stats, cfg_.noc_energy, P).total_pj();
+    }
+    tl.blocking_comm_cycles = tl.comm_cycles;
+    if (cfg_.overlap_comm) {
+      tl.blocking_comm_cycles =
+          tl.comm_cycles > prev_compute ? tl.comm_cycles - prev_compute : 0;
+    }
+
+    // --- Compute on the P cores ----------------------------------------
+    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
+                                      ? a.spec.out_channels
+                                      : a.spec.out_features;
+    const auto out_ranges = core::balanced_ranges(out_units, P);
+    const std::size_t weight_bytes_total =
+        a.weight_count * cfg_.bytes_per_value;
+    const std::size_t in_bytes = a.in.numel() * cfg_.bytes_per_value;
+    std::uint64_t worst = 0;
+    for (std::size_t c = 0; c < P; ++c) {
+      const double share = out_units
+                               ? static_cast<double>(out_ranges[c].count()) /
+                                     static_cast<double>(out_units)
+                               : 0.0;
+      if (share == 0.0) continue;
+      accel::LayerPartitionWork work;
+      work.macs = static_cast<std::uint64_t>(
+          static_cast<double>(a.macs) * share + 0.5);
+      work.weight_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(weight_bytes_total) * share + 0.5);
+      work.input_bytes = in_bytes;  // every core reads the full input
+      work.output_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(a.out.numel() * cfg_.bytes_per_value) * share +
+          0.5);
+      const accel::LayerCoreCost cost = core_model_.layer_cost(work);
+      worst = std::max(worst, cost.cycles());
+      tl.compute_energy_pj += cost.energy_pj;
+    }
+    tl.compute_cycles = worst;
+    prev_compute = worst;
+
+    result.compute_cycles += tl.compute_cycles;
+    result.comm_cycles += tl.blocking_comm_cycles;
+    result.compute_energy_pj += tl.compute_energy_pj;
+    result.noc_energy_pj += tl.noc_energy_pj;
+    result.traffic_bytes += tl.traffic_bytes;
+    result.layers.push_back(std::move(tl));
+  }
+  result.total_cycles = result.compute_cycles + result.comm_cycles;
+  return result;
+}
+
+double speedup(const InferenceResult& baseline, const InferenceResult& v) {
+  if (v.total_cycles == 0) throw std::invalid_argument("zero-cycle variant");
+  return static_cast<double>(baseline.total_cycles) /
+         static_cast<double>(v.total_cycles);
+}
+
+double comm_energy_reduction(const InferenceResult& baseline,
+                             const InferenceResult& v) {
+  if (baseline.noc_energy_pj <= 0.0) return 0.0;
+  return 1.0 - v.noc_energy_pj / baseline.noc_energy_pj;
+}
+
+double traffic_rate(const InferenceResult& baseline,
+                    const InferenceResult& v) {
+  if (baseline.traffic_bytes == 0) return 0.0;
+  return static_cast<double>(v.traffic_bytes) /
+         static_cast<double>(baseline.traffic_bytes);
+}
+
+}  // namespace ls::sim

@@ -1,0 +1,105 @@
+#pragma once
+// CMP system model: P accelerator cores on a 2D-mesh NoC running one
+// partitioned single-pass inference (paper Fig. 2).
+//
+// Per compute layer the model charges
+//   * compute cycles — max over cores of the DianNao core model on that
+//     core's kernel partition (cores run in parallel, the slowest gates),
+//   * communication cycles — the flit-level NoC simulation of the
+//     synchronization burst into that layer ("computation-blocking
+//     communication", the paper's §V.A.1 metric), charged before the layer
+//     starts. The overlap ablation hides communication behind the
+//     *previous* layer's compute instead.
+// Energies come from the accelerator model and the DSENT-style NoC model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/core_model.hpp"
+#include "core/traffic.hpp"
+#include "noc/energy.hpp"
+#include "noc/simulator.hpp"
+#include "nn/layer_spec.hpp"
+
+namespace ls::sim {
+
+struct SystemConfig {
+  std::size_t cores = 16;
+  accel::AccelConfig accel{};
+  noc::NocConfig noc{};
+  noc::EnergyConfig noc_energy{};
+  std::size_t bytes_per_value = 2;  ///< 16-bit fixed point on-chip
+  /// Chip-level LPDDR3 bandwidth in bytes per core cycle (TABLE II: one
+  /// channel; 12.8 GB/s at a 1 GHz core clock).
+  double chip_dram_bytes_per_cycle = 12.8;
+  /// If true, communication overlaps the previous layer's compute
+  /// (ablation; the paper's metric is non-overlapped).
+  bool overlap_comm = false;
+  /// Core cycles per NoC cycle. Embedded NoCs often clock below the
+  /// accelerator datapath; > 1 scales every communication latency up by
+  /// that ratio (energy is unaffected — it is per-traversal, not per-time).
+  double noc_clock_divider = 1.0;
+};
+
+struct LayerTimeline {
+  std::string layer_name;
+  std::uint64_t compute_cycles = 0;  ///< max over cores
+  std::uint64_t comm_cycles = 0;     ///< NoC drain time into this layer
+  std::uint64_t blocking_comm_cycles = 0;  ///< after overlap (== comm if none)
+  double compute_energy_pj = 0.0;
+  double noc_energy_pj = 0.0;
+  std::size_t traffic_bytes = 0;
+  noc::NocStats noc_stats{};
+};
+
+struct InferenceResult {
+  std::vector<LayerTimeline> layers;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t comm_cycles = 0;  ///< blocking communication total
+  double compute_energy_pj = 0.0;
+  double noc_energy_pj = 0.0;
+  std::size_t traffic_bytes = 0;
+
+  double total_energy_pj() const { return compute_energy_pj + noc_energy_pj; }
+  /// Fraction of inference latency spent blocked on communication
+  /// (motivational metric of paper §III.B).
+  double comm_fraction() const {
+    return total_cycles ? static_cast<double>(comm_cycles) /
+                              static_cast<double>(total_cycles)
+                        : 0.0;
+  }
+};
+
+class CmpSystem {
+ public:
+  explicit CmpSystem(const SystemConfig& cfg);
+
+  /// Runs one partitioned inference of `spec` with the given layer-
+  /// transition traffic (produced by core::traffic_dense / traffic_live on
+  /// the same spec).
+  InferenceResult run_inference(const nn::NetSpec& spec,
+                                const core::InferenceTraffic& traffic) const;
+
+  const SystemConfig& config() const { return cfg_; }
+  const noc::MeshTopology& topology() const { return topo_; }
+
+ private:
+  SystemConfig cfg_;
+  noc::MeshTopology topo_;
+  accel::CoreModel core_model_;
+};
+
+/// baseline cycles / variant cycles.
+double speedup(const InferenceResult& baseline, const InferenceResult& v);
+
+/// 1 - variant NoC energy / baseline NoC energy.
+double comm_energy_reduction(const InferenceResult& baseline,
+                             const InferenceResult& v);
+
+/// variant traffic bytes / baseline traffic bytes.
+double traffic_rate(const InferenceResult& baseline,
+                    const InferenceResult& v);
+
+}  // namespace ls::sim

@@ -1,0 +1,92 @@
+#include "train/group_lasso.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ls::train {
+
+GroupLassoRegularizer::GroupLassoRegularizer(
+    std::vector<core::LayerGroupSet> groups, StrengthMask mask,
+    double lambda_g, LassoMode mode)
+    : groups_(std::move(groups)),
+      mask_(std::move(mask)),
+      lambda_g_(lambda_g),
+      mode_(mode) {
+  if (lambda_g_ < 0.0) throw std::invalid_argument("negative lambda_g");
+  for (const auto& set : groups_) {
+    if (mask_.size() != set.cores) {
+      throw std::invalid_argument("mask size does not match core count");
+    }
+  }
+}
+
+void GroupLassoRegularizer::apply(double lr) {
+  for (core::LayerGroupSet& set : groups_) {
+    for (std::size_t p = 0; p < set.cores; ++p) {
+      for (std::size_t c = 0; c < set.cores; ++c) {
+        const double strength = lambda_g_ * mask_[p][c];
+        if (strength == 0.0) continue;
+        const auto& idx = set.block(p, c);
+        if (idx.empty()) continue;
+
+        double sq = 0.0;
+        for (std::size_t i : idx) {
+          const double w = set.weight->value[i];
+          sq += w * w;
+        }
+        const double norm = std::sqrt(sq);
+        if (norm == 0.0) continue;
+
+        if (mode_ == LassoMode::kProximal) {
+          const double shrink = 1.0 - lr * strength / norm;
+          if (shrink <= 0.0) {
+            for (std::size_t i : idx) set.weight->value[i] = 0.0f;
+          } else {
+            const auto s = static_cast<float>(shrink);
+            for (std::size_t i : idx) set.weight->value[i] *= s;
+          }
+        } else {
+          // d/dw (strength * ||w_g||) = strength * w / ||w_g||
+          const auto g = static_cast<float>(strength / norm);
+          for (std::size_t i : idx) {
+            set.weight->grad[i] += g * set.weight->value[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+double GroupLassoRegularizer::penalty() const {
+  double total = 0.0;
+  for (const core::LayerGroupSet& set : groups_) {
+    for (std::size_t p = 0; p < set.cores; ++p) {
+      for (std::size_t c = 0; c < set.cores; ++c) {
+        const double strength = lambda_g_ * mask_[p][c];
+        if (strength == 0.0) continue;
+        total += strength * set.block_norm(p, c);
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t GroupLassoRegularizer::enforce_dead_blocks(double threshold) {
+  std::size_t killed = 0;
+  for (core::LayerGroupSet& set : groups_) {
+    for (std::size_t p = 0; p < set.cores; ++p) {
+      for (std::size_t c = 0; c < set.cores; ++c) {
+        const auto& idx = set.block(p, c);
+        if (idx.empty()) continue;
+        const double norm = set.block_norm(p, c);
+        if (norm > 0.0 && norm < threshold) {
+          set.kill_block(p, c);
+          ++killed;
+        }
+      }
+    }
+  }
+  return killed;
+}
+
+}  // namespace ls::train

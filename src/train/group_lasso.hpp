@@ -1,0 +1,60 @@
+#pragma once
+// Group-Lasso regularization over core-block weight groups (paper Eq. 1-3).
+//
+// The optimization target is L(W) = L_D(W) + lambda R(W) + lambda_g
+// sum_l R_g(W^l), with R_g the sum of L2 norms of the P x P weight blocks.
+// We implement the R_g term with the standard proximal operator applied
+// after each SGD step:
+//
+//     w_g <- w_g * max(0, 1 - eta * lambda_g(p,c) / ||w_g||_2)
+//
+// which drives whole blocks to *exactly* zero (a subgradient penalty only
+// shrinks them asymptotically — the proximal form is what makes the dead-
+// block traffic analysis exact; the subgradient variant is kept as an
+// ablation). The per-block coefficient lambda_g(p,c) = lambda_g *
+// mask[p][c] is where communication awareness enters (SS vs SS_Mask).
+
+#include <vector>
+
+#include "core/weight_groups.hpp"
+#include "train/masks.hpp"
+
+namespace ls::train {
+
+enum class LassoMode {
+  kProximal,     ///< exact block zeros (default)
+  kSubgradient,  ///< classic gradient of the penalty (ablation)
+};
+
+class GroupLassoRegularizer {
+ public:
+  GroupLassoRegularizer(std::vector<core::LayerGroupSet> groups,
+                        StrengthMask mask, double lambda_g,
+                        LassoMode mode = LassoMode::kProximal);
+
+  /// Applies one regularization update. For kProximal call *after*
+  /// Sgd::step with the same learning rate; for kSubgradient call *before*
+  /// (it accumulates into the gradients).
+  void apply(double lr);
+
+  /// Current penalty value lambda_g * sum of masked block norms.
+  double penalty() const;
+
+  /// Zeroes every block whose L2 norm falls below `threshold` (final
+  /// cleanup after training; the proximal operator leaves blocks either
+  /// exactly zero or clearly alive, so a tiny threshold suffices).
+  /// Returns the number of blocks killed.
+  std::size_t enforce_dead_blocks(double threshold = 1e-6);
+
+  const std::vector<core::LayerGroupSet>& groups() const { return groups_; }
+  std::vector<core::LayerGroupSet>& groups() { return groups_; }
+  LassoMode mode() const { return mode_; }
+
+ private:
+  std::vector<core::LayerGroupSet> groups_;
+  StrengthMask mask_;
+  double lambda_g_;
+  LassoMode mode_;
+};
+
+}  // namespace ls::train

@@ -1,0 +1,42 @@
+#include "train/masks.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ls::train {
+
+StrengthMask uniform_mask(std::size_t cores) {
+  if (cores == 0) throw std::invalid_argument("zero cores");
+  StrengthMask mask(cores, std::vector<double>(cores, 1.0));
+  for (std::size_t i = 0; i < cores; ++i) mask[i][i] = 0.0;
+  return mask;
+}
+
+StrengthMask distance_mask(const noc::MeshTopology& topo, double exponent) {
+  const std::size_t n = topo.num_cores();
+  const double mean = topo.mean_hops();
+  StrengthMask mask(n, std::vector<double>(n, 0.0));
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (p == c) continue;
+      const double h = static_cast<double>(topo.hops(p, c));
+      mask[p][c] = std::pow(h / mean, exponent);
+    }
+  }
+  return mask;
+}
+
+double mean_off_diagonal(const StrengthMask& mask) {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (std::size_t p = 0; p < mask.size(); ++p) {
+    for (std::size_t c = 0; c < mask[p].size(); ++c) {
+      if (p == c) continue;
+      total += mask[p][c];
+      ++count;
+    }
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ls::train

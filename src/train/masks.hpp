@@ -1,0 +1,42 @@
+#pragma once
+// Sparsity-strength masks for group-Lasso training (paper §IV.C.3).
+//
+// A mask is a P x P matrix of multiplicative strength factors on the
+// group-Lasso coefficient of weight block (p, c):
+//
+// * uniform_mask    — every off-diagonal block gets factor 1: the "SS"
+//   scheme (structured sparsity, distance-unaware).
+// * distance_mask   — factor grows with the NoC hop distance between cores
+//   p and c (Fig. 6(a)): the "SS_Mask" scheme. Long-distance blocks are
+//   pruned first; adjacent-core blocks may keep their weights to preserve
+//   accuracy.
+//
+// Diagonal blocks (p == c) cause no communication and always get factor 0,
+// matching the paper ("the weights on the diagonal groups will not cause
+// any communication ... we assign lower sparsity strength to these groups
+// to keep their values").
+
+#include <cstddef>
+#include <vector>
+
+#include "noc/topology.hpp"
+
+namespace ls::train {
+
+using StrengthMask = std::vector<std::vector<double>>;
+
+/// SS: factor 1 off-diagonal, 0 on the diagonal.
+StrengthMask uniform_mask(std::size_t cores);
+
+/// SS_Mask: factor = (hops(p,c) / mean_hops)^exponent off-diagonal, 0 on
+/// the diagonal. exponent = 1 reproduces the paper's linear distance
+/// priority; higher exponents push sparsity harder onto distant pairs
+/// (ablation).
+StrengthMask distance_mask(const noc::MeshTopology& topo,
+                           double exponent = 1.0);
+
+/// Mean off-diagonal factor (used to normalize masks so SS and SS_Mask
+/// apply comparable total regularization pressure).
+double mean_off_diagonal(const StrengthMask& mask);
+
+}  // namespace ls::train

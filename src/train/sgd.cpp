@@ -1,0 +1,41 @@
+#include "train/sgd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ls::train {
+
+Sgd::Sgd(std::vector<nn::Param*> params, const SgdConfig& cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  if (cfg_.lr <= 0.0) throw std::invalid_argument("non-positive lr");
+  velocity_.reserve(params_.size());
+  for (nn::Param* p : params_) {
+    velocity_.emplace_back(p->value.shape(), 0.0f);
+  }
+}
+
+void Sgd::step() {
+  float clip_scale = 1.0f;
+  if (cfg_.clip_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (nn::Param* p : params_) sq += p->grad.sum_squares();
+    const double norm = std::sqrt(sq);
+    if (norm > cfg_.clip_grad_norm) {
+      clip_scale = static_cast<float>(cfg_.clip_grad_norm / norm);
+    }
+  }
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    nn::Param& p = *params_[i];
+    tensor::Tensor& v = velocity_[i];
+    const auto lr = static_cast<float>(cfg_.lr);
+    const auto mom = static_cast<float>(cfg_.momentum);
+    const auto wd = static_cast<float>(cfg_.weight_decay);
+    for (std::size_t j = 0; j < p.value.numel(); ++j) {
+      const float g = clip_scale * p.grad[j] + wd * p.value[j];
+      v[j] = mom * v[j] - lr * g;
+      p.value[j] += v[j];
+    }
+  }
+}
+
+}  // namespace ls::train

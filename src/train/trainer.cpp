@@ -1,0 +1,74 @@
+#include "train/trainer.hpp"
+
+#include "nn/loss.hpp"
+#include "util/log.hpp"
+
+namespace ls::train {
+
+double evaluate(nn::Network& net, const data::Dataset& test_set,
+                std::size_t batch_size) {
+  std::size_t hits = 0;
+  for (std::size_t lo = 0; lo < test_set.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, test_set.size());
+    const data::Dataset chunk = test_set.slice(lo, hi);
+    const auto preds = net.predict(chunk.images);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == chunk.labels[i]) ++hits;
+    }
+  }
+  return test_set.size()
+             ? static_cast<double>(hits) / static_cast<double>(test_set.size())
+             : 0.0;
+}
+
+TrainReport train_classifier(nn::Network& net, const data::Dataset& train_set,
+                             const data::Dataset& test_set,
+                             const TrainConfig& cfg,
+                             GroupLassoRegularizer* reg) {
+  TrainReport report;
+  Sgd sgd(net.params(), cfg.sgd);
+  data::Batcher batcher(train_set, cfg.batch_size, cfg.seed);
+
+  double lr = cfg.sgd.lr;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    sgd.set_lr(lr);
+    batcher.reset();
+    tensor::Tensor images;
+    std::vector<std::uint32_t> labels;
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    while (batcher.next(images, labels)) {
+      net.zero_grad();
+      const tensor::Tensor logits = net.forward(images, /*training=*/true);
+      nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+      epoch_loss += loss.loss;
+      ++batches;
+      net.backward(loss.grad_logits);
+      if (reg != nullptr && reg->mode() == LassoMode::kSubgradient) {
+        reg->apply(lr);  // adds the penalty gradient before the step
+      }
+      sgd.step();
+      if (reg != nullptr && reg->mode() == LassoMode::kProximal) {
+        reg->apply(lr);  // proximal shrink after the step
+      }
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    report.epoch_loss.push_back(epoch_loss);
+    report.epoch_penalty.push_back(reg ? reg->penalty() : 0.0);
+    if (cfg.verbose) {
+      LS_LOG_INFO("%s epoch %zu: loss=%.4f penalty=%.4f", net.name().c_str(),
+                  epoch, epoch_loss, report.epoch_penalty.back());
+    }
+    lr *= cfg.lr_decay;
+  }
+
+  if (reg != nullptr) {
+    report.dead_blocks_killed = reg->enforce_dead_blocks();
+  }
+  report.train_accuracy = evaluate(net, train_set);
+  report.test_accuracy = evaluate(net, test_set);
+  report.weight_sparsity = net.sparsity();
+  return report;
+}
+
+}  // namespace ls::train

@@ -1,0 +1,99 @@
+#pragma once
+// 16-bit fixed-point arithmetic matching the DianNao-style accelerator cores
+// in TABLE II of the paper ("16-bit fixed-point integer operation").
+//
+// We model the common Q1.15-style format with a configurable number of
+// fractional bits. The accelerator cycle model does not need bit-accurate
+// values, but the quantization helpers here let tests verify that the
+// networks we train survive 16-bit deployment (the noise-tolerance premise
+// the paper's techniques rest on).
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace ls::util {
+
+/// Q(16-frac_bits).frac_bits signed fixed-point value.
+template <int FracBits = 8>
+class Fixed16 {
+  static_assert(FracBits > 0 && FracBits < 16, "fractional bits out of range");
+
+ public:
+  static constexpr double kScale = static_cast<double>(1 << FracBits);
+  static constexpr std::int16_t kMaxRaw =
+      std::numeric_limits<std::int16_t>::max();
+  static constexpr std::int16_t kMinRaw =
+      std::numeric_limits<std::int16_t>::min();
+
+  constexpr Fixed16() = default;
+
+  /// Quantizes with round-to-nearest and saturation.
+  static Fixed16 from_double(double v) {
+    const double scaled = v * kScale;
+    double rounded = scaled >= 0.0 ? scaled + 0.5 : scaled - 0.5;
+    rounded = std::clamp(rounded, static_cast<double>(kMinRaw),
+                         static_cast<double>(kMaxRaw));
+    Fixed16 f;
+    f.raw_ = static_cast<std::int16_t>(rounded);
+    return f;
+  }
+
+  static constexpr Fixed16 from_raw(std::int16_t raw) {
+    Fixed16 f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  constexpr std::int16_t raw() const { return raw_; }
+  constexpr double to_double() const {
+    return static_cast<double>(raw_) / kScale;
+  }
+
+  /// Saturating addition.
+  friend Fixed16 operator+(Fixed16 a, Fixed16 b) {
+    const std::int32_t sum =
+        static_cast<std::int32_t>(a.raw_) + static_cast<std::int32_t>(b.raw_);
+    return from_raw(saturate(sum));
+  }
+
+  friend Fixed16 operator-(Fixed16 a, Fixed16 b) {
+    const std::int32_t diff =
+        static_cast<std::int32_t>(a.raw_) - static_cast<std::int32_t>(b.raw_);
+    return from_raw(saturate(diff));
+  }
+
+  /// Saturating multiply with rounding of the dropped fractional bits.
+  friend Fixed16 operator*(Fixed16 a, Fixed16 b) {
+    std::int64_t prod =
+        static_cast<std::int64_t>(a.raw_) * static_cast<std::int64_t>(b.raw_);
+    prod += (std::int64_t{1} << (FracBits - 1));  // round half up
+    prod >>= FracBits;
+    return from_raw(saturate(static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(prod, kMinRaw, kMaxRaw))));
+  }
+
+  friend constexpr bool operator==(Fixed16 a, Fixed16 b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr auto operator<=>(Fixed16 a, Fixed16 b) {
+    return a.raw_ <=> b.raw_;
+  }
+
+ private:
+  static constexpr std::int16_t saturate(std::int32_t v) {
+    return static_cast<std::int16_t>(
+        std::clamp<std::int32_t>(v, kMinRaw, kMaxRaw));
+  }
+
+  std::int16_t raw_ = 0;
+};
+
+/// Quantize a double through 16-bit fixed point and back; exposes the
+/// quantization error the accelerator introduces.
+template <int FracBits = 8>
+double quantize_f16(double v) {
+  return Fixed16<FracBits>::from_double(v).to_double();
+}
+
+}  // namespace ls::util

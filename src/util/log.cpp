@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+
+namespace ls::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace ls::util

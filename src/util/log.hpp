@@ -1,0 +1,25 @@
+#pragma once
+// Minimal leveled logger. Experiments print structured result tables via
+// util/table.hpp; this logger is for progress and diagnostics only.
+
+#include <cstdio>
+#include <string>
+
+namespace ls::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. The format string is checked by the compiler.
+void log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define LS_LOG_DEBUG(...) ::ls::util::log(::ls::util::LogLevel::kDebug, __VA_ARGS__)
+#define LS_LOG_INFO(...) ::ls::util::log(::ls::util::LogLevel::kInfo, __VA_ARGS__)
+#define LS_LOG_WARN(...) ::ls::util::log(::ls::util::LogLevel::kWarn, __VA_ARGS__)
+#define LS_LOG_ERROR(...) ::ls::util::log(::ls::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace ls::util

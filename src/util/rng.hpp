@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components in the library (weight init, synthetic datasets,
+// traffic jitter) draw from ls::util::Rng so that a single seed reproduces an
+// entire experiment end to end.
+
+#include <cstdint>
+#include <limits>
+
+namespace ls::util {
+
+/// xoshiro256** generator (Blackman & Vigna). Fast, high quality, and
+/// trivially seedable — we deliberately avoid std::mt19937 so that results
+/// are identical across standard-library implementations.
+class Rng {
+ public:
+  /// Seeds the four 64-bit lanes from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initializes the state; equivalent to constructing a fresh Rng.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a value (useful to derive per-stream seeds).
+std::uint64_t hash_u64(std::uint64_t v);
+
+}  // namespace ls::util

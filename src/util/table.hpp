@@ -1,0 +1,47 @@
+#pragma once
+// ASCII table printer used by every bench binary to report results in the
+// same row layout as the paper's tables ("paper value vs measured").
+
+#include <string>
+#include <vector>
+
+namespace ls::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns.
+  std::string to_string() const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string fmt_double(double v, int precision = 2);
+
+/// Formats a ratio like "1.59x".
+std::string fmt_speedup(double v, int precision = 2);
+
+/// Formats a fraction like "81%".
+std::string fmt_percent(double frac, int precision = 0);
+
+/// Formats a byte count with K/M suffix like the paper's TABLE I ("225K").
+std::string fmt_bytes(double bytes);
+
+}  // namespace ls::util

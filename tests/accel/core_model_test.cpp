@@ -1,0 +1,118 @@
+#include "accel/core_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::accel {
+namespace {
+
+TEST(CoreModel, ZeroWorkZeroCost) {
+  const CoreModel model;
+  const LayerCoreCost cost = model.layer_cost({});
+  EXPECT_EQ(cost.cycles(), 0u);
+  EXPECT_EQ(cost.energy_pj, 0.0);
+}
+
+TEST(CoreModel, ComputeCyclesMatchPeakThroughput) {
+  AccelConfig cfg;
+  cfg.pe_utilization = 1.0;
+  const CoreModel model(cfg);
+  LayerPartitionWork work;
+  work.macs = 256 * 1000;  // exactly 1000 cycles at 256 MACs/cycle
+  EXPECT_EQ(model.layer_cost(work).compute_cycles, 1000u);
+}
+
+TEST(CoreModel, UtilizationInflatesCycles) {
+  AccelConfig full;
+  full.pe_utilization = 1.0;
+  AccelConfig half;
+  half.pe_utilization = 0.5;
+  LayerPartitionWork work;
+  work.macs = 256 * 100;
+  EXPECT_EQ(CoreModel(half).layer_cost(work).compute_cycles,
+            2 * CoreModel(full).layer_cost(work).compute_cycles);
+}
+
+TEST(CoreModel, CeilingOnPartialCycle) {
+  AccelConfig cfg;
+  cfg.pe_utilization = 1.0;
+  LayerPartitionWork work;
+  work.macs = 257;
+  EXPECT_EQ(CoreModel(cfg).layer_cost(work).compute_cycles, 2u);
+}
+
+TEST(CoreModel, ResidentWeightsNoDramCycles) {
+  AccelConfig cfg;
+  cfg.model_weight_streaming = true;
+  const CoreModel model(cfg);
+  LayerPartitionWork work;
+  work.macs = 1000;
+  work.weight_bytes = cfg.weight_buffer_bytes;  // exactly fits
+  EXPECT_EQ(model.layer_cost(work).dram_cycles, 0u);
+}
+
+TEST(CoreModel, OversizedWeightsStreamWhenEnabled) {
+  AccelConfig cfg;
+  cfg.model_weight_streaming = true;
+  cfg.dram_bytes_per_cycle = 4.0;
+  const CoreModel model(cfg);
+  LayerPartitionWork work;
+  work.macs = 1;
+  work.weight_bytes = cfg.weight_buffer_bytes + 4000;  // 135072 bytes
+  const LayerCoreCost cost = model.layer_cost(work);
+  EXPECT_EQ(cost.dram_cycles, 135072u / 4);
+  EXPECT_GT(cost.cycles(), cost.compute_cycles);
+}
+
+TEST(CoreModel, StreamingDisabledByDefault) {
+  const CoreModel model;
+  LayerPartitionWork work;
+  work.macs = 1;
+  work.weight_bytes = 10 * 1024 * 1024;
+  EXPECT_EQ(model.layer_cost(work).dram_cycles, 0u);
+}
+
+TEST(CoreModel, LatencyIsMaxOfComputeAndStreaming) {
+  AccelConfig cfg;
+  cfg.model_weight_streaming = true;
+  cfg.pe_utilization = 1.0;
+  const CoreModel model(cfg);
+  LayerPartitionWork work;
+  work.macs = 256 * 1'000'000;  // 1M compute cycles
+  work.weight_bytes = cfg.weight_buffer_bytes + 400;  // tiny streaming
+  const LayerCoreCost cost = model.layer_cost(work);
+  EXPECT_EQ(cost.cycles(), cost.compute_cycles);
+}
+
+TEST(CoreModel, EnergyScalesWithMacs) {
+  const CoreModel model;
+  LayerPartitionWork small;
+  small.macs = 1000;
+  LayerPartitionWork big;
+  big.macs = 10000;
+  EXPECT_NEAR(model.layer_cost(big).energy_pj,
+              10.0 * model.layer_cost(small).energy_pj, 1e-6);
+}
+
+TEST(CoreModel, RejectsDegenerateConfig) {
+  AccelConfig cfg;
+  cfg.pe_rows = 0;
+  EXPECT_THROW(CoreModel{cfg}, std::invalid_argument);
+  cfg = AccelConfig{};
+  cfg.pe_utilization = 0.0;
+  EXPECT_THROW(CoreModel{cfg}, std::invalid_argument);
+  cfg = AccelConfig{};
+  cfg.pe_utilization = 1.5;
+  EXPECT_THROW(CoreModel{cfg}, std::invalid_argument);
+}
+
+TEST(CoreModel, Table2Defaults) {
+  // TABLE II: 16x16 PEs, 128KB SB, 32KB data buffers, 16-bit values.
+  const AccelConfig cfg;
+  EXPECT_EQ(cfg.macs_per_cycle(), 256u);
+  EXPECT_EQ(cfg.weight_buffer_bytes, 128u * 1024);
+  EXPECT_EQ(cfg.data_buffer_bytes, 32u * 1024);
+  EXPECT_EQ(cfg.bytes_per_value, 2u);
+}
+
+}  // namespace
+}  // namespace ls::accel

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/comm_volume.hpp"
+#include "core/grouping.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace ls::core {
+namespace {
+
+TEST(CommVolume, MlpMatchesPaperTable1) {
+  const auto table = comm_volume_table(nn::mlp_spec(), 16);
+  ASSERT_EQ(table.size(), 2u);
+  // Paper TABLE I: 28K into ip2, 17K into ip2/3.
+  EXPECT_NEAR(table[0].bytes / 1024.0, 28.0, 0.5);
+  EXPECT_NEAR(table[1].bytes / 1024.0, 17.0, 0.5);
+}
+
+TEST(CommVolume, ConvNetMatchesPaperTable1) {
+  const auto table = comm_volume_table(nn::convnet_spec(), 16);
+  // conv2: 450K, conv3: 113K, ip1: 57K.
+  EXPECT_NEAR(table[0].bytes / 1024.0, 450.0, 10.0);
+  EXPECT_NEAR(table[1].bytes / 1024.0, 113.0, 2.0);
+  EXPECT_NEAR(table[2].bytes / 1024.0, 57.0, 2.0);
+}
+
+TEST(CommVolume, ScalesWithBroadcastFactor) {
+  const nn::NetSpec spec = nn::mlp_spec();
+  const double v4 = total_comm_volume(spec, 4);
+  const double v16 = total_comm_volume(spec, 16);
+  // Factor (P-1)^2/P: 2.25 at P=4, 14.0625 at P=16.
+  EXPECT_NEAR(v16 / v4, 14.0625 / 2.25, 1e-9);
+}
+
+TEST(CommVolume, MonotoneInModelSize) {
+  EXPECT_LT(total_comm_volume(nn::lenet_spec(), 16),
+            total_comm_volume(nn::alexnet_spec(), 16));
+  EXPECT_LT(total_comm_volume(nn::alexnet_spec(), 16),
+            total_comm_volume(nn::vgg19_spec(), 16));
+}
+
+TEST(Grouping, AppliesToNamedLayers) {
+  const nn::NetSpec spec = nn::convnet_variant_spec(64, 128, 256, 1);
+  const nn::NetSpec grouped = apply_grouping(spec, {"conv2", "conv3"}, 16);
+  for (const auto& l : grouped.layers) {
+    if (l.name == "conv2" || l.name == "conv3") {
+      EXPECT_EQ(l.groups, 16u);
+    } else if (l.kind == nn::LayerKind::kConv) {
+      EXPECT_EQ(l.groups, 1u);
+    }
+  }
+}
+
+TEST(Grouping, RejectsUnknownOrNonConv) {
+  const nn::NetSpec spec = nn::convnet_variant_spec(64, 128, 256, 1);
+  EXPECT_THROW(apply_grouping(spec, {"nope"}, 4), std::invalid_argument);
+  EXPECT_THROW(apply_grouping(spec, {"pool1"}, 4), std::invalid_argument);
+}
+
+TEST(Grouping, RejectsIndivisibleChannels) {
+  const nn::NetSpec spec = nn::convnet_variant_spec(64, 100, 256, 1);
+  EXPECT_THROW(apply_grouping(spec, {"conv2"}, 16), std::invalid_argument);
+}
+
+TEST(Grouping, RejectsIndivisibleInputChannels) {
+  // conv2 out divisible, but its input (conv1 = 20 maps) is not.
+  nn::NetSpec spec;
+  spec.name = "t";
+  spec.input = {3, 16, 16};
+  spec.layers = {nn::LayerSpec::conv("conv1", 20, 3, 1, 1),
+                 nn::LayerSpec::conv("conv2", 32, 3, 1, 1)};
+  EXPECT_THROW(apply_grouping(spec, {"conv2"}, 16), std::invalid_argument);
+}
+
+TEST(Grouping, DefaultTargetsSkipFirstConv) {
+  const auto targets = default_grouping_targets(nn::convnet_spec());
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], "conv2");
+  EXPECT_EQ(targets[1], "conv3");
+}
+
+TEST(Grouping, ZeroGroupsRejected) {
+  EXPECT_THROW(
+      apply_grouping(nn::convnet_spec(), {"conv2"}, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::core

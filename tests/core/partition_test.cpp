@@ -1,0 +1,71 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::core {
+namespace {
+
+TEST(BalancedRanges, EvenSplit) {
+  const auto r = balanced_ranges(16, 4);
+  ASSERT_EQ(r.size(), 4u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(r[p].count(), 4u);
+    EXPECT_EQ(r[p].begin, p * 4);
+  }
+}
+
+TEST(BalancedRanges, RaggedSplit) {
+  const auto r = balanced_ranges(10, 4);
+  EXPECT_EQ(r[0].count(), 3u);
+  EXPECT_EQ(r[1].count(), 3u);
+  EXPECT_EQ(r[2].count(), 2u);
+  EXPECT_EQ(r[3].count(), 2u);
+  EXPECT_EQ(r[3].end, 10u);
+}
+
+TEST(BalancedRanges, MorePartsThanUnits) {
+  const auto r = balanced_ranges(3, 8);
+  std::size_t total = 0;
+  for (const auto& range : r) total += range.count();
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(r[3].count(), 0u);
+  EXPECT_EQ(r[7].count(), 0u);
+}
+
+TEST(BalancedRanges, ContiguousAndComplete) {
+  for (std::size_t units : {1u, 7u, 16u, 20u, 304u}) {
+    for (std::size_t parts : {1u, 4u, 8u, 16u, 32u}) {
+      const auto r = balanced_ranges(units, parts);
+      std::size_t cursor = 0;
+      for (const auto& range : r) {
+        EXPECT_EQ(range.begin, cursor);
+        cursor = range.end;
+      }
+      EXPECT_EQ(cursor, units);
+    }
+  }
+}
+
+TEST(BalancedRanges, RejectsZeroParts) {
+  EXPECT_THROW(balanced_ranges(4, 0), std::invalid_argument);
+}
+
+TEST(OwnerOf, MatchesRanges) {
+  for (std::size_t units : {1u, 5u, 16u, 20u, 50u, 304u}) {
+    for (std::size_t parts : {1u, 3u, 8u, 16u, 32u}) {
+      const auto r = balanced_ranges(units, parts);
+      for (std::size_t u = 0; u < units; ++u) {
+        const std::size_t owner = owner_of(u, units, parts);
+        EXPECT_TRUE(r[owner].contains(u))
+            << "u=" << u << " units=" << units << " parts=" << parts;
+      }
+    }
+  }
+}
+
+TEST(OwnerOf, RejectsOutOfRange) {
+  EXPECT_THROW(owner_of(5, 5, 2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ls::core

@@ -1,0 +1,173 @@
+// Functional correctness of partitioned inference — the paper's central
+// claims as executable properties.
+
+#include "core/partitioned_inference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace ls::core {
+namespace {
+
+tensor::Tensor sample_input(const nn::NetSpec& spec, std::size_t n,
+                            util::Rng& rng) {
+  return tensor::Tensor::uniform(
+      tensor::Shape{n, spec.input.c, spec.input.h, spec.input.w}, 0.f, 1.f,
+      rng);
+}
+
+// Paper §IV.A: traditional parallelization produces the same output as the
+// non-parallelized network — for every network and core count.
+class TraditionalEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(TraditionalEquivalence, PartitionedMatchesMonolithic) {
+  const auto [which, cores] = GetParam();
+  const nn::NetSpec spec = which == 0   ? nn::mlp_expt_spec()
+                           : which == 1 ? nn::lenet_expt_spec()
+                                        : nn::convnet_expt_spec();
+  util::Rng rng(7 + static_cast<std::uint64_t>(which));
+  nn::Network net = nn::build_network(spec, rng);
+  const tensor::Tensor in = sample_input(spec, 2, rng);
+  const tensor::Tensor mono = net.forward(in);
+  PartitionedInference part(net, spec, cores);
+  const tensor::Tensor dist = part.run(in);
+  EXPECT_LT(tensor::max_abs_diff(mono, dist), 1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NetsAndCores, TraditionalEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(2, 4, 16)));
+
+TEST(PartitionedInference, DenseExchangesMatchDenseTrafficModel) {
+  util::Rng rng(1);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 16;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  PartitionedInference part(net, spec, cores);
+  part.run(sample_input(spec, 1, rng));
+  const auto dense = traffic_dense(spec, topo, 2);
+  EXPECT_EQ(part.total_bytes(), dense.total_bytes());
+}
+
+// Paper §IV.C: dropping transfers whose consumer weights are all zero
+// changes nothing.
+TEST(PartitionedInference, DeadBlockTransfersAreDroppableExactly) {
+  util::Rng rng(2);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 16;
+  auto sets = build_group_sets(net, spec, cores);
+  // Kill a third of the off-diagonal blocks.
+  for (auto& set : sets) {
+    for (std::size_t p = 0; p < cores; ++p) {
+      for (std::size_t c = 0; c < cores; ++c) {
+        if (p != c && (p + 2 * c) % 3 == 0) set.kill_block(p, c);
+      }
+    }
+  }
+  const tensor::Tensor in = sample_input(spec, 2, rng);
+  const tensor::Tensor mono = net.forward(in);
+  PartitionedInference part(net, spec, cores);
+  const tensor::Tensor dist = part.run(in);
+  EXPECT_LT(tensor::max_abs_diff(mono, dist), 1e-5f);
+  // And the exchanges actually shrank.
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  const auto dense = traffic_dense(spec, topo, 2);
+  EXPECT_LT(part.total_bytes(), dense.total_bytes());
+}
+
+TEST(PartitionedInference, ExchangesCrossValidateTrafficLive) {
+  // The functional executor and the analytic traffic model must agree on
+  // the byte count, for both granularities, on a partially-dead network.
+  util::Rng rng(3);
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 8;
+  auto sets = build_group_sets(net, spec, cores);
+  for (auto& set : sets) {
+    for (std::size_t p = 0; p < cores; ++p) {
+      for (std::size_t c = 0; c < cores; ++c) {
+        if (p != c && (p * 5 + c) % 4 == 0) set.kill_block(p, c);
+      }
+    }
+  }
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  for (const auto gran :
+       {Granularity::kFeatureMap, Granularity::kBlock}) {
+    PartitionedInference part(net, spec, cores, gran);
+    part.run(sample_input(spec, 1, rng));
+    const auto model = traffic_live(net, spec, topo, 2, gran);
+    EXPECT_EQ(part.total_bytes(), model.total_bytes())
+        << (gran == Granularity::kFeatureMap ? "feature-map" : "block");
+  }
+}
+
+TEST(PartitionedInference, GroupedConvLayersExchangeNothing) {
+  util::Rng rng(4);
+  const nn::NetSpec spec = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  nn::Network net = nn::build_network(spec, rng);
+  PartitionedInference part(net, spec, 16);
+  const tensor::Tensor in = sample_input(spec, 1, rng);
+  const tensor::Tensor mono = net.forward(in);
+  const tensor::Tensor dist = part.run(in);
+  EXPECT_LT(tensor::max_abs_diff(mono, dist), 1e-4f);
+  for (const auto& e : part.exchanges()) {
+    if (e.layer_name == "conv2" || e.layer_name == "conv3") {
+      EXPECT_EQ(e.bytes, 0u) << e.layer_name;
+    }
+  }
+}
+
+TEST(PartitionedInference, TrainedSparseNetworkStaysCorrect) {
+  // End to end: train with the masked lasso, then verify the partitioned
+  // execution (which drops all dead transfers) predicts identically to
+  // the monolithic forward on test data.
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const auto train_set = sim::dataset_for(spec, 256, 1);
+  const auto test_set = sim::dataset_for(spec, 64, 2);
+  util::Rng rng(5);
+  nn::Network net = nn::build_network(spec, rng);
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  train::GroupLassoRegularizer reg(build_group_sets(net, spec, 16),
+                                   train::distance_mask(topo), 0.8);
+  train::TrainConfig tcfg;
+  tcfg.epochs = 2;
+  train::train_classifier(net, train_set, test_set, tcfg, &reg);
+
+  PartitionedInference part(net, spec, 16);
+  const tensor::Tensor logits_mono = net.forward(test_set.images);
+  const tensor::Tensor logits_dist = part.run(test_set.images);
+  EXPECT_LT(tensor::max_abs_diff(logits_mono, logits_dist), 1e-4f);
+}
+
+TEST(PartitionedInference, Fixed16ModePreservesPredictions) {
+  util::Rng rng(6);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const tensor::Tensor in = sample_input(spec, 8, rng);
+  PartitionedInference part(net, spec, 16);
+  const auto float_preds = nn::argmax_rows(part.run(in, false));
+  const auto fixed_preds = nn::argmax_rows(part.run(in, true, 12));
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < float_preds.size(); ++i) {
+    if (float_preds[i] == fixed_preds[i]) ++same;
+  }
+  EXPECT_GE(same, float_preds.size() - 1);
+}
+
+TEST(PartitionedInference, RejectsMismatchedSpec) {
+  util::Rng rng(8);
+  nn::Network net = nn::build_network(nn::mlp_expt_spec(), rng);
+  const nn::NetSpec other = nn::lenet_expt_spec();
+  EXPECT_THROW(PartitionedInference(net, other, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::core

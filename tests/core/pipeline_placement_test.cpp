@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/placement.hpp"
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace ls::core {
+namespace {
+
+TEST(Pipeline, StagesAreContiguousAndComplete) {
+  const auto a = assign_pipeline(nn::lenet_spec(), 4, 2);
+  ASSERT_FALSE(a.stages.empty());
+  EXPECT_LE(a.stages.size(), 4u);
+  std::size_t cursor = 0;
+  for (const auto& s : a.stages) {
+    EXPECT_EQ(s.begin, cursor);
+    EXPECT_GT(s.end, s.begin);
+    cursor = s.end;
+  }
+  EXPECT_EQ(cursor, 4u);  // LeNet has conv1, conv2, ip1, ip2
+}
+
+TEST(Pipeline, SingleCoreSingleStage) {
+  const auto a = assign_pipeline(nn::lenet_spec(), 1, 2);
+  ASSERT_EQ(a.stages.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.imbalance(), 1.0);
+}
+
+TEST(Pipeline, MaxStageIsAtLeastLargestLayer) {
+  const auto analysis = nn::analyze(nn::alexnet_spec());
+  std::uint64_t largest = 0;
+  for (const auto& la : analysis) {
+    if (la.is_compute()) largest = std::max(largest, la.macs);
+  }
+  for (std::size_t cores : {2u, 4u, 16u}) {
+    const auto a = assign_pipeline(nn::alexnet_spec(), cores, 2);
+    EXPECT_GE(a.max_stage_macs(), largest);
+  }
+}
+
+TEST(Pipeline, BottleneckShrinksWithMoreCores) {
+  const auto a2 = assign_pipeline(nn::vgg19_spec(), 2, 2);
+  const auto a8 = assign_pipeline(nn::vgg19_spec(), 8, 2);
+  EXPECT_LE(a8.max_stage_macs(), a2.max_stage_macs());
+}
+
+TEST(Pipeline, StageMacsSumToNetwork) {
+  const auto a = assign_pipeline(nn::convnet_spec(), 4, 2);
+  std::uint64_t total = 0;
+  for (const auto& s : a.stages) total += s.macs;
+  EXPECT_EQ(total, nn::total_macs(nn::convnet_spec()));
+}
+
+TEST(Pipeline, ImbalanceExceedsOneForRealNets) {
+  // The paper's claim: real layer mixes do not balance.
+  const auto a = assign_pipeline(nn::lenet_spec(), 4, 2);
+  EXPECT_GT(a.imbalance(), 1.1);
+}
+
+TEST(Pipeline, RejectsZeroCores) {
+  EXPECT_THROW(assign_pipeline(nn::lenet_spec(), 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Placement, IdentityIsValidAndNoOp) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto traffic = traffic_dense(nn::mlp_expt_spec(), topo, 2);
+  const Placement id = Placement::identity(16);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(placement_cost(traffic, id, topo), traffic.total_byte_hops());
+  const auto mapped = remap_traffic(traffic, id, topo);
+  EXPECT_EQ(mapped.total_bytes(), traffic.total_bytes());
+  EXPECT_EQ(mapped.total_byte_hops(), traffic.total_byte_hops());
+}
+
+TEST(Placement, ValidRejectsDuplicates) {
+  Placement p;
+  p.partition_to_core = {0, 1, 1, 3};
+  EXPECT_FALSE(p.valid());
+  p.partition_to_core = {0, 1, 2, 5};
+  EXPECT_FALSE(p.valid());
+}
+
+TEST(Placement, RemapRejectsInvalid) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(4);
+  const auto traffic = traffic_dense(nn::mlp_expt_spec(), topo, 2);
+  Placement bad;
+  bad.partition_to_core = {0, 0, 1, 2};
+  EXPECT_THROW(remap_traffic(traffic, bad, topo), std::invalid_argument);
+}
+
+TEST(Placement, CostChangesUnderSwap) {
+  // Two partitions exchanging heavy traffic cost less when adjacent.
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  InferenceTraffic traffic;
+  TransitionTraffic t;
+  t.layer_name = "x";
+  t.messages.push_back({0, 15, 1000, 0});  // corners: 6 hops
+  t.total_bytes = 1000;
+  t.total_byte_hops = 6000;
+  traffic.transitions.push_back(t);
+
+  Placement p = Placement::identity(16);
+  std::swap(p.partition_to_core[15], p.partition_to_core[1]);  // now 1 hop
+  EXPECT_EQ(placement_cost(traffic, p, topo), 1000u);
+}
+
+TEST(Placement, AnnealingNeverWorseThanIdentity) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  util::Rng rng(3);
+  // Structured traffic: partition i talks to partition (i+4) % 16 only.
+  InferenceTraffic traffic;
+  TransitionTraffic t;
+  t.layer_name = "ring";
+  for (std::size_t i = 0; i < 16; ++i) {
+    t.messages.push_back({i, (i + 4) % 16, 512, 0});
+  }
+  traffic.transitions.push_back(t);
+
+  const Placement id = Placement::identity(16);
+  const Placement opt = optimize_placement(traffic, topo, rng, 5000);
+  EXPECT_TRUE(opt.valid());
+  EXPECT_LE(placement_cost(traffic, opt, topo),
+            placement_cost(traffic, id, topo));
+}
+
+TEST(Placement, AnnealingFindsObviousImprovement) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  util::Rng rng(4);
+  // One hot pair placed at opposite corners: optimizer must co-locate it.
+  InferenceTraffic traffic;
+  TransitionTraffic t;
+  t.layer_name = "pair";
+  t.messages.push_back({0, 15, 100000, 0});
+  t.messages.push_back({15, 0, 100000, 0});
+  traffic.transitions.push_back(t);
+  const Placement opt = optimize_placement(traffic, topo, rng, 10000);
+  const std::size_t hops =
+      topo.hops(opt.core_of(0), opt.core_of(15));
+  EXPECT_EQ(hops, 1u);
+}
+
+TEST(Placement, DeterministicForSeed) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(8);
+  const auto traffic = traffic_dense(nn::lenet_expt_spec(), topo, 2);
+  util::Rng a(9), b(9);
+  const auto pa = optimize_placement(traffic, topo, a, 2000);
+  const auto pb = optimize_placement(traffic, topo, b, 2000);
+  EXPECT_EQ(pa.partition_to_core, pb.partition_to_core);
+}
+
+}  // namespace
+}  // namespace ls::core

@@ -1,0 +1,172 @@
+#include "core/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/grouping.hpp"
+#include "core/weight_groups.hpp"
+#include "nn/fc.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace ls::core {
+namespace {
+
+TEST(TrafficDense, MlpVolumesMatchFormula) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto traffic = traffic_dense(nn::mlp_expt_spec(), topo, 2);
+  ASSERT_EQ(traffic.transitions.size(), 2u);
+  // ip2 transition: 512 units, each core owns 32, each unit goes to the 15
+  // other cores: 512 * 15 * 2 bytes.
+  EXPECT_EQ(traffic.transitions[0].total_bytes, 512u * 15 * 2);
+  // ip3 has only 10 output neurons, so just 10 of the 16 cores consume
+  // data; each receives the 304 - 19 units it does not own.
+  EXPECT_EQ(traffic.transitions[1].total_bytes, 10u * (304 - 19) * 2);
+}
+
+TEST(TrafficDense, MessageEndpointsAreAllPairs) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(4);
+  const auto traffic = traffic_dense(nn::mlp_expt_spec(), topo, 2);
+  EXPECT_EQ(traffic.transitions[0].messages.size(), 4u * 3);
+}
+
+TEST(TrafficDense, FirstLayerHasNoTraffic) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto traffic = traffic_dense(nn::lenet_expt_spec(), topo, 2);
+  // Transitions into conv2, ip1, ip2 only (conv1 reads the broadcast image).
+  ASSERT_EQ(traffic.transitions.size(), 3u);
+  EXPECT_EQ(traffic.transitions[0].layer_name, "conv2");
+}
+
+TEST(TrafficDense, ConvTransitionCountsFeatureMapBytes) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto traffic = traffic_dense(nn::lenet_expt_spec(), topo, 2);
+  // conv2 input: 16 maps of 12x12 after pool1, 2 bytes each element.
+  EXPECT_EQ(traffic.transitions[0].total_bytes, 16u * 144 * 15 * 2);
+}
+
+TEST(TrafficDense, ByteHopsUsesMeshDistance) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(4);
+  const auto traffic = traffic_dense(nn::mlp_expt_spec(), topo, 2);
+  const auto& t = traffic.transitions[0];
+  std::size_t expect = 0;
+  for (const auto& m : t.messages) expect += m.bytes * topo.hops(m.src, m.dst);
+  EXPECT_EQ(t.total_byte_hops, expect);
+}
+
+TEST(TrafficDense, FullyGroupedLayersAreSilent) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const nn::NetSpec spec = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  const auto traffic = traffic_dense(spec, topo, 2);
+  for (const auto& t : traffic.transitions) {
+    if (t.layer_name == "conv2" || t.layer_name == "conv3") {
+      EXPECT_EQ(t.total_bytes, 0u) << t.layer_name;
+    } else {
+      EXPECT_GT(t.total_bytes, 0u) << t.layer_name;
+    }
+  }
+}
+
+TEST(TrafficDense, PartialGroupingReducesButKeepsTraffic) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const nn::NetSpec dense = nn::convnet_variant_expt_spec(32, 64, 128, 1);
+  const nn::NetSpec g4 = nn::convnet_variant_expt_spec(32, 64, 128, 4);
+  const auto td = traffic_dense(dense, topo, 2);
+  const auto tg = traffic_dense(g4, topo, 2);
+  std::size_t dense_conv2 = 0, g4_conv2 = 0;
+  for (const auto& t : td.transitions) {
+    if (t.layer_name == "conv2") dense_conv2 = t.total_bytes;
+  }
+  for (const auto& t : tg.transitions) {
+    if (t.layer_name == "conv2") g4_conv2 = t.total_bytes;
+  }
+  EXPECT_GT(g4_conv2, 0u);
+  EXPECT_LT(g4_conv2, dense_conv2);
+}
+
+TEST(TrafficLive, FreshDenseNetworkMatchesDenseTraffic) {
+  util::Rng rng(1);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto live = traffic_live(net, spec, topo, 2);
+  const auto dense = traffic_dense(spec, topo, 2);
+  EXPECT_EQ(live.total_bytes(), dense.total_bytes());
+}
+
+TEST(TrafficLive, DeadBlockRemovesMessage) {
+  util::Rng rng(2);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 16;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  auto sets = build_group_sets(net, spec, cores);
+  sets[0].kill_block(3, 7);  // producer 3 -> consumer 7 in ip2
+
+  const auto live = traffic_live(net, spec, topo, 2);
+  bool found = false;
+  for (const auto& m : live.transitions[0].messages) {
+    if (m.src == 3 && m.dst == 7) found = true;
+  }
+  EXPECT_FALSE(found);
+  const auto dense = traffic_dense(spec, topo, 2);
+  // 512/16 = 32 units x 2 bytes less than dense.
+  EXPECT_EQ(live.transitions[0].total_bytes,
+            dense.transitions[0].total_bytes - 32 * 2);
+}
+
+TEST(TrafficLive, FeatureMapGranularityIsPerUnit) {
+  util::Rng rng(3);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 4;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  // Zero every ip2 weight reading unit 0 (owned by core 0): consumers keep
+  // receiving the rest of core 0's units.
+  auto* fc = dynamic_cast<nn::FullyConnected*>(&net.layer_by_name("ip2"));
+  ASSERT_NE(fc, nullptr);
+  for (std::size_t o = 0; o < fc->out_features(); ++o) {
+    fc->weight().value.at2(o, 0) = 0.0f;
+  }
+  const auto live = traffic_live(net, spec, topo, 2);
+  const auto dense = traffic_dense(spec, topo, 2);
+  // Unit 0 no longer travels to the 3 other cores.
+  EXPECT_EQ(live.transitions[0].total_bytes,
+            dense.transitions[0].total_bytes - 3 * 2);
+}
+
+TEST(TrafficLive, BlockGranularityCoarsens) {
+  util::Rng rng(4);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 4;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  auto* fc = dynamic_cast<nn::FullyConnected*>(&net.layer_by_name("ip2"));
+  for (std::size_t o = 0; o < fc->out_features(); ++o) {
+    fc->weight().value.at2(o, 0) = 0.0f;
+  }
+  const auto fine = traffic_live(net, spec, topo, 2, Granularity::kFeatureMap);
+  const auto coarse = traffic_live(net, spec, topo, 2, Granularity::kBlock);
+  // Block granularity cannot be finer than per-feature-map.
+  EXPECT_GE(coarse.total_bytes(), fine.total_bytes());
+}
+
+TEST(TrafficLive, SilentWhenAllOffDiagonalDead) {
+  util::Rng rng(5);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const std::size_t cores = 16;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores);
+  auto sets = build_group_sets(net, spec, cores);
+  for (auto& set : sets) {
+    for (std::size_t p = 0; p < cores; ++p) {
+      for (std::size_t c = 0; c < cores; ++c) {
+        if (p != c) set.kill_block(p, c);
+      }
+    }
+  }
+  const auto live = traffic_live(net, spec, topo, 2);
+  EXPECT_EQ(live.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ls::core

@@ -1,0 +1,171 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace ls::data {
+namespace {
+
+SyntheticSpec tiny_spec() {
+  SyntheticSpec s;
+  s.num_classes = 4;
+  s.channels = 1;
+  s.height = 8;
+  s.width = 8;
+  s.samples = 64;
+  s.seed = 3;
+  return s;
+}
+
+TEST(Synthetic, ShapeAndLabels) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  EXPECT_EQ(ds.size(), 64u);
+  EXPECT_EQ(ds.images.shape(), tensor::Shape({64, 1, 8, 8}));
+  for (auto l : ds.labels) EXPECT_LT(l, 4u);
+}
+
+TEST(Synthetic, BalancedClasses) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  std::size_t counts[4] = {};
+  for (auto l : ds.labels) ++counts[l];
+  for (auto c : counts) EXPECT_EQ(c, 16u);
+}
+
+TEST(Synthetic, PixelRangeBounded) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  for (float v : ds.images.span()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.5f);
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeeds) {
+  const Dataset a = make_synthetic(tiny_spec());
+  const Dataset b = make_synthetic(tiny_spec());
+  EXPECT_LT(tensor::max_abs_diff(a.images, b.images), 1e-9f);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Synthetic, SampleSeedChangesSamplesNotTask) {
+  SyntheticSpec s1 = tiny_spec(), s2 = tiny_spec();
+  s2.sample_seed = 99;
+  const Dataset a = make_synthetic(s1);
+  const Dataset b = make_synthetic(s2);
+  EXPECT_GT(tensor::max_abs_diff(a.images, b.images), 0.01f);
+  // Same class prototypes: the per-class mean images of the two splits are
+  // strongly correlated (cosine similarity), jitter notwithstanding.
+  for (std::uint32_t cls = 0; cls < 4; ++cls) {
+    std::vector<double> ma(64, 0.0), mb(64, 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      for (std::size_t j = 0; j < 64; ++j) {
+        if (a.labels[i] == cls) ma[j] += a.images[i * 64 + j];
+        if (b.labels[i] == cls) mb[j] += b.images[i * 64 + j];
+      }
+    }
+    double dot = 0, na2 = 0, nb2 = 0;
+    for (std::size_t j = 0; j < 64; ++j) {
+      dot += ma[j] * mb[j];
+      na2 += ma[j] * ma[j];
+      nb2 += mb[j] * mb[j];
+    }
+    EXPECT_GT(dot / std::sqrt(na2 * nb2), 0.85) << "class " << cls;
+  }
+}
+
+TEST(Synthetic, PrototypeSeedChangesTask) {
+  SyntheticSpec s1 = tiny_spec(), s2 = tiny_spec();
+  s2.seed = 1234;
+  const Dataset a = make_synthetic(s1);
+  const Dataset b = make_synthetic(s2);
+  EXPECT_GT(tensor::max_abs_diff(a.images, b.images), 0.05f);
+}
+
+TEST(Synthetic, ClassesAreDistinguishable) {
+  SyntheticSpec s = tiny_spec();
+  s.noise = 0.05;
+  s.max_shift = 0;
+  const Dataset ds = make_synthetic(s);
+  // Nearest-prototype distances: same-class samples are closer to each
+  // other than to other classes on average.
+  auto dist = [&](std::size_t i, std::size_t j) {
+    double d = 0;
+    for (std::size_t k = 0; k < 64; ++k) {
+      const double diff = ds.images[i * 64 + k] - ds.images[j * 64 + k];
+      d += diff * diff;
+    }
+    return d;
+  };
+  double same = 0, cross = 0;
+  std::size_t ns = 0, nc = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = i + 1; j < 32; ++j) {
+      if (ds.labels[i] == ds.labels[j]) {
+        same += dist(i, j);
+        ++ns;
+      } else {
+        cross += dist(i, j);
+        ++nc;
+      }
+    }
+  }
+  EXPECT_LT(same / static_cast<double>(ns), cross / static_cast<double>(nc));
+}
+
+TEST(Synthetic, NamedGeneratorsShapes) {
+  EXPECT_EQ(mnist_like(10, 0).images.shape(), tensor::Shape({10, 1, 28, 28}));
+  EXPECT_EQ(cifar_like(10, 0).images.shape(), tensor::Shape({10, 3, 32, 32}));
+  EXPECT_EQ(imagenet10_like(4, 64, 0).images.shape(),
+            tensor::Shape({4, 3, 64, 64}));
+}
+
+TEST(Synthetic, RejectsEmptySpec) {
+  SyntheticSpec s = tiny_spec();
+  s.samples = 0;
+  EXPECT_THROW(make_synthetic(s), std::invalid_argument);
+}
+
+TEST(DatasetSlice, CopiesRange) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  const Dataset part = ds.slice(8, 24);
+  EXPECT_EQ(part.size(), 16u);
+  EXPECT_EQ(part.labels[0], ds.labels[8]);
+  EXPECT_FLOAT_EQ(part.images[0], ds.images[8 * 64]);
+  EXPECT_THROW(ds.slice(10, 100), std::out_of_range);
+}
+
+TEST(Batcher, CoversEpochExactlyOnce) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  Batcher batcher(ds, 10, 7);
+  tensor::Tensor images;
+  std::vector<std::uint32_t> labels;
+  std::size_t total = 0, batches = 0;
+  while (batcher.next(images, labels)) {
+    total += labels.size();
+    ++batches;
+    EXPECT_EQ(images.shape()[0], labels.size());
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_EQ(batches, 7u);  // 6x10 + 1x4
+  EXPECT_EQ(batcher.batches_per_epoch(), 7u);
+}
+
+TEST(Batcher, ShufflesBetweenEpochs) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  Batcher batcher(ds, 64, 7);
+  tensor::Tensor first, second;
+  std::vector<std::uint32_t> l1, l2;
+  batcher.next(first, l1);
+  batcher.reset();
+  batcher.next(second, l2);
+  EXPECT_NE(l1, l2);  // astronomically unlikely to match
+}
+
+TEST(Batcher, RejectsZeroBatch) {
+  const Dataset ds = make_synthetic(tiny_spec());
+  EXPECT_THROW(Batcher(ds, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::data

@@ -1,0 +1,206 @@
+#include "nn/conv2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+Conv2DConfig cfg(std::size_t cin, std::size_t cout, std::size_t k,
+                 std::size_t stride = 1, std::size_t pad = 0,
+                 std::size_t groups = 1) {
+  Conv2DConfig c;
+  c.in_channels = cin;
+  c.out_channels = cout;
+  c.kernel = k;
+  c.stride = stride;
+  c.pad = pad;
+  c.groups = groups;
+  return c;
+}
+
+TEST(Conv2D, OutputShape) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(3, 8, 3, 1, 1), rng);
+  const Shape out = conv.output_shape(Shape{2, 3, 16, 16});
+  EXPECT_EQ(out, Shape({2, 8, 16, 16}));
+
+  Conv2D strided("s", cfg(3, 8, 5, 2, 0), rng);
+  EXPECT_EQ(strided.output_shape(Shape{1, 3, 17, 17}), Shape({1, 8, 7, 7}));
+}
+
+TEST(Conv2D, RejectsBadConfig) {
+  util::Rng rng(1);
+  EXPECT_THROW(Conv2D("c", cfg(3, 8, 3, 1, 0, 2), rng),
+               std::invalid_argument);  // 3 % 2 != 0
+  EXPECT_THROW(Conv2D("c", cfg(0, 8, 3), rng), std::invalid_argument);
+}
+
+TEST(Conv2D, RejectsChannelMismatch) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(3, 8, 3), rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 4, 8, 8}), false),
+               std::invalid_argument);
+}
+
+TEST(Conv2D, IdentityKernel) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(1, 1, 1), rng);
+  conv.weight().value[0] = 1.0f;
+  conv.bias().value[0] = 0.0f;
+  Tensor in = Tensor::uniform(Shape{1, 1, 4, 4}, -1.f, 1.f, rng);
+  const Tensor out = conv.forward(in, false);
+  EXPECT_LT(tensor::max_abs_diff(in, out), 1e-6f);
+}
+
+TEST(Conv2D, KnownSmallConvolution) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(1, 1, 2), rng);
+  // kernel [[1,2],[3,4]], bias 1
+  conv.weight().value = Tensor::from_data(Shape{1, 1, 2, 2},
+                                          {1.f, 2.f, 3.f, 4.f});
+  conv.bias().value[0] = 1.0f;
+  Tensor in = Tensor::from_data(Shape{1, 1, 3, 3},
+                                {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const Tensor out = conv.forward(in, false);
+  // out(0,0) = 1*1+2*2+3*4+4*5 + 1 = 38
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 38.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 1 * 2 + 2 * 3 + 3 * 5 + 4 * 6 + 1);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 1 * 5 + 2 * 6 + 3 * 8 + 4 * 9 + 1);
+}
+
+TEST(Conv2D, PaddingZeroExtends) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(1, 1, 3, 1, 1), rng);
+  conv.weight().value.fill(1.0f);
+  conv.bias().value[0] = 0.0f;
+  Tensor in = Tensor::full(Shape{1, 1, 3, 3}, 1.0f);
+  const Tensor out = conv.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);  // full window
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);  // corner sees 2x2
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 6.0f);  // edge sees 2x3
+}
+
+TEST(Conv2D, GroupedConvBlocksCrossGroupFlow) {
+  util::Rng rng(1);
+  // 2 groups: out 0..1 read in 0..1, out 2..3 read in 2..3.
+  Conv2D conv("c", cfg(4, 4, 1, 1, 0, 2), rng);
+  conv.weight().value.fill(1.0f);
+  for (std::size_t i = 0; i < 4; ++i) conv.bias().value[i] = 0.0f;
+  Tensor in(Shape{1, 4, 1, 1});
+  in.at4(0, 0, 0, 0) = 1.0f;
+  in.at4(0, 1, 0, 0) = 2.0f;
+  in.at4(0, 2, 0, 0) = 10.0f;
+  in.at4(0, 3, 0, 0) = 20.0f;
+  const Tensor out = conv.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 1, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 2, 0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 3, 0, 0), 30.0f);
+}
+
+TEST(Conv2D, GroupedMatchesDenseWhenCrossWeightsZero) {
+  util::Rng rng(7);
+  Conv2D grouped("g", cfg(4, 6, 3, 1, 1, 2), rng);
+  Conv2D dense("d", cfg(4, 6, 3, 1, 1, 1), rng);
+  // Copy grouped weights into the dense layout, zeroing cross-group slots.
+  dense.weight().value.zero();
+  for (std::size_t oc = 0; oc < 6; ++oc) {
+    const std::size_t g = oc / 3;
+    for (std::size_t icg = 0; icg < 2; ++icg) {
+      for (std::size_t kh = 0; kh < 3; ++kh) {
+        for (std::size_t kw = 0; kw < 3; ++kw) {
+          dense.weight().value.at4(oc, g * 2 + icg, kh, kw) =
+              grouped.weight().value.at4(oc, icg, kh, kw);
+        }
+      }
+    }
+    dense.bias().value[oc] = grouped.bias().value[oc];
+  }
+  Tensor in = Tensor::uniform(Shape{2, 4, 5, 5}, -1.f, 1.f, rng);
+  const Tensor a = grouped.forward(in, false);
+  const Tensor b = dense.forward(in, false);
+  EXPECT_LT(tensor::max_abs_diff(a, b), 1e-5f);
+}
+
+TEST(Conv2D, BackwardRequiresTrainingForward) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(1, 1, 3), rng);
+  conv.forward(Tensor(Shape{1, 1, 5, 5}), /*training=*/false);
+  EXPECT_THROW(conv.backward(Tensor(Shape{1, 1, 3, 3})), std::logic_error);
+}
+
+// Numerical gradient check: perturb each weight / input element and compare
+// the finite difference of a scalar loss (sum of outputs weighted by a
+// fixed random tensor) against the analytic gradient.
+TEST(Conv2D, GradientCheckWeightsAndInput) {
+  util::Rng rng(11);
+  Conv2D conv("c", cfg(2, 3, 3, 2, 1), rng);
+  Tensor in = Tensor::uniform(Shape{2, 2, 5, 5}, -1.f, 1.f, rng);
+  const Tensor out0 = conv.forward(in, true);
+  Tensor upstream = Tensor::uniform(out0.shape(), -1.f, 1.f, rng);
+
+  auto loss = [&](Conv2D& c, const Tensor& x) {
+    const Tensor out = c.forward(x, false);
+    double l = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) l += out[i] * upstream[i];
+    return l;
+  };
+
+  conv.weight().grad.zero();
+  conv.bias().grad.zero();
+  conv.forward(in, true);
+  const Tensor grad_in = conv.backward(upstream);
+
+  const float eps = 1e-3f;
+  // Spot-check a spread of weight coordinates.
+  for (std::size_t idx : {0u, 7u, 23u, 41u, 53u}) {
+    const float orig = conv.weight().value[idx];
+    conv.weight().value[idx] = orig + eps;
+    const double lp = loss(conv, in);
+    conv.weight().value[idx] = orig - eps;
+    const double lm = loss(conv, in);
+    conv.weight().value[idx] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(conv.weight().grad[idx], numeric, 2e-2) << "w" << idx;
+  }
+  // And input coordinates.
+  for (std::size_t idx : {0u, 13u, 49u, 77u, 99u}) {
+    const float orig = in[idx];
+    in[idx] = orig + eps;
+    const double lp = loss(conv, in);
+    in[idx] = orig - eps;
+    const double lm = loss(conv, in);
+    in[idx] = orig;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(grad_in[idx], numeric, 2e-2) << "x" << idx;
+  }
+}
+
+TEST(Conv2D, BiasGradientIsUpstreamSum) {
+  util::Rng rng(3);
+  Conv2D conv("c", cfg(1, 2, 3), rng);
+  Tensor in = Tensor::uniform(Shape{1, 1, 5, 5}, -1.f, 1.f, rng);
+  const Tensor out = conv.forward(in, true);
+  Tensor upstream = Tensor::full(out.shape(), 1.0f);
+  conv.backward(upstream);
+  const double per_channel = 3.0 * 3.0;  // 3x3 output positions
+  EXPECT_NEAR(conv.bias().grad[0], per_channel, 1e-4);
+  EXPECT_NEAR(conv.bias().grad[1], per_channel, 1e-4);
+}
+
+TEST(Conv2D, ParamsExposeWeightAndBias) {
+  util::Rng rng(1);
+  Conv2D conv("c", cfg(1, 1, 3), rng);
+  EXPECT_EQ(conv.params().size(), 2u);
+  Conv2DConfig nb = cfg(1, 1, 3);
+  nb.bias = false;
+  Conv2D conv2("c2", nb, rng);
+  EXPECT_EQ(conv2.params().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ls::nn

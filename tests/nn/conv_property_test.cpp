@@ -1,0 +1,123 @@
+// Property sweeps tying the executable Conv2D layer to the architecture
+// analyzer: for every (kernel, stride, pad, groups) combination the two
+// must agree on shapes, and with all-ones weights/inputs (no bias, no
+// padding) the sum of the outputs equals the MAC count the analyzer
+// predicts — a strong end-to-end consistency invariant between the
+// functional layer and the cycle/traffic models built on analyze().
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer_spec.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+struct ConvCase {
+  std::size_t in_c, out_c, kernel, stride, pad, groups, hw;
+
+  friend void PrintTo(const ConvCase& c, std::ostream* os) {
+    *os << c.in_c << "to" << c.out_c << "_k" << c.kernel << "s" << c.stride
+        << "p" << c.pad << "g" << c.groups << "_hw" << c.hw;
+  }
+};
+
+class ConvAnalyzerConsistency : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvAnalyzerConsistency, ShapesAgree) {
+  const ConvCase& c = GetParam();
+  util::Rng rng(1);
+  Conv2DConfig cfg;
+  cfg.in_channels = c.in_c;
+  cfg.out_channels = c.out_c;
+  cfg.kernel = c.kernel;
+  cfg.stride = c.stride;
+  cfg.pad = c.pad;
+  cfg.groups = c.groups;
+  Conv2D conv("c", cfg, rng);
+
+  NetSpec spec;
+  spec.name = "sweep";
+  spec.input = {c.in_c, c.hw, c.hw};
+  spec.layers = {LayerSpec::conv("c", c.out_c, c.kernel, c.stride, c.pad,
+                                 c.groups)};
+  const auto a = analyze(spec);
+
+  const Shape out = conv.output_shape(Shape{1, c.in_c, c.hw, c.hw});
+  EXPECT_EQ(out[1], a[0].out.c);
+  EXPECT_EQ(out[2], a[0].out.h);
+  EXPECT_EQ(out[3], a[0].out.w);
+  EXPECT_EQ(conv.weight().value.numel(), a[0].weight_count);
+}
+
+TEST_P(ConvAnalyzerConsistency, OnesNetworkSumsToMacs) {
+  const ConvCase& c = GetParam();
+  if (c.pad != 0) GTEST_SKIP() << "invariant holds for unpadded conv only";
+  util::Rng rng(1);
+  Conv2DConfig cfg;
+  cfg.in_channels = c.in_c;
+  cfg.out_channels = c.out_c;
+  cfg.kernel = c.kernel;
+  cfg.stride = c.stride;
+  cfg.pad = 0;
+  cfg.groups = c.groups;
+  cfg.bias = false;
+  Conv2D conv("c", cfg, rng);
+  conv.weight().value.fill(1.0f);
+
+  NetSpec spec;
+  spec.name = "sweep";
+  spec.input = {c.in_c, c.hw, c.hw};
+  spec.layers = {
+      LayerSpec::conv("c", c.out_c, c.kernel, c.stride, 0, c.groups)};
+  const auto a = analyze(spec);
+
+  const Tensor in = Tensor::full(Shape{1, c.in_c, c.hw, c.hw}, 1.0f);
+  const Tensor out = conv.forward(in, false);
+  // Every MAC contributes exactly 1 to the output sum.
+  EXPECT_DOUBLE_EQ(out.sum(), static_cast<double>(a[0].macs));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConvAnalyzerConsistency,
+    ::testing::Values(ConvCase{3, 8, 3, 1, 0, 1, 12},
+                      ConvCase{3, 8, 3, 1, 1, 1, 12},
+                      ConvCase{4, 8, 5, 2, 0, 1, 13},
+                      ConvCase{4, 8, 5, 2, 2, 4, 13},
+                      ConvCase{8, 16, 1, 1, 0, 1, 7},
+                      ConvCase{8, 16, 3, 1, 0, 8, 9},
+                      ConvCase{6, 12, 7, 3, 0, 2, 21},
+                      ConvCase{16, 16, 3, 1, 1, 16, 8},
+                      ConvCase{1, 4, 2, 2, 0, 1, 8},
+                      ConvCase{5, 10, 4, 1, 0, 5, 11}));
+
+// Backward/forward agreement under grouping: the gradient of the sum of
+// outputs w.r.t. an all-ones input counts how many windows each input
+// element participates in; for stride=kernel (non-overlapping), that is
+// exactly out_channels_per_group for every covered element.
+TEST(ConvProperty, NonOverlappingWindowsGradient) {
+  util::Rng rng(2);
+  Conv2DConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 8;
+  cfg.kernel = 2;
+  cfg.stride = 2;
+  cfg.pad = 0;
+  cfg.groups = 2;
+  cfg.bias = false;
+  Conv2D conv("c", cfg, rng);
+  conv.weight().value.fill(1.0f);
+  const Tensor in = Tensor::full(Shape{1, 4, 6, 6}, 1.0f);
+  const Tensor out = conv.forward(in, true);
+  const Tensor grad_in = conv.backward(Tensor::full(out.shape(), 1.0f));
+  // Each input element feeds 1 window x 4 out-channels of its group.
+  for (std::size_t i = 0; i < grad_in.numel(); ++i) {
+    EXPECT_FLOAT_EQ(grad_in[i], 4.0f) << i;
+  }
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,108 @@
+#include "nn/fc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+TEST(FullyConnected, OutputShape) {
+  util::Rng rng(1);
+  FullyConnected fc("fc", 12, 5, rng);
+  EXPECT_EQ(fc.output_shape(Shape{3, 12}), Shape({3, 5}));
+  // 4D input is flattened per sample.
+  EXPECT_EQ(fc.output_shape(Shape{2, 3, 2, 2}), Shape({2, 5}));
+  EXPECT_THROW(fc.output_shape(Shape{2, 13}), std::invalid_argument);
+}
+
+TEST(FullyConnected, KnownMatVec) {
+  util::Rng rng(1);
+  FullyConnected fc("fc", 3, 2, rng);
+  fc.weight().value = Tensor::from_data(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  fc.params()[1]->value = Tensor::from_data(Shape{2}, {0.5f, -0.5f});
+  const Tensor in = Tensor::from_data(Shape{1, 3}, {1, 1, 2});
+  const Tensor out = fc.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at2(0, 0), 1 + 2 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(out.at2(0, 1), 4 + 5 + 12 - 0.5f);
+}
+
+TEST(FullyConnected, BatchIndependence) {
+  util::Rng rng(2);
+  FullyConnected fc("fc", 8, 4, rng);
+  Tensor batch = Tensor::uniform(Shape{3, 8}, -1.f, 1.f, rng);
+  const Tensor out = fc.forward(batch, false);
+  // Each row equals the single-sample result.
+  for (std::size_t n = 0; n < 3; ++n) {
+    Tensor one(Shape{1, 8});
+    for (std::size_t i = 0; i < 8; ++i) one[i] = batch.at2(n, i);
+    const Tensor o1 = fc.forward(one, false);
+    for (std::size_t o = 0; o < 4; ++o) {
+      EXPECT_NEAR(out.at2(n, o), o1.at2(0, o), 1e-6);
+    }
+  }
+}
+
+TEST(FullyConnected, GradientCheck) {
+  util::Rng rng(5);
+  FullyConnected fc("fc", 6, 4, rng);
+  Tensor in = Tensor::uniform(Shape{2, 6}, -1.f, 1.f, rng);
+  const Tensor out0 = fc.forward(in, true);
+  Tensor upstream = Tensor::uniform(out0.shape(), -1.f, 1.f, rng);
+  const Tensor grad_in = fc.backward(upstream);
+
+  auto loss = [&](const Tensor& x) {
+    const Tensor out = fc.forward(x, false);
+    double l = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i) l += out[i] * upstream[i];
+    return l;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t idx = 0; idx < fc.weight().value.numel(); idx += 5) {
+    const float orig = fc.weight().value[idx];
+    fc.weight().value[idx] = orig + eps;
+    const double lp = loss(in);
+    fc.weight().value[idx] = orig - eps;
+    const double lm = loss(in);
+    fc.weight().value[idx] = orig;
+    EXPECT_NEAR(fc.weight().grad[idx], (lp - lm) / (2 * eps), 1e-2);
+  }
+  for (std::size_t idx = 0; idx < in.numel(); idx += 3) {
+    const float orig = in[idx];
+    in[idx] = orig + eps;
+    const double lp = loss(in);
+    in[idx] = orig - eps;
+    const double lm = loss(in);
+    in[idx] = orig;
+    EXPECT_NEAR(grad_in[idx], (lp - lm) / (2 * eps), 1e-2);
+  }
+}
+
+TEST(FullyConnected, BackwardPreservesInputShape) {
+  util::Rng rng(3);
+  FullyConnected fc("fc", 12, 5, rng);
+  Tensor in = Tensor::uniform(Shape{2, 3, 2, 2}, -1.f, 1.f, rng);
+  const Tensor out = fc.forward(in, true);
+  const Tensor grad_in = fc.backward(Tensor::full(out.shape(), 1.0f));
+  EXPECT_EQ(grad_in.shape(), in.shape());
+}
+
+TEST(FullyConnected, BackwardWithoutForwardThrows) {
+  util::Rng rng(1);
+  FullyConnected fc("fc", 4, 2, rng);
+  EXPECT_THROW(fc.backward(Tensor(Shape{1, 2})), std::logic_error);
+}
+
+TEST(FullyConnected, NoBiasVariant) {
+  util::Rng rng(1);
+  FullyConnected fc("fc", 4, 2, rng, /*bias=*/false);
+  EXPECT_EQ(fc.params().size(), 1u);
+}
+
+TEST(FullyConnected, RejectsZeroFeatures) {
+  util::Rng rng(1);
+  EXPECT_THROW(FullyConnected("fc", 0, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,139 @@
+#include "nn/layer_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/model_zoo.hpp"
+
+namespace ls::nn {
+namespace {
+
+TEST(LayerSpec, ConvShapePropagation) {
+  NetSpec s;
+  s.name = "t";
+  s.input = {3, 32, 32};
+  s.layers = {LayerSpec::conv("c1", 16, 5, 1, 2),
+              LayerSpec::pool("p1", 2, 2),
+              LayerSpec::conv("c2", 32, 3, 1, 1)};
+  const auto a = analyze(s);
+  EXPECT_EQ(a[0].out.c, 16u);
+  EXPECT_EQ(a[0].out.h, 32u);
+  EXPECT_EQ(a[1].out.h, 16u);
+  EXPECT_EQ(a[2].out.c, 32u);
+  EXPECT_EQ(a[2].out.h, 16u);
+}
+
+TEST(LayerSpec, ConvMacsAndWeights) {
+  NetSpec s;
+  s.input = {8, 10, 10};
+  s.layers = {LayerSpec::conv("c", 16, 3, 1, 1)};
+  const auto a = analyze(s);
+  EXPECT_EQ(a[0].weight_count, 16u * 8 * 9);
+  EXPECT_EQ(a[0].macs, 16u * 10 * 10 * 8 * 9);
+}
+
+TEST(LayerSpec, GroupedConvReducesMacsAndWeights) {
+  NetSpec dense;
+  dense.input = {8, 10, 10};
+  dense.layers = {LayerSpec::conv("c", 16, 3, 1, 1, 1)};
+  NetSpec grouped = dense;
+  grouped.layers[0].groups = 4;
+  EXPECT_EQ(analyze(grouped)[0].macs, analyze(dense)[0].macs / 4);
+  EXPECT_EQ(analyze(grouped)[0].weight_count,
+            analyze(dense)[0].weight_count / 4);
+}
+
+TEST(LayerSpec, FcAfterFlatten) {
+  NetSpec s;
+  s.input = {4, 3, 3};
+  s.layers = {LayerSpec::flatten("f"), LayerSpec::fc("fc", 10)};
+  const auto a = analyze(s);
+  EXPECT_EQ(a[0].out.c, 36u);
+  EXPECT_EQ(a[1].weight_count, 360u);
+  EXPECT_EQ(a[1].macs, 360u);
+}
+
+TEST(LayerSpec, StridedConvShape) {
+  NetSpec s;
+  s.input = {3, 227, 227};
+  s.layers = {LayerSpec::conv("c1", 96, 11, 4)};
+  EXPECT_EQ(analyze(s)[0].out.h, 55u);
+}
+
+TEST(LayerSpec, ThrowsOnKernelTooLarge) {
+  NetSpec s;
+  s.input = {1, 4, 4};
+  s.layers = {LayerSpec::conv("c", 4, 7)};
+  EXPECT_THROW(analyze(s), std::invalid_argument);
+}
+
+TEST(LayerSpec, ThrowsOnBadGroups) {
+  NetSpec s;
+  s.input = {6, 8, 8};
+  s.layers = {LayerSpec::conv("c", 9, 3, 1, 1, 4)};  // 6 % 4 != 0
+  EXPECT_THROW(analyze(s), std::invalid_argument);
+}
+
+TEST(ModelZoo, MlpMatchesPaperDimensions) {
+  const auto a = analyze(mlp_spec());
+  // 784-512-304-10 (paper §V: "neuron number of 512/304/10").
+  EXPECT_EQ(a[1].weight_count, 784u * 512);
+  EXPECT_EQ(a[3].weight_count, 512u * 304);
+  EXPECT_EQ(a[5].weight_count, 304u * 10);
+}
+
+TEST(ModelZoo, LeNetShapes) {
+  const auto a = analyze(lenet_spec());
+  // conv1: 20 maps of 24x24; pool1 -> 12x12; conv2: 50 maps of 8x8.
+  EXPECT_EQ(a[0].out.c, 20u);
+  EXPECT_EQ(a[0].out.h, 24u);
+  EXPECT_EQ(a[1].out.h, 12u);
+  EXPECT_EQ(a[2].out.c, 50u);
+  EXPECT_EQ(a[2].out.h, 8u);
+}
+
+TEST(ModelZoo, AlexNetTotalWeightsNearSixtyMillion) {
+  const std::size_t w = total_weights(alexnet_spec());
+  EXPECT_GT(w, 55'000'000u);
+  EXPECT_LT(w, 65'000'000u);
+}
+
+TEST(ModelZoo, Vgg19TotalWeightsNear140M) {
+  const std::size_t w = total_weights(vgg19_spec());
+  EXPECT_GT(w, 135'000'000u);
+  EXPECT_LT(w, 150'000'000u);
+}
+
+TEST(ModelZoo, Vgg19MacsFarExceedAlexNet) {
+  EXPECT_GT(total_macs(vgg19_spec()), 10u * total_macs(alexnet_spec()));
+}
+
+TEST(ModelZoo, VariantSpecGroupsApplied) {
+  const NetSpec v = convnet_variant_spec(64, 128, 256, 16);
+  bool saw = false;
+  for (const auto& l : v.layers) {
+    if (l.name == "conv2") {
+      EXPECT_EQ(l.groups, 16u);
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+  analyze(v);  // must be consistent
+}
+
+TEST(ModelZoo, ExptSpecsAnalyzeCleanly) {
+  for (const NetSpec& s :
+       {mlp_expt_spec(), lenet_expt_spec(), convnet_expt_spec(),
+        caffenet_expt_spec(), convnet_variant_expt_spec(32, 96, 160, 16)}) {
+    EXPECT_GT(analyze(s).size(), 0u) << s.name;
+    EXPECT_GT(total_macs(s), 0u);
+  }
+}
+
+TEST(ModelZoo, ToStringCoversKinds) {
+  EXPECT_STREQ(to_string(LayerKind::kConv), "conv");
+  EXPECT_STREQ(to_string(LayerKind::kFullyConnected), "fc");
+  EXPECT_STREQ(to_string(LayerKind::kPool), "pool");
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,114 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng(1);
+  const Tensor logits = Tensor::uniform(Shape{5, 7}, -4.f, 4.f, rng);
+  const Tensor probs = softmax(logits);
+  for (std::size_t n = 0; n < 5; ++n) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) s += probs.at2(n, c);
+    EXPECT_NEAR(s, 1.0, 1e-6);
+  }
+}
+
+TEST(Softmax, InvariantToShift) {
+  Tensor a = Tensor::from_data(Shape{1, 3}, {1.f, 2.f, 3.f});
+  Tensor b = Tensor::from_data(Shape{1, 3}, {101.f, 102.f, 103.f});
+  const Tensor pa = softmax(a), pb = softmax(b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(pa.at2(0, c), pb.at2(0, c), 1e-6);
+  }
+}
+
+TEST(Softmax, NumericallyStableAtExtremes) {
+  Tensor logits = Tensor::from_data(Shape{1, 2}, {1000.f, -1000.f});
+  const Tensor p = softmax(logits);
+  EXPECT_NEAR(p.at2(0, 0), 1.0, 1e-6);
+  EXPECT_NEAR(p.at2(0, 1), 0.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::zeros(Shape{2, 10});
+  const LossResult r = softmax_cross_entropy(logits, {3, 7});
+  EXPECT_NEAR(r.loss, std::log(10.0), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, PerfectPredictionNearZeroLoss) {
+  Tensor logits = Tensor::zeros(Shape{1, 4});
+  logits.at2(0, 2) = 50.0f;
+  const LossResult r = softmax_cross_entropy(logits, {2});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsProbsMinusOneHot) {
+  Tensor logits = Tensor::from_data(Shape{1, 3}, {0.5f, -0.2f, 1.0f});
+  const Tensor probs = softmax(logits);
+  const LossResult r = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(r.grad_logits.at2(0, 0), probs.at2(0, 0), 1e-6);
+  EXPECT_NEAR(r.grad_logits.at2(0, 1), probs.at2(0, 1) - 1.0f, 1e-6);
+  EXPECT_NEAR(r.grad_logits.at2(0, 2), probs.at2(0, 2), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientScaledByBatch) {
+  Tensor logits = Tensor::zeros(Shape{4, 3});
+  const LossResult r = softmax_cross_entropy(logits, {0, 1, 2, 0});
+  // Each row's gradient magnitudes are (probs - onehot)/N.
+  EXPECT_NEAR(r.grad_logits.at2(0, 0), (1.0 / 3.0 - 1.0) / 4.0, 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, GradientSumsToZeroPerRow) {
+  util::Rng rng(2);
+  Tensor logits = Tensor::uniform(Shape{3, 5}, -2.f, 2.f, rng);
+  const LossResult r = softmax_cross_entropy(logits, {0, 4, 2});
+  for (std::size_t n = 0; n < 3; ++n) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) s += r.grad_logits.at2(n, c);
+    EXPECT_NEAR(s, 0.0, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, NumericalGradientCheck) {
+  util::Rng rng(3);
+  Tensor logits = Tensor::uniform(Shape{2, 4}, -1.f, 1.f, rng);
+  const std::vector<std::uint32_t> labels{1, 3};
+  const LossResult r = softmax_cross_entropy(logits, labels);
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const double lp = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig - eps;
+    const double lm = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = orig;
+    EXPECT_NEAR(r.grad_logits[i], (lp - lm) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  const Tensor logits = Tensor::zeros(Shape{2, 3});
+  EXPECT_THROW(softmax_cross_entropy(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, {0, 3}), std::out_of_range);
+}
+
+TEST(ArgmaxRows, PicksMaxPerRow) {
+  const Tensor logits =
+      Tensor::from_data(Shape{2, 3}, {0.1f, 0.9f, 0.2f, 5.f, 1.f, 2.f});
+  const auto preds = argmax_rows(logits);
+  EXPECT_EQ(preds[0], 1u);
+  EXPECT_EQ(preds[1], 0u);
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,91 @@
+// Integration tests: NetSpec -> trainable Network consistency.
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+TEST(BuildNetwork, LayerCountAndNamesMatchSpec) {
+  util::Rng rng(1);
+  const NetSpec spec = lenet_expt_spec();
+  Network net = build_network(spec, rng);
+  ASSERT_EQ(net.num_layers(), spec.layers.size());
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    EXPECT_EQ(net.layer(i).name(), spec.layers[i].name);
+  }
+}
+
+TEST(BuildNetwork, ForwardShapeMatchesAnalysis) {
+  util::Rng rng(2);
+  for (const NetSpec& spec :
+       {mlp_expt_spec(), lenet_expt_spec(), convnet_expt_spec()}) {
+    Network net = build_network(spec, rng);
+    const auto analysis = analyze(spec);
+    const Tensor in(
+        Shape{2, spec.input.c, spec.input.h, spec.input.w});
+    const Tensor out = net.forward(in);
+    const auto& last = analysis.back().out;
+    EXPECT_EQ(out.shape()[0], 2u) << spec.name;
+    EXPECT_EQ(out.shape()[1], last.c) << spec.name;
+  }
+}
+
+TEST(BuildNetwork, ParamCountMatchesSpecWeights) {
+  util::Rng rng(3);
+  const NetSpec spec = convnet_expt_spec();
+  Network net = build_network(spec, rng);
+  std::size_t biases = 0;
+  for (const auto& a : analyze(spec)) {
+    if (a.spec.kind == LayerKind::kConv) biases += a.spec.out_channels;
+    if (a.spec.kind == LayerKind::kFullyConnected) {
+      biases += a.spec.out_features;
+    }
+  }
+  EXPECT_EQ(net.num_params(), total_weights(spec) + biases);
+}
+
+TEST(BuildNetwork, GroupedVariantForwardRuns) {
+  util::Rng rng(4);
+  const NetSpec spec = convnet_variant_expt_spec(32, 64, 128, 16);
+  Network net = build_network(spec, rng);
+  const Tensor in(Shape{1, 3, 32, 32});
+  const Tensor out = net.forward(in);
+  EXPECT_EQ(out.shape(), Shape({1, 10}));
+  const auto* conv2 =
+      dynamic_cast<const Conv2D*>(&net.layer_by_name("conv2"));
+  ASSERT_NE(conv2, nullptr);
+  EXPECT_EQ(conv2->config().groups, 16u);
+}
+
+TEST(BuildNetwork, DeterministicForSameSeed) {
+  util::Rng rng_a(5), rng_b(5);
+  Network a = build_network(mlp_expt_spec(), rng_a);
+  Network b = build_network(mlp_expt_spec(), rng_b);
+  const Tensor in = Tensor::full(Shape{1, 1, 28, 28}, 0.5f);
+  EXPECT_LT(tensor::max_abs_diff(a.forward(in), b.forward(in)), 1e-7f);
+}
+
+TEST(BuildNetwork, Fixed16QuantizationPreservesPredictions) {
+  // The noise-tolerance premise: deploying the trained float weights on the
+  // 16-bit fixed-point cores must not change most predictions.
+  util::Rng rng(6);
+  const NetSpec spec = mlp_expt_spec();
+  Network net = build_network(spec, rng);
+  Tensor in = Tensor::uniform(Shape{8, 1, 28, 28}, 0.f, 1.f, rng);
+  const auto before = net.predict(in);
+  for (Param* p : net.params()) p->value.quantize_fixed16(12);
+  const auto after = net.predict(in);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == after[i]) ++same;
+  }
+  EXPECT_GE(same, before.size() - 1);
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/pool.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+TEST(Pool2D, MaxPoolKnownValues) {
+  Pool2D pool("p", PoolKind::kMax, 2, 2);
+  const Tensor in = Tensor::from_data(
+      Shape{1, 1, 4, 4},
+      {1, 2, 5, 6, 3, 4, 7, 8, -1, -2, 0, 0, -3, -4, 0, 9});
+  const Tensor out = pool.forward(in, false);
+  EXPECT_EQ(out.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 0), -1.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 1, 1), 9.0f);
+}
+
+TEST(Pool2D, AvgPoolKnownValues) {
+  Pool2D pool("p", PoolKind::kAvg, 2, 2);
+  const Tensor in = Tensor::from_data(Shape{1, 1, 2, 4},
+                                      {1, 3, 0, 8, 5, 7, 4, 4});
+  const Tensor out = pool.forward(in, false);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out.at4(0, 0, 0, 1), 4.0f);
+}
+
+TEST(Pool2D, OverlappingStride) {
+  Pool2D pool("p", PoolKind::kMax, 3, 2);
+  EXPECT_EQ(pool.output_shape(Shape{1, 2, 7, 7}), Shape({1, 2, 3, 3}));
+}
+
+TEST(Pool2D, MaxBackwardRoutesToArgmax) {
+  Pool2D pool("p", PoolKind::kMax, 2, 2);
+  const Tensor in = Tensor::from_data(Shape{1, 1, 2, 2}, {1, 9, 3, 4});
+  pool.forward(in, true);
+  const Tensor grad = Tensor::from_data(Shape{1, 1, 1, 1}, {5.0f});
+  const Tensor gi = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 5.0f);
+  EXPECT_FLOAT_EQ(gi[2], 0.0f);
+  EXPECT_FLOAT_EQ(gi[3], 0.0f);
+}
+
+TEST(Pool2D, AvgBackwardSpreadsUniformly) {
+  Pool2D pool("p", PoolKind::kAvg, 2, 2);
+  const Tensor in = Tensor::from_data(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  pool.forward(in, true);
+  const Tensor gi = pool.backward(Tensor::from_data(Shape{1, 1, 1, 1}, {4.f}));
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gi[i], 1.0f);
+}
+
+TEST(Pool2D, GradientSumConserved) {
+  util::Rng rng(4);
+  for (PoolKind kind : {PoolKind::kMax, PoolKind::kAvg}) {
+    Pool2D pool("p", kind, 2, 2);
+    Tensor in = Tensor::uniform(Shape{2, 3, 6, 6}, -1.f, 1.f, rng);
+    const Tensor out = pool.forward(in, true);
+    Tensor grad = Tensor::uniform(out.shape(), 0.f, 1.f, rng);
+    const Tensor gi = pool.backward(grad);
+    // Non-overlapping windows: upstream gradient mass is conserved.
+    EXPECT_NEAR(gi.sum(), grad.sum(), 1e-3);
+  }
+}
+
+TEST(Pool2D, RejectsBadWindow) {
+  EXPECT_THROW(Pool2D("p", PoolKind::kMax, 0, 1), std::invalid_argument);
+  Pool2D pool("p", PoolKind::kMax, 5, 5);
+  EXPECT_THROW(pool.output_shape(Shape{1, 1, 4, 4}), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu("r");
+  const Tensor in = Tensor::from_data(Shape{4}, {-2, -0.5f, 0, 3});
+  const Tensor out = relu.forward(in, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 3.0f);
+}
+
+TEST(ReLU, BackwardMasksByInputSign) {
+  ReLU relu("r");
+  const Tensor in = Tensor::from_data(Shape{4}, {-2, -0.5f, 0.1f, 3});
+  relu.forward(in, true);
+  const Tensor gi = relu.backward(Tensor::full(Shape{4}, 2.0f));
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 0.0f);
+  EXPECT_FLOAT_EQ(gi[2], 2.0f);
+  EXPECT_FLOAT_EQ(gi[3], 2.0f);
+}
+
+TEST(ReLU, OutputShapeIdentity) {
+  ReLU relu("r");
+  EXPECT_EQ(relu.output_shape(Shape{2, 3, 4, 5}), Shape({2, 3, 4, 5}));
+}
+
+TEST(Flatten, ForwardBackwardRoundTrip) {
+  Flatten flat("f");
+  util::Rng rng(1);
+  Tensor in = Tensor::uniform(Shape{2, 3, 4, 5}, -1.f, 1.f, rng);
+  const Tensor out = flat.forward(in, true);
+  EXPECT_EQ(out.shape(), Shape({2, 60}));
+  const Tensor gi = flat.backward(out);
+  EXPECT_EQ(gi.shape(), in.shape());
+  EXPECT_LT(tensor::max_abs_diff(gi, in), 1e-7f);
+}
+
+}  // namespace
+}  // namespace ls::nn

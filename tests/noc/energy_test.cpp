@@ -1,0 +1,55 @@
+#include "noc/energy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::noc {
+namespace {
+
+TEST(Energy, FromStatsLinearInTraversals) {
+  EnergyConfig cfg;
+  cfg.router_pj_per_flit = 10.0;
+  cfg.link_pj_per_flit = 5.0;
+  NocStats stats;
+  stats.total_flits = 100;
+  stats.flit_hops = 300;
+  stats.router_traversals = 400;
+  const NocEnergy e = energy_from_stats(stats, cfg, 16);
+  EXPECT_DOUBLE_EQ(e.router_pj, 4000.0);
+  EXPECT_DOUBLE_EQ(e.link_pj, 1500.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(), 5500.0);
+}
+
+TEST(Energy, StaticTermScalesWithTimeAndRouters) {
+  EnergyConfig cfg;
+  cfg.static_pw_per_router_pj_per_cycle = 0.5;
+  NocStats stats;
+  stats.completion_cycle = 100;
+  const NocEnergy e = energy_from_stats(stats, cfg, 4);
+  EXPECT_DOUBLE_EQ(e.static_pj, 0.5 * 100 * 4);
+}
+
+TEST(Energy, TransferAnalyticMatchesCounts) {
+  NocConfig noc;
+  EnergyConfig cfg;
+  // 128 bytes = 2 flits, 3 hops -> 2*4 router crossings, 2*3 link crossings.
+  const NocEnergy e = energy_for_transfer(128, 3, noc, cfg);
+  EXPECT_DOUBLE_EQ(e.router_pj, 2 * 4 * cfg.router_pj_per_flit);
+  EXPECT_DOUBLE_EQ(e.link_pj, 2 * 3 * cfg.link_pj_per_flit);
+}
+
+TEST(Energy, ZeroForLocalOrEmptyTransfer) {
+  NocConfig noc;
+  EnergyConfig cfg;
+  EXPECT_DOUBLE_EQ(energy_for_transfer(0, 3, noc, cfg).total_pj(), 0.0);
+  EXPECT_DOUBLE_EQ(energy_for_transfer(128, 0, noc, cfg).total_pj(), 0.0);
+}
+
+TEST(Energy, MoreHopsCostMore) {
+  NocConfig noc;
+  EnergyConfig cfg;
+  EXPECT_LT(energy_for_transfer(1024, 1, noc, cfg).total_pj(),
+            energy_for_transfer(1024, 5, noc, cfg).total_pj());
+}
+
+}  // namespace
+}  // namespace ls::noc

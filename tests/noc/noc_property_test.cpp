@@ -1,0 +1,82 @@
+// Property tests: lower bounds the simulator may never beat, across random
+// message sets. Contention can only add latency on top of zero-load and
+// bandwidth bounds, so any violation is a simulator bug.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "noc/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ls::noc {
+namespace {
+
+class NocBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NocBounds, CompletionRespectsZeroLoadAndBandwidthBounds) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  const std::size_t cores = 16;
+  const MeshTopology topo = MeshTopology::for_cores(cores);
+  const NocConfig cfg;
+  const MeshNocSimulator sim(topo, cfg);
+
+  std::vector<Message> msgs;
+  const std::size_t count = 8 + rng.uniform_index(24);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t s = rng.uniform_index(cores);
+    std::size_t d = rng.uniform_index(cores);
+    if (d == s) d = (d + 1) % cores;
+    msgs.push_back({s, d, 64 * (1 + rng.uniform_index(64)), 0});
+  }
+  const NocStats stats = sim.run(msgs);
+
+  // Bound 1: no message beats its zero-load latency.
+  std::uint64_t zero_load_max = 0;
+  for (const Message& m : msgs) {
+    zero_load_max = std::max(zero_load_max, sim.zero_load_latency(m));
+  }
+  EXPECT_GE(stats.completion_cycle, zero_load_max);
+
+  // Bound 2: per-node ejection bandwidth (phys_channels flits/cycle).
+  std::map<std::size_t, std::uint64_t> eject_flits;
+  for (const Message& m : msgs) {
+    eject_flits[m.dst] += sim.flits_for_bytes(m.bytes);
+  }
+  std::uint64_t eject_bound = 0;
+  for (const auto& [node, flits] : eject_flits) {
+    eject_bound = std::max(eject_bound, flits / cfg.phys_channels);
+  }
+  EXPECT_GE(stats.completion_cycle, eject_bound);
+
+  // Bound 3: per-node injection bandwidth.
+  std::map<std::size_t, std::uint64_t> inject_flits;
+  for (const Message& m : msgs) {
+    inject_flits[m.src] += sim.flits_for_bytes(m.bytes);
+  }
+  std::uint64_t inject_bound = 0;
+  for (const auto& [node, flits] : inject_flits) {
+    inject_bound = std::max(inject_bound, flits / cfg.phys_channels);
+  }
+  EXPECT_GE(stats.completion_cycle, inject_bound);
+
+  // Consistency: hop accounting.
+  std::uint64_t expect_hops = 0;
+  for (const Message& m : msgs) {
+    expect_hops += sim.flits_for_bytes(m.bytes) * topo.hops(m.src, m.dst);
+  }
+  EXPECT_EQ(stats.flit_hops, expect_hops);
+
+  // Consistency: busiest link carries at least flit_hops / total links.
+  EXPECT_GE(stats.max_link_flits * std::max<std::size_t>(1, stats.links_used),
+            stats.flit_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NocBounds,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace ls::noc

@@ -1,0 +1,76 @@
+// Tests for the routing variants and link-utilization statistics.
+
+#include <gtest/gtest.h>
+
+#include "noc/simulator.hpp"
+
+namespace ls::noc {
+namespace {
+
+TEST(Routing, YxDeliversSameFlitHops) {
+  const MeshTopology topo(4, 4);
+  NocConfig xy;
+  NocConfig yx;
+  yx.routing = Routing::kYX;
+  std::vector<Message> msgs;
+  for (std::size_t s = 0; s < 16; ++s) {
+    msgs.push_back({s, 15 - s, 2048, 0});
+  }
+  const auto rxy = MeshNocSimulator(topo, xy).run(msgs);
+  const auto ryx = MeshNocSimulator(topo, yx).run(msgs);
+  // Both are minimal: identical hop counts, possibly different timing.
+  EXPECT_EQ(rxy.flit_hops, ryx.flit_hops);
+  EXPECT_EQ(rxy.total_flits, ryx.total_flits);
+}
+
+TEST(Routing, XyAndYxUseDifferentPaths) {
+  // A single diagonal message: XY goes east-then-south, YX south-then-
+  // east; the congestion signature (links used) differs when combined
+  // with a conflicting flow.
+  const MeshTopology topo(4, 4);
+  NocConfig xy;
+  NocConfig yx;
+  yx.routing = Routing::kYX;
+  // Flows 0->5 and 1->5 (128 flits each). Under XY, 0->5 turns at router
+  // 1 and shares the southbound 1->5 link with the second flow (one link
+  // carries 256 flits); under YX, 0->5 goes south first and the flows
+  // only merge at the destination router.
+  std::vector<Message> msgs = {{0, 5, 8192, 0}, {1, 5, 8192, 0}};
+  const auto sxy = MeshNocSimulator(topo, xy).run(msgs);
+  const auto syx = MeshNocSimulator(topo, yx).run(msgs);
+  EXPECT_EQ(sxy.max_link_flits, 256u);
+  EXPECT_EQ(syx.max_link_flits, 128u);
+}
+
+TEST(LinkStats, SingleMessageUsesHopLinks) {
+  const MeshTopology topo(4, 4);
+  const MeshNocSimulator sim(topo, {});
+  const auto stats = sim.run({{0, 3, 640, 0}});  // 10 flits, 3 hops
+  EXPECT_EQ(stats.links_used, 3u);
+  EXPECT_EQ(stats.max_link_flits, 10u);
+}
+
+TEST(LinkStats, HotspotConcentratesOnFinalLinks) {
+  const MeshTopology topo(4, 4);
+  const MeshNocSimulator sim(topo, {});
+  std::vector<Message> msgs;
+  for (std::size_t s = 1; s < 16; ++s) msgs.push_back({s, 0, 640, 0});
+  const auto stats = sim.run(msgs);
+  // The west-bound link into core 0 carries most column-0 and row-0
+  // traffic: its load must far exceed the average.
+  const double avg = static_cast<double>(stats.flit_hops) /
+                     static_cast<double>(stats.links_used);
+  EXPECT_GT(static_cast<double>(stats.max_link_flits), 1.5 * avg);
+}
+
+TEST(LinkStats, UniformTrafficSpreadsLoad) {
+  const MeshTopology topo(4, 4);
+  const MeshNocSimulator sim(topo, {});
+  std::vector<Message> ring;
+  for (std::size_t s = 0; s < 16; ++s) ring.push_back({s, (s + 1) % 16, 640, 0});
+  const auto stats = sim.run(ring);
+  EXPECT_GT(stats.links_used, 10u);
+}
+
+}  // namespace
+}  // namespace ls::noc

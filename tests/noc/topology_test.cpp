@@ -1,0 +1,114 @@
+#include "noc/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::noc {
+namespace {
+
+TEST(MeshTopology, ForCoresPicksNearSquare) {
+  EXPECT_EQ(MeshTopology::for_cores(16).cols(), 4u);
+  EXPECT_EQ(MeshTopology::for_cores(16).rows(), 4u);
+  EXPECT_EQ(MeshTopology::for_cores(8).cols(), 4u);
+  EXPECT_EQ(MeshTopology::for_cores(8).rows(), 2u);
+  EXPECT_EQ(MeshTopology::for_cores(32).cols(), 8u);
+  EXPECT_EQ(MeshTopology::for_cores(32).rows(), 4u);
+  EXPECT_EQ(MeshTopology::for_cores(1).num_cores(), 1u);
+}
+
+TEST(MeshTopology, CoordRoundTrip) {
+  const MeshTopology topo(4, 4);
+  for (std::size_t c = 0; c < topo.num_cores(); ++c) {
+    EXPECT_EQ(topo.core_at(topo.coord(c)), c);
+  }
+  EXPECT_THROW(topo.coord(16), std::out_of_range);
+  EXPECT_THROW(topo.core_at({4, 0}), std::out_of_range);
+}
+
+TEST(MeshTopology, RowMajorLayout) {
+  const MeshTopology topo(4, 4);
+  EXPECT_EQ(topo.coord(0).x, 0u);
+  EXPECT_EQ(topo.coord(0).y, 0u);
+  EXPECT_EQ(topo.coord(3).x, 3u);
+  EXPECT_EQ(topo.coord(3).y, 0u);
+  EXPECT_EQ(topo.coord(4).x, 0u);
+  EXPECT_EQ(topo.coord(4).y, 1u);
+}
+
+TEST(MeshTopology, HopsMatchesPaperFig6a) {
+  // Fig. 6(a): distances from the first four cores of the 4x4 mesh. Core0's
+  // row is 0,1,2,3; core1's begins 1,0,1,2; etc.
+  const MeshTopology topo(4, 4);
+  const std::size_t expected_core0[] = {0, 1, 2, 3, 1, 2, 3, 4,
+                                        2, 3, 4, 5, 3, 4, 5, 6};
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(topo.hops(0, b), expected_core0[b]) << b;
+  }
+  EXPECT_EQ(topo.hops(1, 0), 1u);
+  EXPECT_EQ(topo.hops(1, 2), 1u);
+  EXPECT_EQ(topo.hops(3, 2), 1u);  // paper: "one hop from core3 to core2"
+}
+
+TEST(MeshTopology, HopsSymmetric) {
+  const MeshTopology topo(8, 4);
+  for (std::size_t a = 0; a < topo.num_cores(); ++a) {
+    for (std::size_t b = 0; b < topo.num_cores(); ++b) {
+      EXPECT_EQ(topo.hops(a, b), topo.hops(b, a));
+    }
+  }
+}
+
+TEST(MeshTopology, TriangleInequality) {
+  const MeshTopology topo(4, 4);
+  for (std::size_t a = 0; a < 16; ++a) {
+    for (std::size_t b = 0; b < 16; ++b) {
+      for (std::size_t c = 0; c < 16; ++c) {
+        EXPECT_LE(topo.hops(a, c), topo.hops(a, b) + topo.hops(b, c));
+      }
+    }
+  }
+}
+
+TEST(MeshTopology, DistanceMatrixMatchesHops) {
+  const MeshTopology topo(4, 2);
+  const auto m = topo.distance_matrix();
+  ASSERT_EQ(m.size(), 8u);
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      EXPECT_EQ(m[a][b], topo.hops(a, b));
+    }
+  }
+}
+
+TEST(MeshTopology, MeanHopsAndDiameter) {
+  const MeshTopology topo(2, 2);
+  // Pairs: 4 at distance 1 (adjacent, x2 direction each) ... enumerate:
+  // (0,1)=1 (0,2)=1 (0,3)=2 (1,2)=2 (1,3)=1 (2,3)=1 -> mean = 8/6
+  EXPECT_NEAR(topo.mean_hops(), 8.0 / 6.0, 1e-12);
+  EXPECT_EQ(topo.diameter(), 2u);
+}
+
+TEST(MeshTopology, MeanHopsGrowsWithScale) {
+  EXPECT_LT(MeshTopology::for_cores(4).mean_hops(),
+            MeshTopology::for_cores(16).mean_hops());
+  EXPECT_LT(MeshTopology::for_cores(16).mean_hops(),
+            MeshTopology::for_cores(64).mean_hops());
+}
+
+TEST(MeshTopology, BisectionLinks) {
+  EXPECT_EQ(MeshTopology(4, 4).bisection_links(), 4u);
+  EXPECT_EQ(MeshTopology(8, 4).bisection_links(), 4u);
+}
+
+TEST(MeshTopology, RejectsEmpty) {
+  EXPECT_THROW(MeshTopology(0, 4), std::invalid_argument);
+  EXPECT_THROW(MeshTopology::for_cores(0), std::invalid_argument);
+}
+
+TEST(MeshTopology, SingleCoreDegenerate) {
+  const MeshTopology topo = MeshTopology::for_cores(1);
+  EXPECT_EQ(topo.mean_hops(), 0.0);
+  EXPECT_EQ(topo.hops(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace ls::noc

@@ -1,0 +1,82 @@
+#include "sim/pipeline_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace ls::sim {
+namespace {
+
+TEST(PipelineModel, SinglePassIsSumOfStages) {
+  SystemConfig cfg;
+  cfg.cores = 4;
+  const auto spec = nn::lenet_spec();
+  const auto assignment = core::assign_pipeline(spec, 4, cfg.bytes_per_value);
+  const auto r = run_pipeline(spec, assignment, cfg);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < r.stage_compute_cycles.size(); ++s) {
+    total += r.stage_compute_cycles[s] + r.stage_transfer_cycles[s];
+  }
+  EXPECT_EQ(r.single_pass_cycles, total);
+  EXPECT_EQ(r.stage_compute_cycles.size(), assignment.stages.size());
+}
+
+TEST(PipelineModel, IntervalIsSlowestStage) {
+  SystemConfig cfg;
+  cfg.cores = 4;
+  const auto spec = nn::convnet_spec();
+  const auto assignment = core::assign_pipeline(spec, 4, cfg.bytes_per_value);
+  const auto r = run_pipeline(spec, assignment, cfg);
+  std::uint64_t worst = 0;
+  for (std::size_t s = 0; s < r.stage_compute_cycles.size(); ++s) {
+    worst = std::max(worst,
+                     r.stage_compute_cycles[s] + r.stage_transfer_cycles[s]);
+  }
+  EXPECT_EQ(r.initiation_interval, worst);
+  EXPECT_LE(r.initiation_interval, r.single_pass_cycles);
+}
+
+TEST(PipelineModel, SinglePassSlowerThanIntraLayer) {
+  // The paper's §II.B point, as an invariant.
+  SystemConfig cfg;
+  cfg.cores = 16;
+  CmpSystem system(cfg);
+  for (const auto& spec : {nn::mlp_spec(), nn::lenet_spec()}) {
+    const auto traffic =
+        core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+    const auto intra = system.run_inference(spec, traffic);
+    const auto pipe = run_pipeline(
+        spec, core::assign_pipeline(spec, cfg.cores, cfg.bytes_per_value),
+        cfg);
+    EXPECT_GT(pipe.single_pass_cycles, intra.total_cycles) << spec.name;
+  }
+}
+
+TEST(PipelineModel, LastStageHasNoTransfer) {
+  SystemConfig cfg;
+  cfg.cores = 4;
+  const auto spec = nn::mlp_spec();
+  const auto r = run_pipeline(
+      spec, core::assign_pipeline(spec, 4, cfg.bytes_per_value), cfg);
+  EXPECT_EQ(r.stage_transfer_cycles.back(), 0u);
+}
+
+TEST(PipelineModel, RejectsTooManyStages) {
+  SystemConfig cfg;
+  cfg.cores = 2;
+  const auto assignment = core::assign_pipeline(nn::vgg19_spec(), 8, 2);
+  if (assignment.stages.size() > 2) {
+    EXPECT_THROW(run_pipeline(nn::vgg19_spec(), assignment, cfg),
+                 std::invalid_argument);
+  }
+}
+
+TEST(PipelineModel, RejectsEmptyAssignment) {
+  SystemConfig cfg;
+  EXPECT_THROW(run_pipeline(nn::mlp_spec(), core::PipelineAssignment{}, cfg),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::sim

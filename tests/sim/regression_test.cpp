@@ -1,0 +1,85 @@
+// Golden regression tests: fixed seeds and configurations pin down the
+// simulator's exact outputs. These exist to catch *unintentional* changes
+// to the models — if a change is intentional, update the constants and
+// say why in the commit.
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+
+namespace ls::sim {
+namespace {
+
+TEST(Regression, MlpDenseInferenceCycles) {
+  SystemConfig cfg;  // all defaults: 16 cores, TABLE II parameters
+  CmpSystem system(cfg);
+  const auto spec = nn::mlp_spec();
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const auto r = system.run_inference(spec, traffic);
+  // Compute: 545,546 MACs over 16 cores at 256 MACs/cycle x 0.85.
+  EXPECT_EQ(r.compute_cycles, 163u);
+  EXPECT_EQ(r.layers.size(), 3u);
+  EXPECT_EQ(r.traffic_bytes, 512u * 15 * 2 + 10u * (304 - 19) * 2);
+  // NoC drain of the two bursts is deterministic.
+  EXPECT_EQ(r.comm_cycles, r.layers[1].comm_cycles + r.layers[2].comm_cycles);
+  EXPECT_GT(r.comm_cycles, 40u);
+  EXPECT_LT(r.comm_cycles, 80u);
+}
+
+TEST(Regression, AlexNetMacsAndWeights) {
+  EXPECT_EQ(nn::total_macs(nn::alexnet_spec()), 1'135'256'096u);
+  EXPECT_EQ(nn::total_weights(nn::alexnet_spec()), 62'367'776u);
+}
+
+TEST(Regression, Vgg19Macs) {
+  EXPECT_EQ(nn::total_macs(nn::vgg19_spec()), 19'632'062'464u);
+}
+
+TEST(Regression, LenetDenseTrafficBytes) {
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(16);
+  const auto traffic = core::traffic_dense(nn::lenet_spec(), topo, 2);
+  // conv2: 20 maps x 144 elems, ragged ownership on 16 cores; ip1: 50 maps
+  // x 16 elems; ip2: 500 neurons over 16 cores to 10 consumers.
+  ASSERT_EQ(traffic.transitions.size(), 3u);
+  std::size_t conv2 = 0;
+  for (const auto& m : traffic.transitions[0].messages) conv2 += m.bytes;
+  EXPECT_EQ(conv2, traffic.transitions[0].total_bytes);
+  EXPECT_EQ(traffic.total_bytes(),
+            traffic.transitions[0].total_bytes +
+                traffic.transitions[1].total_bytes +
+                traffic.transitions[2].total_bytes);
+  // Byte-hops exceed bytes (every message crosses >= 1 hop).
+  EXPECT_GT(traffic.total_byte_hops(), traffic.total_bytes());
+}
+
+TEST(Regression, NocAllToAllDrainCycles) {
+  const noc::MeshNocSimulator sim(noc::MeshTopology(4, 4), noc::NocConfig{});
+  std::vector<noc::Message> msgs;
+  for (std::size_t s = 0; s < 16; ++s) {
+    for (std::size_t d = 0; d < 16; ++d) {
+      if (s != d) msgs.push_back({s, d, 4096, 0});
+    }
+  }
+  const auto stats = sim.run(msgs);
+  EXPECT_EQ(stats.total_flits, 240u * 64);
+  EXPECT_EQ(stats.completion_cycle, 1879u);
+  EXPECT_EQ(stats.flit_hops, 40960u);
+}
+
+TEST(Regression, SystemEnergySplit) {
+  SystemConfig cfg;
+  CmpSystem system(cfg);
+  const auto spec = nn::convnet_spec();
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const auto r = system.run_inference(spec, traffic);
+  // Energy model constants are part of the contract.
+  EXPECT_NEAR(r.compute_energy_pj / 1e6, 28.46, 0.5);  // ~28 uJ
+  EXPECT_NEAR(r.noc_energy_pj / 1e6, 0.347, 0.05);     // ~0.35 uJ
+}
+
+}  // namespace
+}  // namespace ls::sim

@@ -1,0 +1,146 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/grouping.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace ls::sim {
+namespace {
+
+core::InferenceTraffic dense_traffic(const nn::NetSpec& spec,
+                                     const CmpSystem& system) {
+  return core::traffic_dense(spec, system.topology(),
+                             system.config().bytes_per_value);
+}
+
+TEST(CmpSystem, LayersCoverComputeLayers) {
+  SystemConfig cfg;
+  CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const auto result = system.run_inference(spec, dense_traffic(spec, system));
+  ASSERT_EQ(result.layers.size(), 3u);  // ip1, ip2, ip3
+  EXPECT_EQ(result.layers[0].layer_name, "ip1");
+  EXPECT_EQ(result.layers[0].comm_cycles, 0u);  // input replicated
+  EXPECT_GT(result.layers[1].comm_cycles, 0u);
+}
+
+TEST(CmpSystem, TotalsAreSums) {
+  SystemConfig cfg;
+  CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  const auto result = system.run_inference(spec, dense_traffic(spec, system));
+  std::uint64_t compute = 0, comm = 0;
+  double noc_e = 0.0;
+  for (const auto& layer : result.layers) {
+    compute += layer.compute_cycles;
+    comm += layer.blocking_comm_cycles;
+    noc_e += layer.noc_energy_pj;
+  }
+  EXPECT_EQ(result.compute_cycles, compute);
+  EXPECT_EQ(result.comm_cycles, comm);
+  EXPECT_EQ(result.total_cycles, compute + comm);
+  EXPECT_DOUBLE_EQ(result.noc_energy_pj, noc_e);
+  EXPECT_GT(result.comm_fraction(), 0.0);
+  EXPECT_LT(result.comm_fraction(), 1.0);
+}
+
+TEST(CmpSystem, MoreCoresLessComputeTime) {
+  const nn::NetSpec spec = nn::convnet_expt_spec();
+  SystemConfig c4;
+  c4.cores = 4;
+  SystemConfig c16;
+  c16.cores = 16;
+  CmpSystem s4(c4), s16(c16);
+  const auto r4 = s4.run_inference(spec, dense_traffic(spec, s4));
+  const auto r16 = s16.run_inference(spec, dense_traffic(spec, s16));
+  EXPECT_GT(r4.compute_cycles, r16.compute_cycles);
+}
+
+TEST(CmpSystem, CommGrowsWithCores) {
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  SystemConfig c4;
+  c4.cores = 4;
+  SystemConfig c16;
+  c16.cores = 16;
+  CmpSystem s4(c4), s16(c16);
+  const auto r4 = s4.run_inference(spec, dense_traffic(spec, s4));
+  const auto r16 = s16.run_inference(spec, dense_traffic(spec, s16));
+  EXPECT_GT(r16.traffic_bytes, r4.traffic_bytes);
+  EXPECT_GT(r16.comm_fraction(), r4.comm_fraction());
+}
+
+TEST(CmpSystem, GroupedSpecRemovesTrafficAndCompute) {
+  const nn::NetSpec dense = nn::convnet_variant_expt_spec(32, 64, 128, 1);
+  const nn::NetSpec grouped = nn::convnet_variant_expt_spec(32, 64, 128, 16);
+  SystemConfig cfg;
+  cfg.cores = 16;
+  CmpSystem system(cfg);
+  const auto rd = system.run_inference(dense, dense_traffic(dense, system));
+  const auto rg =
+      system.run_inference(grouped, dense_traffic(grouped, system));
+  EXPECT_LT(rg.traffic_bytes, rd.traffic_bytes);
+  EXPECT_LT(rg.compute_cycles, rd.compute_cycles);
+  EXPECT_GT(speedup(rd, rg), 1.5);
+}
+
+TEST(CmpSystem, OverlapHidesCommBehindCompute) {
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  SystemConfig blocked;
+  SystemConfig overlapped = blocked;
+  overlapped.overlap_comm = true;
+  CmpSystem sb(blocked), so(overlapped);
+  const auto rb = sb.run_inference(spec, dense_traffic(spec, sb));
+  const auto ro = so.run_inference(spec, dense_traffic(spec, so));
+  EXPECT_LE(ro.comm_cycles, rb.comm_cycles);
+  EXPECT_LE(ro.total_cycles, rb.total_cycles);
+  // Energy is unaffected by overlap.
+  EXPECT_DOUBLE_EQ(ro.noc_energy_pj, rb.noc_energy_pj);
+}
+
+TEST(CmpSystem, NocClockDividerScalesCommOnly) {
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  SystemConfig fast;
+  SystemConfig slow = fast;
+  slow.noc_clock_divider = 2.0;
+  CmpSystem sf(fast), ss(slow);
+  const auto rf = sf.run_inference(spec, dense_traffic(spec, sf));
+  const auto rs = ss.run_inference(spec, dense_traffic(spec, ss));
+  EXPECT_EQ(rs.compute_cycles, rf.compute_cycles);
+  EXPECT_NEAR(static_cast<double>(rs.comm_cycles),
+              2.0 * static_cast<double>(rf.comm_cycles),
+              static_cast<double>(rf.layers.size())); // rounding per layer
+  EXPECT_DOUBLE_EQ(rs.noc_energy_pj, rf.noc_energy_pj);
+}
+
+TEST(CmpSystem, MetricsHelpers) {
+  InferenceResult base;
+  base.total_cycles = 1000;
+  base.traffic_bytes = 500;
+  base.noc_energy_pj = 80.0;
+  InferenceResult v;
+  v.total_cycles = 500;
+  v.traffic_bytes = 100;
+  v.noc_energy_pj = 20.0;
+  EXPECT_DOUBLE_EQ(speedup(base, v), 2.0);
+  EXPECT_DOUBLE_EQ(traffic_rate(base, v), 0.2);
+  EXPECT_DOUBLE_EQ(comm_energy_reduction(base, v), 0.75);
+  v.total_cycles = 0;
+  EXPECT_THROW(speedup(base, v), std::invalid_argument);
+}
+
+TEST(CmpSystem, EnergySplitsComputeAndNoc) {
+  SystemConfig cfg;
+  CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::mlp_expt_spec();
+  const auto r = system.run_inference(spec, dense_traffic(spec, system));
+  EXPECT_GT(r.compute_energy_pj, 0.0);
+  EXPECT_GT(r.noc_energy_pj, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_energy_pj(),
+                   r.compute_energy_pj + r.noc_energy_pj);
+  // Compute (MAC + SRAM) energy dominates NoC energy for these models.
+  EXPECT_GT(r.compute_energy_pj, r.noc_energy_pj);
+}
+
+}  // namespace
+}  // namespace ls::sim

@@ -1,0 +1,128 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::tensor {
+namespace {
+
+TEST(Shape, NumelAndRank) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.numel(), 120u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(Shape, RejectsZeroDim) {
+  EXPECT_THROW(Shape({2, 0}), std::invalid_argument);
+}
+
+TEST(Shape, RejectsRankFive) {
+  EXPECT_THROW(Shape(std::vector<std::size_t>{1, 2, 3, 4, 5}),
+               std::invalid_argument);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+}
+
+TEST(Shape, ToString) { EXPECT_EQ(Shape({1, 2, 3}).to_string(), "{1,2,3}"); }
+
+TEST(Tensor, ZerosAndFill) {
+  Tensor t = Tensor::zeros(Shape{3, 3});
+  EXPECT_EQ(t.numel(), 9u);
+  EXPECT_EQ(t.sum(), 0.0);
+  t.fill(2.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 18.0);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  // NCHW row-major: index = ((n*C + c)*H + h)*W + w
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, At4BoundsChecked) {
+  Tensor t(Shape{1, 1, 2, 2});
+  EXPECT_THROW(t.at4(0, 0, 2, 0), std::out_of_range);
+  EXPECT_THROW(t.at4(1, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor, At2) {
+  Tensor t(Shape{2, 3});
+  t.at2(1, 2) = 5.0f;
+  EXPECT_EQ(t[5], 5.0f);
+  EXPECT_THROW(t.at2(2, 0), std::out_of_range);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t = Tensor::full(Shape{2, 6}, 1.5f);
+  t[3] = 9.0f;
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  EXPECT_EQ(r[3], 9.0f);
+  EXPECT_THROW(t.reshaped(Shape{5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a = Tensor::full(Shape{4}, 1.0f);
+  const Tensor b = Tensor::full(Shape{4}, 2.0f);
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  Tensor c(Shape{5});
+  EXPECT_THROW(a.axpy(1.0f, c), std::invalid_argument);
+}
+
+TEST(Tensor, ScaleAndSums) {
+  Tensor t = Tensor::from_data(Shape{3}, {1.0f, -2.0f, 3.0f});
+  t.scale(2.0f);
+  EXPECT_DOUBLE_EQ(t.sum(), 4.0);
+  EXPECT_DOUBLE_EQ(t.sum_squares(), 4.0 + 16.0 + 36.0);
+  EXPECT_FLOAT_EQ(t.max_abs(), 6.0f);
+}
+
+TEST(Tensor, CountZeros) {
+  Tensor t = Tensor::from_data(Shape{4}, {0.0f, 1.0f, 0.0f, -1.0f});
+  EXPECT_EQ(t.count_zeros(), 2u);
+}
+
+TEST(Tensor, HeNormalStats) {
+  util::Rng rng(3);
+  const std::size_t fan_in = 64;
+  Tensor t = Tensor::he_normal(Shape{100, 100}, fan_in, rng);
+  double sq = t.sum_squares() / static_cast<double>(t.numel());
+  EXPECT_NEAR(sq, 2.0 / 64.0, 0.005);
+  EXPECT_NEAR(t.sum() / static_cast<double>(t.numel()), 0.0, 0.005);
+}
+
+TEST(Tensor, UniformRange) {
+  util::Rng rng(4);
+  Tensor t = Tensor::uniform(Shape{1000}, -1.0f, 1.0f, rng);
+  EXPECT_GE(t.span()[0], -1.0f);
+  for (float v : t.span()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, FromDataValidatesSize) {
+  EXPECT_THROW(Tensor::from_data(Shape{3}, {1.0f}), std::invalid_argument);
+}
+
+TEST(Tensor, QuantizeFixed16) {
+  Tensor t = Tensor::from_data(Shape{2}, {0.1234567f, -0.5f});
+  t.quantize_fixed16(8);
+  EXPECT_NEAR(t[0], 0.1234567f, 1.0 / 256.0);
+  EXPECT_FLOAT_EQ(t[1], -0.5f);  // exactly representable
+  EXPECT_THROW(t.quantize_fixed16(3), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a = Tensor::from_data(Shape{2}, {1.0f, 2.0f});
+  const Tensor b = Tensor::from_data(Shape{2}, {1.5f, 1.0f});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+}  // namespace
+}  // namespace ls::tensor

@@ -1,0 +1,152 @@
+#include "train/group_lasso.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace ls::train {
+namespace {
+
+struct Fixture {
+  util::Rng rng{11};
+  nn::NetSpec spec = nn::mlp_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  std::size_t cores = 4;
+
+  std::vector<core::LayerGroupSet> sets() {
+    return core::build_group_sets(net, spec, cores);
+  }
+};
+
+TEST(GroupLasso, ProximalShrinksOffDiagonalBlocks) {
+  Fixture f;
+  auto sets = f.sets();
+  const double before = sets[0].block_norm(0, 1);
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0);
+  reg.apply(0.01);
+  EXPECT_LT(reg.groups()[0].block_norm(0, 1), before);
+}
+
+TEST(GroupLasso, DiagonalBlocksUntouched) {
+  Fixture f;
+  auto sets = f.sets();
+  const double before = sets[0].block_norm(2, 2);
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0);
+  reg.apply(0.05);
+  EXPECT_DOUBLE_EQ(reg.groups()[0].block_norm(2, 2), before);
+}
+
+TEST(GroupLasso, ProximalKillsBlockWhenShrinkExceedsNorm) {
+  Fixture f;
+  auto sets = f.sets();
+  // Scale block (0,1) down so one proximal step wipes it.
+  for (std::size_t idx : sets[0].block(0, 1)) {
+    sets[0].weight->value[idx] *= 1e-6f;
+  }
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0);
+  reg.apply(0.1);
+  EXPECT_TRUE(reg.groups()[0].block_dead(0, 1));
+}
+
+TEST(GroupLasso, ShrinkFactorMatchesClosedForm) {
+  Fixture f;
+  auto sets = f.sets();
+  const double norm = sets[0].block_norm(1, 3);
+  const double lr = 0.02, lambda = 0.7;
+  const double expected = norm * (1.0 - lr * lambda / norm);
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), lambda);
+  reg.apply(lr);
+  EXPECT_NEAR(reg.groups()[0].block_norm(1, 3), expected, 1e-5);
+}
+
+TEST(GroupLasso, MaskScalesPerBlockStrength) {
+  Fixture f;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(f.cores);
+  auto sets = f.sets();
+  const double norm_near = sets[0].block_norm(0, 1);  // 1 hop
+  const double norm_far = sets[0].block_norm(0, 3);   // farther
+  GroupLassoRegularizer reg(std::move(sets), distance_mask(topo), 1.0);
+  reg.apply(0.05);
+  const double shrink_near =
+      norm_near - reg.groups()[0].block_norm(0, 1);
+  const double shrink_far = norm_far - reg.groups()[0].block_norm(0, 3);
+  // Absolute shrink is lr * lambda_pc, independent of the norm, so the far
+  // block must shrink by more.
+  EXPECT_GT(shrink_far, shrink_near);
+}
+
+TEST(GroupLasso, SubgradientAddsToGradients) {
+  Fixture f;
+  auto sets = f.sets();
+  nn::Param* w = sets[0].weight;
+  w->grad.zero();
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0,
+                            LassoMode::kSubgradient);
+  reg.apply(0.01);
+  EXPECT_GT(w->grad.max_abs(), 0.0f);
+  // Gradient direction matches w / ||w||_g: same sign as the weight.
+  const auto& set = reg.groups()[0];
+  const std::size_t idx = set.block(0, 1)[5];
+  EXPECT_GT(w->grad[idx] * w->value[idx], 0.0f);
+}
+
+TEST(GroupLasso, SubgradientLeavesValuesUnchanged) {
+  Fixture f;
+  auto sets = f.sets();
+  const double norm = sets[0].block_norm(0, 2);
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0,
+                            LassoMode::kSubgradient);
+  reg.apply(0.01);
+  EXPECT_DOUBLE_EQ(reg.groups()[0].block_norm(0, 2), norm);
+}
+
+TEST(GroupLasso, PenaltyIsMaskedNormSum) {
+  Fixture f;
+  auto sets = f.sets();
+  double expected = 0.0;
+  for (const auto& set : sets) {
+    for (std::size_t p = 0; p < f.cores; ++p) {
+      for (std::size_t c = 0; c < f.cores; ++c) {
+        if (p != c) expected += 2.0 * set.block_norm(p, c);
+      }
+    }
+  }
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 2.0);
+  EXPECT_NEAR(reg.penalty(), expected, 1e-6);
+}
+
+TEST(GroupLasso, EnforceDeadBlocksKillsTinyNorms) {
+  Fixture f;
+  auto sets = f.sets();
+  for (std::size_t idx : sets[0].block(1, 2)) {
+    sets[0].weight->value[idx] =
+        sets[0].weight->value[idx] > 0 ? 1e-9f : -1e-9f;
+  }
+  GroupLassoRegularizer reg(std::move(sets), uniform_mask(f.cores), 1.0);
+  const std::size_t killed = reg.enforce_dead_blocks(1e-6);
+  EXPECT_GE(killed, 1u);
+  EXPECT_TRUE(reg.groups()[0].block_dead(1, 2));
+}
+
+TEST(GroupLasso, RejectsNegativeLambdaAndBadMask) {
+  Fixture f;
+  EXPECT_THROW(
+      GroupLassoRegularizer(f.sets(), uniform_mask(f.cores), -0.1),
+      std::invalid_argument);
+  EXPECT_THROW(GroupLassoRegularizer(f.sets(), uniform_mask(8), 0.1),
+               std::invalid_argument);
+}
+
+TEST(GroupLasso, RepeatedProximalConvergesToZeroWithoutGradients) {
+  Fixture f;
+  GroupLassoRegularizer reg(f.sets(), uniform_mask(f.cores), 1.0);
+  for (int i = 0; i < 2000; ++i) reg.apply(0.01);
+  for (const auto& set : reg.groups()) {
+    EXPECT_NEAR(set.off_diagonal_dead_fraction(), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ls::train

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "train/masks.hpp"
+#include "train/sgd.hpp"
+#include "util/rng.hpp"
+
+namespace ls::train {
+namespace {
+
+using nn::Param;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Sgd, PlainGradientStep) {
+  Param p("w", Tensor::from_data(Shape{2}, {1.0f, -1.0f}));
+  p.grad = Tensor::from_data(Shape{2}, {0.5f, -0.5f});
+  SgdConfig cfg;
+  cfg.lr = 0.1;
+  cfg.momentum = 0.0;
+  cfg.weight_decay = 0.0;
+  cfg.clip_grad_norm = 0.0;
+  Sgd sgd({&p}, cfg);
+  sgd.step();
+  EXPECT_NEAR(p.value[0], 1.0 - 0.05, 1e-6);
+  EXPECT_NEAR(p.value[1], -1.0 + 0.05, 1e-6);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p("w", Tensor::from_data(Shape{1}, {0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 1.0;
+  cfg.momentum = 0.5;
+  cfg.weight_decay = 0.0;
+  cfg.clip_grad_norm = 0.0;
+  Sgd sgd({&p}, cfg);
+  p.grad[0] = 1.0f;
+  sgd.step();  // v = -1, w = -1
+  EXPECT_NEAR(p.value[0], -1.0, 1e-6);
+  sgd.step();  // v = -0.5 - 1 = -1.5, w = -2.5
+  EXPECT_NEAR(p.value[0], -2.5, 1e-6);
+}
+
+TEST(Sgd, WeightDecayShrinksWithZeroGrad) {
+  Param p("w", Tensor::from_data(Shape{1}, {2.0f}));
+  SgdConfig cfg;
+  cfg.lr = 0.1;
+  cfg.momentum = 0.0;
+  cfg.weight_decay = 0.5;
+  cfg.clip_grad_norm = 0.0;
+  Sgd sgd({&p}, cfg);
+  sgd.step();
+  EXPECT_NEAR(p.value[0], 2.0 - 0.1 * 0.5 * 2.0, 1e-6);
+}
+
+TEST(Sgd, GradClipBoundsUpdate) {
+  Param p("w", Tensor::from_data(Shape{2}, {0.0f, 0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 1.0;
+  cfg.momentum = 0.0;
+  cfg.weight_decay = 0.0;
+  cfg.clip_grad_norm = 1.0;
+  Sgd sgd({&p}, cfg);
+  p.grad = Tensor::from_data(Shape{2}, {30.0f, 40.0f});  // norm 50
+  sgd.step();
+  // Clipped to unit norm: direction (0.6, 0.8).
+  EXPECT_NEAR(p.value[0], -0.6, 1e-5);
+  EXPECT_NEAR(p.value[1], -0.8, 1e-5);
+}
+
+TEST(Sgd, ClipInactiveBelowThreshold) {
+  Param p("w", Tensor::from_data(Shape{1}, {0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 1.0;
+  cfg.momentum = 0.0;
+  cfg.weight_decay = 0.0;
+  cfg.clip_grad_norm = 10.0;
+  Sgd sgd({&p}, cfg);
+  p.grad[0] = 2.0f;
+  sgd.step();
+  EXPECT_NEAR(p.value[0], -2.0, 1e-6);
+}
+
+TEST(Sgd, RejectsNonPositiveLr) {
+  Param p("w", Tensor::from_data(Shape{1}, {0.0f}));
+  SgdConfig cfg;
+  cfg.lr = 0.0;
+  EXPECT_THROW(Sgd({&p}, cfg), std::invalid_argument);
+}
+
+TEST(Masks, UniformOffDiagonalOnes) {
+  const StrengthMask m = uniform_mask(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(m[p][c], p == c ? 0.0 : 1.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(mean_off_diagonal(m), 1.0);
+}
+
+TEST(Masks, DistanceMaskZeroDiagonal) {
+  const noc::MeshTopology topo(4, 4);
+  const StrengthMask m = distance_mask(topo);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(m[i][i], 0.0);
+}
+
+TEST(Masks, DistanceMaskMonotoneInHops) {
+  const noc::MeshTopology topo(4, 4);
+  const StrengthMask m = distance_mask(topo);
+  // core0 -> core1 (1 hop) weaker than core0 -> core15 (6 hops).
+  EXPECT_LT(m[0][1], m[0][15]);
+  EXPECT_LT(m[0][5], m[0][15]);
+}
+
+TEST(Masks, DistanceMaskNormalizedToUnitMean) {
+  const noc::MeshTopology topo(4, 4);
+  EXPECT_NEAR(mean_off_diagonal(distance_mask(topo, 1.0)), 1.0, 1e-9);
+}
+
+TEST(Masks, ExponentSharpensContrast) {
+  const noc::MeshTopology topo(4, 4);
+  const StrengthMask m1 = distance_mask(topo, 1.0);
+  const StrengthMask m2 = distance_mask(topo, 2.0);
+  // Ratio far/near grows with the exponent.
+  EXPECT_GT(m2[0][15] / m2[0][1], m1[0][15] / m1[0][1]);
+}
+
+TEST(Masks, SymmetricForSymmetricTopology) {
+  const noc::MeshTopology topo(4, 4);
+  const StrengthMask m = distance_mask(topo);
+  for (std::size_t p = 0; p < 16; ++p) {
+    for (std::size_t c = 0; c < 16; ++c) {
+      EXPECT_DOUBLE_EQ(m[p][c], m[c][p]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ls::train

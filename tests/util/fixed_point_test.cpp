@@ -1,0 +1,64 @@
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::util {
+namespace {
+
+using F8 = Fixed16<8>;
+
+TEST(Fixed16, RoundTripExactValues) {
+  EXPECT_DOUBLE_EQ(F8::from_double(1.0).to_double(), 1.0);
+  EXPECT_DOUBLE_EQ(F8::from_double(-2.5).to_double(), -2.5);
+  EXPECT_DOUBLE_EQ(F8::from_double(0.0).to_double(), 0.0);
+}
+
+TEST(Fixed16, QuantizationErrorBounded) {
+  for (double v = -10.0; v < 10.0; v += 0.0137) {
+    const double q = F8::from_double(v).to_double();
+    EXPECT_NEAR(q, v, 1.0 / 256.0 / 2.0 + 1e-12) << v;
+  }
+}
+
+TEST(Fixed16, SaturatesAtBounds) {
+  EXPECT_EQ(F8::from_double(1e6).raw(), F8::kMaxRaw);
+  EXPECT_EQ(F8::from_double(-1e6).raw(), F8::kMinRaw);
+}
+
+TEST(Fixed16, AdditionMatchesDouble) {
+  const F8 a = F8::from_double(1.25), b = F8::from_double(2.5);
+  EXPECT_DOUBLE_EQ((a + b).to_double(), 3.75);
+  EXPECT_DOUBLE_EQ((a - b).to_double(), -1.25);
+}
+
+TEST(Fixed16, AdditionSaturates) {
+  const F8 big = F8::from_raw(F8::kMaxRaw);
+  EXPECT_EQ((big + big).raw(), F8::kMaxRaw);
+  const F8 small = F8::from_raw(F8::kMinRaw);
+  EXPECT_EQ((small + small).raw(), F8::kMinRaw);
+}
+
+TEST(Fixed16, MultiplicationMatchesDouble) {
+  const F8 a = F8::from_double(1.5), b = F8::from_double(-2.0);
+  EXPECT_DOUBLE_EQ((a * b).to_double(), -3.0);
+}
+
+TEST(Fixed16, MultiplicationSaturates) {
+  const F8 a = F8::from_double(100.0);
+  EXPECT_EQ((a * a).raw(), F8::kMaxRaw);
+}
+
+TEST(Fixed16, Ordering) {
+  EXPECT_LT(F8::from_double(1.0), F8::from_double(2.0));
+  EXPECT_EQ(F8::from_double(1.0), F8::from_double(1.0));
+}
+
+TEST(Fixed16, DifferentFracBitsPrecision) {
+  const double v = 0.123456;
+  const double e4 = std::abs(quantize_f16<4>(v) - v);
+  const double e12 = std::abs(quantize_f16<12>(v) - v);
+  EXPECT_LT(e12, e4);
+}
+
+}  // namespace
+}  // namespace ls::util

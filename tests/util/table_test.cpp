@@ -1,0 +1,42 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ls::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("demo");
+  t.set_header({"net", "speedup"});
+  t.add_row({"MLP", "1.59x"});
+  t.add_row({"LeNet", "1.51x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("net"), std::string::npos);
+  EXPECT_NE(s.find("1.59x"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t("demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Format, Double) { EXPECT_EQ(fmt_double(3.14159, 2), "3.14"); }
+
+TEST(Format, Speedup) { EXPECT_EQ(fmt_speedup(1.586, 2), "1.59x"); }
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.81), "81%");
+  EXPECT_EQ(fmt_percent(0.055, 1), "5.5%");
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(fmt_bytes(512), "512B");
+  EXPECT_EQ(fmt_bytes(225.0 * 1024), "225K");
+  EXPECT_EQ(fmt_bytes(2.0 * 1024 * 1024), "2.0M");
+}
+
+}  // namespace
+}  // namespace ls::util

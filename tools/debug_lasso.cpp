@@ -1,0 +1,43 @@
+// Scratch harness: sweep group-Lasso strength and report accuracy /
+// traffic / dead-block fraction for one network. Not a deliverable.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ls;
+  const double lambda = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const char* which = argc > 2 ? argv[2] : "mlp";
+  const int epochs = argc > 3 ? std::atoi(argv[3]) : 3;
+
+  nn::NetSpec spec = std::string(which) == "lenet"   ? nn::lenet_expt_spec()
+                     : std::string(which) == "convnet" ? nn::convnet_expt_spec()
+                     : std::string(which) == "caffenet"
+                         ? nn::caffenet_expt_spec()
+                         : nn::mlp_expt_spec();
+  const data::Dataset train_set = sim::dataset_for(spec, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, 2);
+
+  sim::ExperimentConfig cfg;
+  cfg.cores = 16;
+  cfg.train.epochs = static_cast<std::size_t>(epochs);
+  cfg.lambda_ss = lambda;
+  cfg.lambda_mask = lambda;
+  const auto outcomes =
+      sim::run_sparsified_experiment(spec, train_set, test_set, cfg);
+  for (const auto& o : outcomes) {
+    std::printf(
+        "%-9s acc=%.3f traffic=%.3f speedup=%.2f commE-=%.2f dead=%.2f "
+        "sparsity=%.2f cyc=%llu (cmp=%llu comm=%llu)\n",
+        o.scheme.c_str(), o.accuracy, o.traffic_rate, o.speedup,
+        o.comm_energy_reduction, o.dead_block_fraction, o.weight_sparsity,
+        static_cast<unsigned long long>(o.result.total_cycles),
+        static_cast<unsigned long long>(o.result.compute_cycles),
+        static_cast<unsigned long long>(o.result.comm_cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Scratch harness for calibrating training hyper-parameters on the
+// synthetic datasets. Not part of the library deliverables.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nn/model_zoo.hpp"
+#include "sim/experiment.hpp"
+#include "train/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ls;
+  const double lr = argc > 1 ? std::atof(argv[1]) : 0.05;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 3;
+  const char* which = argc > 3 ? argv[3] : "mlp";
+
+  nn::NetSpec spec = std::string(which) == "lenet" ? nn::lenet_expt_spec()
+                     : std::string(which) == "convnet"
+                         ? nn::convnet_expt_spec()
+                         : nn::mlp_expt_spec();
+  const data::Dataset train_set = sim::dataset_for(spec, 768, 1);
+  const data::Dataset test_set = sim::dataset_for(spec, 256, 2);
+
+  util::Rng rng(42);
+  nn::Network net = nn::build_network(spec, rng);
+  train::TrainConfig cfg;
+  cfg.epochs = static_cast<std::size_t>(epochs);
+  cfg.sgd.lr = lr;
+  cfg.verbose = true;
+  const auto report = train::train_classifier(net, train_set, test_set, cfg);
+  std::printf("%s lr=%g epochs=%d -> train=%.3f test=%.3f\n", which, lr,
+              epochs, report.train_accuracy, report.test_accuracy);
+  for (double l : report.epoch_loss) std::printf("  loss %.4f\n", l);
+  return 0;
+}
