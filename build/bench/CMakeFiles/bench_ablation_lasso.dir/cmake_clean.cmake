@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lasso.dir/bench_ablation_lasso.cpp.o"
+  "CMakeFiles/bench_ablation_lasso.dir/bench_ablation_lasso.cpp.o.d"
+  "bench_ablation_lasso"
+  "bench_ablation_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

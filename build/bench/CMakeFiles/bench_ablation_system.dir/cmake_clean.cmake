@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_system.dir/bench_ablation_system.cpp.o"
+  "CMakeFiles/bench_ablation_system.dir/bench_ablation_system.cpp.o.d"
+  "bench_ablation_system"
+  "bench_ablation_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_micro.dir/bench_noc_micro.cpp.o"
+  "CMakeFiles/bench_noc_micro.dir/bench_noc_micro.cpp.o.d"
+  "bench_noc_micro"
+  "bench_noc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pipeline_vs_intra.dir/bench_pipeline_vs_intra.cpp.o"
+  "CMakeFiles/bench_pipeline_vs_intra.dir/bench_pipeline_vs_intra.cpp.o.d"
+  "bench_pipeline_vs_intra"
+  "bench_pipeline_vs_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pipeline_vs_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

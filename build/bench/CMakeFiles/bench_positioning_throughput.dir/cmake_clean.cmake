@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_positioning_throughput.dir/bench_positioning_throughput.cpp.o"
+  "CMakeFiles/bench_positioning_throughput.dir/bench_positioning_throughput.cpp.o.d"
+  "bench_positioning_throughput"
+  "bench_positioning_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_positioning_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sparsified.dir/bench_table4_sparsified.cpp.o"
+  "CMakeFiles/bench_table4_sparsified.dir/bench_table4_sparsified.cpp.o.d"
+  "bench_table4_sparsified"
+  "bench_table4_sparsified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sparsified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_checkpoint.dir/deploy_checkpoint.cpp.o"
+  "CMakeFiles/deploy_checkpoint.dir/deploy_checkpoint.cpp.o.d"
+  "deploy_checkpoint"
+  "deploy_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

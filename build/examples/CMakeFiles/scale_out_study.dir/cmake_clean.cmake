@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_out_study.dir/scale_out_study.cpp.o"
+  "CMakeFiles/scale_out_study.dir/scale_out_study.cpp.o.d"
+  "scale_out_study"
+  "scale_out_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_out_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparsify_train.dir/sparsify_train.cpp.o"
+  "CMakeFiles/sparsify_train.dir/sparsify_train.cpp.o.d"
+  "sparsify_train"
+  "sparsify_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparsify_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

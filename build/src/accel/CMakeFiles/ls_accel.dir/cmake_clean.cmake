@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_accel.dir/core_model.cpp.o"
+  "CMakeFiles/ls_accel.dir/core_model.cpp.o.d"
+  "libls_accel.a"
+  "libls_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comm_volume.cpp" "src/core/CMakeFiles/ls_core.dir/comm_volume.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/comm_volume.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/ls_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/ls_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/partitioned_inference.cpp" "src/core/CMakeFiles/ls_core.dir/partitioned_inference.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/partitioned_inference.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/ls_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/ls_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/traffic.cpp" "src/core/CMakeFiles/ls_core.dir/traffic.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/traffic.cpp.o.d"
+  "/root/repo/src/core/weight_groups.cpp" "src/core/CMakeFiles/ls_core.dir/weight_groups.cpp.o" "gcc" "src/core/CMakeFiles/ls_core.dir/weight_groups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ls_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ls_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_core.dir/comm_volume.cpp.o"
+  "CMakeFiles/ls_core.dir/comm_volume.cpp.o.d"
+  "CMakeFiles/ls_core.dir/grouping.cpp.o"
+  "CMakeFiles/ls_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/ls_core.dir/partition.cpp.o"
+  "CMakeFiles/ls_core.dir/partition.cpp.o.d"
+  "CMakeFiles/ls_core.dir/partitioned_inference.cpp.o"
+  "CMakeFiles/ls_core.dir/partitioned_inference.cpp.o.d"
+  "CMakeFiles/ls_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ls_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ls_core.dir/placement.cpp.o"
+  "CMakeFiles/ls_core.dir/placement.cpp.o.d"
+  "CMakeFiles/ls_core.dir/traffic.cpp.o"
+  "CMakeFiles/ls_core.dir/traffic.cpp.o.d"
+  "CMakeFiles/ls_core.dir/weight_groups.cpp.o"
+  "CMakeFiles/ls_core.dir/weight_groups.cpp.o.d"
+  "libls_core.a"
+  "libls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

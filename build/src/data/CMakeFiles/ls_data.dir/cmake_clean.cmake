@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_data.dir/dataset.cpp.o"
+  "CMakeFiles/ls_data.dir/dataset.cpp.o.d"
+  "libls_data.a"
+  "libls_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/ls_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/ls_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/fc.cpp" "src/nn/CMakeFiles/ls_nn.dir/fc.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/fc.cpp.o.d"
+  "/root/repo/src/nn/layer_spec.cpp" "src/nn/CMakeFiles/ls_nn.dir/layer_spec.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/layer_spec.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/ls_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/ls_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/ls_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/ls_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/ls_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/ls_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_nn.dir/activations.cpp.o"
+  "CMakeFiles/ls_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/ls_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/fc.cpp.o"
+  "CMakeFiles/ls_nn.dir/fc.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/layer_spec.cpp.o"
+  "CMakeFiles/ls_nn.dir/layer_spec.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/loss.cpp.o"
+  "CMakeFiles/ls_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/ls_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/network.cpp.o"
+  "CMakeFiles/ls_nn.dir/network.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/pool.cpp.o"
+  "CMakeFiles/ls_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/ls_nn.dir/serialize.cpp.o"
+  "CMakeFiles/ls_nn.dir/serialize.cpp.o.d"
+  "libls_nn.a"
+  "libls_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

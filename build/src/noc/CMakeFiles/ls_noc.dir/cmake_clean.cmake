@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_noc.dir/energy.cpp.o"
+  "CMakeFiles/ls_noc.dir/energy.cpp.o.d"
+  "CMakeFiles/ls_noc.dir/simulator.cpp.o"
+  "CMakeFiles/ls_noc.dir/simulator.cpp.o.d"
+  "CMakeFiles/ls_noc.dir/topology.cpp.o"
+  "CMakeFiles/ls_noc.dir/topology.cpp.o.d"
+  "libls_noc.a"
+  "libls_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ls_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ls_sim.dir/pipeline_model.cpp.o"
+  "CMakeFiles/ls_sim.dir/pipeline_model.cpp.o.d"
+  "CMakeFiles/ls_sim.dir/system.cpp.o"
+  "CMakeFiles/ls_sim.dir/system.cpp.o.d"
+  "libls_sim.a"
+  "libls_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

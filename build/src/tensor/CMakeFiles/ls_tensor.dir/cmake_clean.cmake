@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ls_tensor.dir/tensor.cpp.o.d"
+  "libls_tensor.a"
+  "libls_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

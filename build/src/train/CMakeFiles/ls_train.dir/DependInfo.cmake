@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/group_lasso.cpp" "src/train/CMakeFiles/ls_train.dir/group_lasso.cpp.o" "gcc" "src/train/CMakeFiles/ls_train.dir/group_lasso.cpp.o.d"
+  "/root/repo/src/train/masks.cpp" "src/train/CMakeFiles/ls_train.dir/masks.cpp.o" "gcc" "src/train/CMakeFiles/ls_train.dir/masks.cpp.o.d"
+  "/root/repo/src/train/sgd.cpp" "src/train/CMakeFiles/ls_train.dir/sgd.cpp.o" "gcc" "src/train/CMakeFiles/ls_train.dir/sgd.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/train/CMakeFiles/ls_train.dir/trainer.cpp.o" "gcc" "src/train/CMakeFiles/ls_train.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ls_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ls_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

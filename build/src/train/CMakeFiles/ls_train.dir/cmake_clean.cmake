@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_train.dir/group_lasso.cpp.o"
+  "CMakeFiles/ls_train.dir/group_lasso.cpp.o.d"
+  "CMakeFiles/ls_train.dir/masks.cpp.o"
+  "CMakeFiles/ls_train.dir/masks.cpp.o.d"
+  "CMakeFiles/ls_train.dir/sgd.cpp.o"
+  "CMakeFiles/ls_train.dir/sgd.cpp.o.d"
+  "CMakeFiles/ls_train.dir/trainer.cpp.o"
+  "CMakeFiles/ls_train.dir/trainer.cpp.o.d"
+  "libls_train.a"
+  "libls_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_util.dir/log.cpp.o"
+  "CMakeFiles/ls_util.dir/log.cpp.o.d"
+  "CMakeFiles/ls_util.dir/rng.cpp.o"
+  "CMakeFiles/ls_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ls_util.dir/stats.cpp.o"
+  "CMakeFiles/ls_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ls_util.dir/table.cpp.o"
+  "CMakeFiles/ls_util.dir/table.cpp.o.d"
+  "libls_util.a"
+  "libls_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/comm_volume_grouping_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/comm_volume_grouping_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/partitioned_inference_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/partitioned_inference_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/pipeline_placement_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/pipeline_placement_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/traffic_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/traffic_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/weight_groups_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/weight_groups_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/conv2d_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/conv2d_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/conv_property_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/conv_property_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/fc_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/fc_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/layer_spec_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/layer_spec_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/loss_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/model_build_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/model_build_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/network_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/pool_activation_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/pool_activation_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/serialize_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/noc/energy_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/energy_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/energy_test.cpp.o.d"
+  "/root/repo/tests/noc/noc_property_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/noc_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/noc_property_test.cpp.o.d"
+  "/root/repo/tests/noc/routing_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/routing_test.cpp.o.d"
+  "/root/repo/tests/noc/simulator_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/simulator_test.cpp.o.d"
+  "/root/repo/tests/noc/topology_test.cpp" "tests/CMakeFiles/test_noc.dir/noc/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_noc.dir/noc/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ls_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/ls_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/ls_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ls_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ls_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ls_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ls_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ls_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

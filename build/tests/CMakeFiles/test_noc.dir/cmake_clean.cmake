@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/energy_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/energy_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/noc_property_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/noc_property_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/routing_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/routing_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/simulator_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/simulator_test.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/topology_test.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/topology_test.cpp.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_lasso.dir/debug_lasso.cpp.o"
+  "CMakeFiles/debug_lasso.dir/debug_lasso.cpp.o.d"
+  "debug_lasso"
+  "debug_lasso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_lasso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

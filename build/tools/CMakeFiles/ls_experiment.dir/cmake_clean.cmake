@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ls_experiment.dir/ls_experiment.cpp.o"
+  "CMakeFiles/ls_experiment.dir/ls_experiment.cpp.o.d"
+  "ls_experiment"
+  "ls_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ls_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
