@@ -1,0 +1,165 @@
+// Microbenchmark: naive loop-nest conv vs im2col+GEMM fast path, forward
+// and backward, on every conv layer of the model-zoo experiment specs
+// (LeNet / ConvNet / CaffeNet). Prints a speedup table; `--json PATH`
+// additionally emits machine-readable results for the tier-1 wrapper.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/layer_spec.hpp"
+#include "nn/model_zoo.hpp"
+#include "tensor/tensor.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ls::nn::Conv2D;
+using ls::nn::Conv2DConfig;
+using ls::nn::ConvImpl;
+using ls::tensor::Shape;
+using ls::tensor::Tensor;
+
+struct BenchCase {
+  std::string net;
+  std::string layer;
+  Conv2DConfig cfg;
+  Shape in_shape;
+};
+
+struct BenchResult {
+  BenchCase c;
+  double naive_fwd_ms = 0.0, gemm_fwd_ms = 0.0;
+  double naive_bwd_ms = 0.0, gemm_bwd_ms = 0.0;
+  double fwd_speedup() const { return naive_fwd_ms / gemm_fwd_ms; }
+  double bwd_speedup() const { return naive_bwd_ms / gemm_bwd_ms; }
+};
+
+std::vector<BenchCase> cases_from_zoo() {
+  std::vector<BenchCase> cases;
+  const std::size_t batch = 8;
+  for (const ls::nn::NetSpec& spec :
+       {ls::nn::lenet_expt_spec(), ls::nn::convnet_expt_spec(),
+        ls::nn::caffenet_expt_spec()}) {
+    for (const ls::nn::LayerAnalysis& a : ls::nn::analyze(spec)) {
+      if (a.spec.kind != ls::nn::LayerKind::kConv) continue;
+      BenchCase c;
+      c.net = spec.name;
+      c.layer = a.spec.name;
+      c.cfg.in_channels = a.in.c;
+      c.cfg.out_channels = a.spec.out_channels;
+      c.cfg.kernel = a.spec.kernel;
+      c.cfg.stride = a.spec.stride;
+      c.cfg.pad = a.spec.pad;
+      c.cfg.groups = a.spec.groups;
+      c.in_shape = Shape{batch, a.in.c, a.in.h, a.in.w};
+      cases.push_back(c);
+    }
+  }
+  return cases;
+}
+
+/// Wall-clock milliseconds per call of `fn`, repeated so each measurement
+/// covers at least ~40 ms.
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm up caches and the thread pool
+  std::size_t reps = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const double ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (ms >= 40.0 || reps >= 1024) return ms / static_cast<double>(reps);
+    reps *= 4;
+  }
+}
+
+BenchResult run_case(const BenchCase& c) {
+  BenchResult r;
+  r.c = c;
+  ls::util::Rng rng_w(11), rng_in(5);
+  Conv2DConfig gemm_cfg = c.cfg;
+  gemm_cfg.impl = ConvImpl::kGemm;
+  Conv2DConfig naive_cfg = c.cfg;
+  naive_cfg.impl = ConvImpl::kNaive;
+  Conv2D gemm("g", gemm_cfg, rng_w);
+  ls::util::Rng rng_w2(11);
+  Conv2D naive("n", naive_cfg, rng_w2);
+  const Tensor in = Tensor::uniform(c.in_shape, -1.f, 1.f, rng_in);
+
+  r.gemm_fwd_ms = time_ms([&] { gemm.forward(in, true); });
+  r.naive_fwd_ms = time_ms([&] { naive.forward(in, true); });
+
+  const Tensor grad = Tensor::uniform(gemm.output_shape(c.in_shape), -1.f,
+                                      1.f, rng_in);
+  gemm.forward(in, true);
+  r.gemm_bwd_ms = time_ms([&] { gemm.backward(grad); });
+  naive.forward(in, true);
+  r.naive_bwd_ms = time_ms([&] { naive.backward(grad); });
+  return r;
+}
+
+void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"kernel_micro\",\n  \"threads\": "
+      << ls::util::num_threads() << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const BenchResult& r = rs[i];
+    out << "    {\"net\": \"" << r.c.net << "\", \"layer\": \"" << r.c.layer
+        << "\", \"naive_fwd_ms\": " << r.naive_fwd_ms
+        << ", \"gemm_fwd_ms\": " << r.gemm_fwd_ms
+        << ", \"naive_bwd_ms\": " << r.naive_bwd_ms
+        << ", \"gemm_bwd_ms\": " << r.gemm_bwd_ms
+        << ", \"fwd_speedup\": " << r.fwd_speedup()
+        << ", \"bwd_speedup\": " << r.bwd_speedup() << "}"
+        << (i + 1 < rs.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::printf(
+      "Learn-to-Scale bench: conv kernel micro (naive loop nest vs "
+      "im2col+GEMM, %zu threads)\n\n",
+      ls::util::num_threads());
+
+  std::vector<BenchResult> results;
+  ls::util::Table table("conv fwd/bwd wall-clock per call, batch 8");
+  table.set_header({"net", "layer", "naive fwd", "gemm fwd", "fwd speedup",
+                    "naive bwd", "gemm bwd", "bwd speedup"});
+  for (const BenchCase& c : cases_from_zoo()) {
+    const BenchResult r = run_case(c);
+    table.add_row({r.c.net, r.c.layer,
+                   ls::util::fmt_double(r.naive_fwd_ms, 2) + " ms",
+                   ls::util::fmt_double(r.gemm_fwd_ms, 2) + " ms",
+                   ls::util::fmt_speedup(r.fwd_speedup(), 1),
+                   ls::util::fmt_double(r.naive_bwd_ms, 2) + " ms",
+                   ls::util::fmt_double(r.gemm_bwd_ms, 2) + " ms",
+                   ls::util::fmt_speedup(r.bwd_speedup(), 1)});
+    results.push_back(r);
+  }
+  table.print();
+
+  if (!json_path.empty()) {
+    write_json(json_path, results);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,6 +1,13 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.hpp"
+#include "util/parallel.hpp"
 
 namespace ls::nn {
 
@@ -21,6 +28,16 @@ void validate(const Conv2DConfig& cfg) {
         "conv2d: groups must divide in_channels and out_channels");
   }
 }
+
+ConvImpl env_default_impl() {
+  static const ConvImpl impl = [] {
+    if (const char* env = std::getenv("LS_CONV_IMPL")) {
+      if (std::strcmp(env, "naive") == 0) return ConvImpl::kNaive;
+    }
+    return ConvImpl::kGemm;
+  }();
+  return impl;
+}
 }  // namespace
 
 Conv2D::Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng)
@@ -33,6 +50,10 @@ Conv2D::Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng)
                                      cfg.kernel,
                                  rng))),
       bias_(name_ + ".b", Tensor::zeros(Shape{cfg.out_channels})) {}
+
+ConvImpl Conv2D::resolved_impl() const {
+  return cfg_.impl == ConvImpl::kAuto ? env_default_impl() : cfg_.impl;
+}
 
 Shape Conv2D::output_shape(const Shape& in) const {
   if (in.rank() != 4) throw std::invalid_argument("conv2d expects NCHW input");
@@ -49,6 +70,144 @@ Shape Conv2D::output_shape(const Shape& in) const {
 }
 
 Tensor Conv2D::forward(const Tensor& in, bool training) {
+  return resolved_impl() == ConvImpl::kNaive ? naive_forward(in, training)
+                                             : gemm_forward(in, training);
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  return resolved_impl() == ConvImpl::kNaive ? naive_backward(grad_out)
+                                             : gemm_backward(grad_out);
+}
+
+// ---------------------------------------------------------------------------
+// im2col + GEMM fast path.
+//
+// Forward parallelizes over (sample, group) tasks; each task packs its
+// group's input window into a thread-local im2col buffer and runs one
+// row-parallel GEMM (the GEMM's internal parallel_for runs inline when the
+// outer loop already fans out — see util::ThreadPool). Backward keeps the
+// sample loop serial so weight-gradient accumulation has a fixed order,
+// and parallelizes the two GEMMs inside each sample over rows instead.
+// ---------------------------------------------------------------------------
+
+Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
+  const Shape out_shape = output_shape(in.shape());
+  Tensor out(out_shape);
+  const std::size_t N = in.shape()[0];
+  const std::size_t C = cfg_.in_channels;
+  const std::size_t H = in.shape()[2], W = in.shape()[3];
+  const std::size_t OC = cfg_.out_channels;
+  const std::size_t cin_g = C / cfg_.groups;
+  const std::size_t cout_g = OC / cfg_.groups;
+
+  gemm::PackShape ps;
+  ps.channels = cin_g;
+  ps.H = H;
+  ps.W = W;
+  ps.OH = out_shape[2];
+  ps.OW = out_shape[3];
+  ps.K = cfg_.kernel;
+  ps.stride = cfg_.stride;
+  ps.pad = cfg_.pad;
+  const std::size_t ck2 = ps.patch();
+  const std::size_t ohw = ps.cols();
+
+  const float* in_base = in.data();
+  const float* w_base = weight_.value.data();
+  float* out_base = out.data();
+
+  util::parallel_for(0, N * cfg_.groups, [&](std::size_t t) {
+    const std::size_t n = t / cfg_.groups;
+    const std::size_t g = t % cfg_.groups;
+    static thread_local std::vector<float> col;
+    if (col.size() < ck2 * ohw) col.resize(ck2 * ohw);
+    gemm::im2col(ps, in_base + (n * C + g * cin_g) * H * W, col.data());
+    float* out_g = out_base + (n * OC + g * cout_g) * ohw;
+    for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
+      const float b = cfg_.bias ? bias_.value[g * cout_g + ocg] : 0.0f;
+      std::fill(out_g + ocg * ohw, out_g + (ocg + 1) * ohw, b);
+    }
+    gemm::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2 * 1, ck2,
+                  col.data(), ohw, out_g, ohw, /*accumulate=*/true,
+                  /*parallel=*/true);
+  });
+
+  if (training) cached_input_ = in;
+  return out;
+}
+
+Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("conv2d backward without training forward");
+  }
+  const Tensor& in = cached_input_;
+  Tensor grad_in(in.shape(), 0.0f);
+  const Shape out_shape = grad_out.shape();
+  const std::size_t N = in.shape()[0];
+  const std::size_t C = cfg_.in_channels;
+  const std::size_t H = in.shape()[2], W = in.shape()[3];
+  const std::size_t OC = cfg_.out_channels;
+  const std::size_t cin_g = C / cfg_.groups;
+  const std::size_t cout_g = OC / cfg_.groups;
+
+  gemm::PackShape ps;
+  ps.channels = cin_g;
+  ps.H = H;
+  ps.W = W;
+  ps.OH = out_shape[2];
+  ps.OW = out_shape[3];
+  ps.K = cfg_.kernel;
+  ps.stride = cfg_.stride;
+  ps.pad = cfg_.pad;
+  const std::size_t ck2 = ps.patch();
+  const std::size_t ohw = ps.cols();
+
+  const float* in_base = in.data();
+  const float* go_base = grad_out.data();
+  const float* w_base = weight_.value.data();
+  float* wg_base = weight_.grad.data();
+  float* gi_base = grad_in.data();
+
+  std::vector<float> row(ohw * ck2);
+  std::vector<float> drow(ohw * ck2);
+
+  // Serial over (sample, group) so every weight-gradient element
+  // accumulates in a fixed order; the GEMMs inside parallelize over rows.
+  for (std::size_t n = 0; n < N; ++n) {
+    for (std::size_t g = 0; g < cfg_.groups; ++g) {
+      gemm::im2row(ps, in_base + (n * C + g * cin_g) * H * W, row.data());
+      const float* go_g = go_base + (n * OC + g * cout_g) * ohw;
+
+      // dW_g += dOut_g (cout_g x ohw) * row (ohw x ck2)
+      gemm::gemm_nn(cout_g, ck2, ohw, go_g, ohw, row.data(), ck2,
+                    wg_base + g * cout_g * ck2, ck2, /*accumulate=*/true,
+                    /*parallel=*/true);
+
+      if (cfg_.bias) {
+        for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
+          const float* go_c = go_g + ocg * ohw;
+          float acc = 0.0f;
+          for (std::size_t s = 0; s < ohw; ++s) acc += go_c[s];
+          bias_.grad[g * cout_g + ocg] += acc;
+        }
+      }
+
+      // dRow (ohw x ck2) = dOut_g^T * W_g (cout_g x ck2)
+      gemm::gemm_tn(ohw, ck2, cout_g, go_g, ohw, w_base + g * cout_g * ck2,
+                    ck2, drow.data(), ck2, /*accumulate=*/false,
+                    /*parallel=*/true);
+      gemm::row2im_add(ps, drow.data(),
+                       gi_base + (n * C + g * cin_g) * H * W);
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// Naive reference path (the original loop nest).
+// ---------------------------------------------------------------------------
+
+Tensor Conv2D::naive_forward(const Tensor& in, bool training) {
   const Shape out_shape = output_shape(in.shape());
   Tensor out(out_shape);
   const std::size_t N = in.shape()[0];
@@ -123,7 +282,7 @@ Tensor Conv2D::forward(const Tensor& in, bool training) {
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_out) {
+Tensor Conv2D::naive_backward(const Tensor& grad_out) {
   if (cached_input_.empty()) {
     throw std::logic_error("conv2d backward without training forward");
   }

@@ -6,6 +6,16 @@
 // channels in group i only read input channels in group i, so when group i's
 // producer and consumer kernels are mapped to the same core, the layer
 // transition needs no inter-core communication.
+//
+// Two compute kernels (DESIGN.md "Performance architecture"):
+//   * kGemm  — im2col packing + cache-blocked GEMM, parallelized over the
+//     (batch, group) and output-channel dimensions on the shared pool.
+//     Default; used by every trainer/bench path.
+//   * kNaive — the original 7-deep loop nest, kept as the reference for the
+//     parity suite and for microbenchmark baselines.
+// Both kernels are deterministic for any thread count; they differ only in
+// floating-point accumulation grouping (parity within 1e-4, see
+// tests/nn/conv_gemm_parity_test.cpp).
 
 #include <cstddef>
 
@@ -13,6 +23,10 @@
 #include "util/rng.hpp"
 
 namespace ls::nn {
+
+/// Conv/FC compute kernel selection. kAuto resolves to the LS_CONV_IMPL
+/// environment variable ("gemm" | "naive"), defaulting to kGemm.
+enum class ConvImpl { kAuto, kGemm, kNaive };
 
 struct Conv2DConfig {
   std::size_t in_channels = 0;
@@ -22,6 +36,7 @@ struct Conv2DConfig {
   std::size_t pad = 0;
   std::size_t groups = 1;     ///< channel groups; 1 = dense layer
   bool bias = true;
+  ConvImpl impl = ConvImpl::kAuto;  ///< compute kernel selection
 };
 
 class Conv2D final : public Layer {
@@ -40,7 +55,17 @@ class Conv2D final : public Layer {
   const Param& weight() const { return weight_; }
   Param& bias() { return bias_; }
 
+  /// Switches the compute kernel at runtime (parity tests, benches).
+  void set_impl(ConvImpl impl) { cfg_.impl = impl; }
+  /// The kernel forward/backward will actually run (kAuto resolved).
+  ConvImpl resolved_impl() const;
+
  private:
+  Tensor naive_forward(const Tensor& in, bool training);
+  Tensor naive_backward(const Tensor& grad_out);
+  Tensor gemm_forward(const Tensor& in, bool training);
+  Tensor gemm_backward(const Tensor& grad_out);
+
   std::string name_;
   Conv2DConfig cfg_;
   Param weight_;

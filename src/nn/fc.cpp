@@ -1,6 +1,9 @@
 #include "nn/fc.hpp"
 
+#include <cstring>
 #include <stdexcept>
+
+#include "nn/gemm.hpp"
 
 namespace ls::nn {
 
@@ -35,15 +38,16 @@ Tensor FullyConnected::forward(const Tensor& in, bool training) {
   const std::size_t N = out_shape[0];
   Tensor flat = in.reshaped(Shape{N, in_features_});
   Tensor out(out_shape);
-  for (std::size_t n = 0; n < N; ++n) {
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      float acc = has_bias_ ? bias_.value[o] : 0.0f;
-      const float* w = weight_.value.data() + o * in_features_;
-      const float* x = flat.data() + n * in_features_;
-      for (std::size_t i = 0; i < in_features_; ++i) acc += w[i] * x[i];
-      out.at2(n, o) = acc;
+  if (has_bias_) {
+    for (std::size_t n = 0; n < N; ++n) {
+      std::memcpy(out.data() + n * out_features_, bias_.value.data(),
+                  out_features_ * sizeof(float));
     }
   }
+  // out (N x Out) += X (N x In) * W^T, column-parallel over output units.
+  gemm::gemm_nt(N, out_features_, in_features_, flat.data(), in_features_,
+                weight_.value.data(), in_features_, out.data(), out_features_,
+                /*accumulate=*/true, /*parallel=*/true);
   if (training) {
     cached_input_ = flat;
     cached_input_shape_ = in.shape();
@@ -57,21 +61,23 @@ Tensor FullyConnected::backward(const Tensor& grad_out) {
   }
   const std::size_t N = cached_input_.shape()[0];
   Tensor grad_flat(Shape{N, in_features_}, 0.0f);
-  for (std::size_t n = 0; n < N; ++n) {
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float go = grad_out.at2(n, o);
-      if (go == 0.0f) continue;
-      if (has_bias_) bias_.grad[o] += go;
-      float* wg = weight_.grad.data() + o * in_features_;
-      const float* w = weight_.value.data() + o * in_features_;
-      const float* x = cached_input_.data() + n * in_features_;
-      float* gx = grad_flat.data() + n * in_features_;
-      for (std::size_t i = 0; i < in_features_; ++i) {
-        wg[i] += go * x[i];
-        gx[i] += go * w[i];
-      }
+  if (has_bias_) {
+    for (std::size_t n = 0; n < N; ++n) {
+      const float* go = grad_out.data() + n * out_features_;
+      for (std::size_t o = 0; o < out_features_; ++o) bias_.grad[o] += go[o];
     }
   }
+  // dW (Out x In) += dOut^T (Out x N) * X (N x In); k = sample index runs
+  // ascending, matching the reference accumulation order.
+  gemm::gemm_tn(out_features_, in_features_, N, grad_out.data(),
+                out_features_, cached_input_.data(), in_features_,
+                weight_.grad.data(), in_features_, /*accumulate=*/true,
+                /*parallel=*/true);
+  // dX (N x In) = dOut (N x Out) * W (Out x In)
+  gemm::gemm_nn(N, in_features_, out_features_, grad_out.data(),
+                out_features_, weight_.value.data(), in_features_,
+                grad_flat.data(), in_features_, /*accumulate=*/false,
+                /*parallel=*/true);
   return grad_flat.reshaped(cached_input_shape_);
 }
 

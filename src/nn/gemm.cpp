@@ -1,0 +1,248 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/parallel.hpp"
+
+namespace ls::nn::gemm {
+
+namespace {
+
+// Blocking constants. IB (rows per parallel chunk) is part of the
+// determinism contract only in that it is a compile-time constant: chunk
+// boundaries never depend on the thread count. KC groups the k reduction
+// for cache reuse; because k blocks are visited in ascending order the
+// per-element accumulation order is fixed.
+constexpr std::size_t kRowBlock = 16;   // IB: C rows per parallel chunk
+constexpr std::size_t kColBlock = 512;  // NC: C columns per cache block
+constexpr std::size_t kRedBlock = 128;  // KC: k elements per cache block
+
+// Work below this many MACs is not worth a pool dispatch.
+constexpr std::size_t kParallelMinWork = 1 << 14;
+
+std::size_t chunks_for(std::size_t rows) {
+  return (rows + kRowBlock - 1) / kRowBlock;
+}
+
+void nn_block(std::size_t i0, std::size_t i1, std::size_t N, std::size_t K,
+              const float* A, std::size_t lda, const float* B,
+              std::size_t ldb, float* C, std::size_t ldc, bool accumulate) {
+  for (std::size_t jj = 0; jj < N; jj += kColBlock) {
+    const std::size_t jend = std::min(N, jj + kColBlock);
+    if (!accumulate) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        std::memset(C + i * ldc + jj, 0, (jend - jj) * sizeof(float));
+      }
+    }
+    for (std::size_t kk = 0; kk < K; kk += kRedBlock) {
+      const std::size_t kend = std::min(K, kk + kRedBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const float* a_row = A + i * lda;
+        float* c_row = C + i * ldc;
+        std::size_t k = kk;
+        for (; k + 4 <= kend; k += 4) {
+          const float a0 = a_row[k], a1 = a_row[k + 1];
+          const float a2 = a_row[k + 2], a3 = a_row[k + 3];
+          const float* b0 = B + k * ldb;
+          const float* b1 = b0 + ldb;
+          const float* b2 = b1 + ldb;
+          const float* b3 = b2 + ldb;
+          for (std::size_t j = jj; j < jend; ++j) {
+            c_row[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+          }
+        }
+        for (; k < kend; ++k) {
+          const float a = a_row[k];
+          const float* b = B + k * ldb;
+          for (std::size_t j = jj; j < jend; ++j) c_row[j] += a * b[j];
+        }
+      }
+    }
+  }
+}
+
+void tn_block(std::size_t i0, std::size_t i1, std::size_t N, std::size_t K,
+              const float* A, std::size_t lda, const float* B,
+              std::size_t ldb, float* C, std::size_t ldc, bool accumulate) {
+  if (!accumulate) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      std::memset(C + i * ldc, 0, N * sizeof(float));
+    }
+  }
+  // k outermost keeps the per-element reduction in ascending k order; the
+  // C chunk (<= kRowBlock rows) stays cache-resident across k.
+  for (std::size_t k = 0; k < K; ++k) {
+    const float* a_col = A + k * lda;
+    const float* b_row = B + k * ldb;
+    for (std::size_t i = i0; i < i1; ++i) {
+      const float a = a_col[i];
+      float* c_row = C + i * ldc;
+      for (std::size_t j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+}
+
+void nt_block(std::size_t j0, std::size_t j1, std::size_t M, std::size_t K,
+              const float* A, std::size_t lda, const float* B,
+              std::size_t ldb, float* C, std::size_t ldc, bool accumulate) {
+  for (std::size_t i = 0; i < M; ++i) {
+    const float* a_row = A + i * lda;
+    float* c_row = C + i * ldc;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const float* b_row = B + j * ldb;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      std::size_t k = 0;
+      for (; k + 4 <= K; k += 4) {
+        acc0 += a_row[k] * b_row[k];
+        acc1 += a_row[k + 1] * b_row[k + 1];
+        acc2 += a_row[k + 2] * b_row[k + 2];
+        acc3 += a_row[k + 3] * b_row[k + 3];
+      }
+      float tail = 0.0f;
+      for (; k < K; ++k) tail += a_row[k] * b_row[k];
+      const float sum = ((acc0 + acc1) + (acc2 + acc3)) + tail;
+      c_row[j] = accumulate ? c_row[j] + sum : sum;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel) {
+  if (M == 0 || N == 0) return;
+  if (parallel && M * N * K >= kParallelMinWork && M > kRowBlock) {
+    util::parallel_for(0, chunks_for(M), [&](std::size_t c) {
+      const std::size_t i0 = c * kRowBlock;
+      nn_block(i0, std::min(M, i0 + kRowBlock), N, K, A, lda, B, ldb, C, ldc,
+               accumulate);
+    });
+    return;
+  }
+  nn_block(0, M, N, K, A, lda, B, ldb, C, ldc, accumulate);
+}
+
+void gemm_tn(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel) {
+  if (M == 0 || N == 0) return;
+  if (parallel && M * N * K >= kParallelMinWork && M > kRowBlock) {
+    util::parallel_for(0, chunks_for(M), [&](std::size_t c) {
+      const std::size_t i0 = c * kRowBlock;
+      tn_block(i0, std::min(M, i0 + kRowBlock), N, K, A, lda, B, ldb, C, ldc,
+               accumulate);
+    });
+    return;
+  }
+  tn_block(0, M, N, K, A, lda, B, ldb, C, ldc, accumulate);
+}
+
+void gemm_nt(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel) {
+  if (M == 0 || N == 0) return;
+  if (parallel && M * N * K >= kParallelMinWork && N > kRowBlock) {
+    util::parallel_for(0, chunks_for(N), [&](std::size_t c) {
+      const std::size_t j0 = c * kRowBlock;
+      nt_block(j0, std::min(N, j0 + kRowBlock), M, K, A, lda, B, ldb, C, ldc,
+               accumulate);
+    });
+    return;
+  }
+  nt_block(0, N, M, K, A, lda, B, ldb, C, ldc, accumulate);
+}
+
+void im2col(const PackShape& s, const float* in, float* col) {
+  const std::size_t cols = s.cols();
+  for (std::size_t c = 0; c < s.channels; ++c) {
+    const float* in_c = in + c * s.H * s.W;
+    for (std::size_t kh = 0; kh < s.K; ++kh) {
+      for (std::size_t kw = 0; kw < s.K; ++kw) {
+        float* dst = col + ((c * s.K + kh) * s.K + kw) * cols;
+        for (std::size_t oh = 0; oh < s.OH; ++oh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * s.stride + kh) -
+              static_cast<std::ptrdiff_t>(s.pad);
+          float* dst_row = dst + oh * s.OW;
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(s.H)) {
+            std::memset(dst_row, 0, s.OW * sizeof(float));
+            continue;
+          }
+          const float* in_row =
+              in_c + static_cast<std::size_t>(ih) * s.W;
+          for (std::size_t ow = 0; ow < s.OW; ++ow) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * s.stride + kw) -
+                static_cast<std::ptrdiff_t>(s.pad);
+            dst_row[ow] =
+                (iw < 0 || iw >= static_cast<std::ptrdiff_t>(s.W))
+                    ? 0.0f
+                    : in_row[static_cast<std::size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void im2row(const PackShape& s, const float* in, float* row) {
+  const std::size_t patch = s.patch();
+  for (std::size_t oh = 0; oh < s.OH; ++oh) {
+    for (std::size_t ow = 0; ow < s.OW; ++ow) {
+      float* dst = row + (oh * s.OW + ow) * patch;
+      for (std::size_t c = 0; c < s.channels; ++c) {
+        const float* in_c = in + c * s.H * s.W;
+        for (std::size_t kh = 0; kh < s.K; ++kh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * s.stride + kh) -
+              static_cast<std::ptrdiff_t>(s.pad);
+          float* d = dst + (c * s.K + kh) * s.K;
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(s.H)) {
+            std::memset(d, 0, s.K * sizeof(float));
+            continue;
+          }
+          const float* in_row = in_c + static_cast<std::size_t>(ih) * s.W;
+          for (std::size_t kw = 0; kw < s.K; ++kw) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * s.stride + kw) -
+                static_cast<std::ptrdiff_t>(s.pad);
+            d[kw] = (iw < 0 || iw >= static_cast<std::ptrdiff_t>(s.W))
+                        ? 0.0f
+                        : in_row[static_cast<std::size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void row2im_add(const PackShape& s, const float* row, float* in_grad) {
+  const std::size_t patch = s.patch();
+  for (std::size_t oh = 0; oh < s.OH; ++oh) {
+    for (std::size_t ow = 0; ow < s.OW; ++ow) {
+      const float* src = row + (oh * s.OW + ow) * patch;
+      for (std::size_t c = 0; c < s.channels; ++c) {
+        float* in_c = in_grad + c * s.H * s.W;
+        for (std::size_t kh = 0; kh < s.K; ++kh) {
+          const std::ptrdiff_t ih =
+              static_cast<std::ptrdiff_t>(oh * s.stride + kh) -
+              static_cast<std::ptrdiff_t>(s.pad);
+          if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(s.H)) continue;
+          const float* sr = src + (c * s.K + kh) * s.K;
+          float* in_row = in_c + static_cast<std::size_t>(ih) * s.W;
+          for (std::size_t kw = 0; kw < s.K; ++kw) {
+            const std::ptrdiff_t iw =
+                static_cast<std::ptrdiff_t>(ow * s.stride + kw) -
+                static_cast<std::ptrdiff_t>(s.pad);
+            if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(s.W)) continue;
+            in_row[static_cast<std::size_t>(iw)] += sr[kw];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ls::nn::gemm

@@ -1,0 +1,64 @@
+#pragma once
+// Cache-blocked GEMM micro-kernels + im2col/im2row packing for the conv
+// and FC fast paths (DESIGN.md "Performance architecture").
+//
+// All three variants share the determinism contract the parity and
+// partitioned-inference bit-exactness suites rely on: for every output
+// element C[i][j] the reduction over k runs in ascending k order with a
+// fixed unroll grouping, independent of matrix blocking and of how many
+// threads the pool splits the row range across. Parallelism only ever
+// partitions *rows (or columns) of C*, never the k dimension, so a given
+// (shape, input) pair produces bit-identical output for any thread count.
+//
+// Leading dimensions are element strides of the row-major operands, as in
+// BLAS. `accumulate == false` overwrites C, `true` adds into it.
+
+#include <cstddef>
+
+namespace ls::nn::gemm {
+
+/// C(MxN) = A(MxK) * B(KxN)   [+= when accumulate]
+void gemm_nn(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel = false);
+
+/// C(MxN) = A^T * B where A is stored (KxM): C[i][j] += sum_k A[k][i]*B[k][j]
+void gemm_tn(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel = false);
+
+/// C(MxN) = A * B^T where B is stored (NxK): C[i][j] += dot(A[i][:], B[j][:])
+void gemm_nt(std::size_t M, std::size_t N, std::size_t K, const float* A,
+             std::size_t lda, const float* B, std::size_t ldb, float* C,
+             std::size_t ldc, bool accumulate, bool parallel = false);
+
+/// Geometry of one conv im2col/im2row packing: a single sample's single
+/// channel group, NCHW layout.
+struct PackShape {
+  std::size_t channels = 0;  ///< input channels in this group
+  std::size_t H = 0, W = 0;  ///< input spatial dims
+  std::size_t OH = 0, OW = 0;
+  std::size_t K = 0;  ///< square kernel
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t patch() const { return channels * K * K; }  ///< ck2
+  std::size_t cols() const { return OH * OW; }            ///< output pixels
+};
+
+/// Packs `in` (channels*H*W floats, one sample/group) into `col`
+/// (patch() x cols()): col[(c*K+kh)*K+kw][oh*OW+ow], zero-filling padding.
+/// Row order (c, kh, kw) matches the naive loop nest's accumulation order.
+void im2col(const PackShape& s, const float* in, float* col);
+
+/// Transposed packing into `row` (cols() x patch()):
+/// row[oh*OW+ow][(c*K+kh)*K+kw]. Used by the backward pass so both GEMMs
+/// stream unit-stride.
+void im2row(const PackShape& s, const float* in, float* row);
+
+/// Scatter-adds `row` (cols() x patch(), the layout im2row produces) into
+/// `in_grad` (channels*H*W floats). Inverse of im2row for gradients;
+/// padding cells are dropped.
+void row2im_add(const PackShape& s, const float* row, float* in_grad);
+
+}  // namespace ls::nn::gemm

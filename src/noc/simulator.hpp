@@ -29,6 +29,8 @@ struct NocConfig {
   std::size_t router_latency = 3;    ///< router pipeline stages (TABLE II)
   std::size_t phys_channels = 2;     ///< parallel links per direction
   Routing routing = Routing::kXY;    ///< dimensional-ordered (TABLE II)
+
+  friend bool operator==(const NocConfig&, const NocConfig&) = default;
 };
 
 /// One unicast transfer of `bytes` payload from core src to core dst,
@@ -38,6 +40,8 @@ struct Message {
   std::size_t dst = 0;
   std::size_t bytes = 0;
   std::uint64_t inject_cycle = 0;
+
+  friend bool operator==(const Message&, const Message&) = default;
 };
 
 struct NocStats {
@@ -53,6 +57,8 @@ struct NocStats {
   std::uint64_t max_link_flits = 0;
   /// Links that carried at least one flit.
   std::size_t links_used = 0;
+
+  friend bool operator==(const NocStats&, const NocStats&) = default;
 };
 
 class MeshNocSimulator {

@@ -4,6 +4,8 @@
 #include <unordered_map>
 
 #include "core/partition.hpp"
+#include "noc/sim_cache.hpp"
+#include "util/parallel.hpp"
 
 namespace ls::sim {
 
@@ -28,22 +30,51 @@ InferenceResult CmpSystem::run_inference(
 
   noc::MeshNocSimulator noc_sim(topo_, cfg_.noc);
 
-  InferenceResult result;
-  std::uint64_t prev_compute = 0;
+  // Per-layer bursts inject at cycle 0 of their own burst, so the NoC
+  // simulations are independent: dispatch them onto the shared pool (each
+  // through the memoizing burst cache unless disabled), then assemble the
+  // timeline serially — the overlap ablation needs the previous layer's
+  // compute time.
+  struct LayerJob {
+    const nn::LayerAnalysis* a = nullptr;
+    const core::TransitionTraffic* traffic = nullptr;  // null: no burst
+    noc::NocStats stats{};
+  };
+  std::vector<LayerJob> jobs;
   for (const nn::LayerAnalysis& a : analysis) {
     if (!a.is_compute()) continue;
+    LayerJob job;
+    job.a = &a;
+    const auto it = by_layer.find(a.spec.name);
+    if (it != by_layer.end() && !it->second->messages.empty()) {
+      job.traffic = it->second;
+    }
+    jobs.push_back(job);
+  }
+  util::parallel_for(0, jobs.size(), [&](std::size_t i) {
+    if (jobs[i].traffic == nullptr) return;
+    jobs[i].stats =
+        cfg_.noc_result_cache
+            ? noc::NocRunCache::instance().run(noc_sim,
+                                               jobs[i].traffic->messages)
+            : noc_sim.run(jobs[i].traffic->messages);
+  });
+
+  InferenceResult result;
+  std::uint64_t prev_compute = 0;
+  for (const LayerJob& job : jobs) {
+    const nn::LayerAnalysis& a = *job.a;
 
     LayerTimeline tl;
     tl.layer_name = a.spec.name;
 
     // --- Communication into this layer --------------------------------
-    const auto it = by_layer.find(a.spec.name);
-    if (it != by_layer.end() && !it->second->messages.empty()) {
-      tl.noc_stats = noc_sim.run(it->second->messages);
+    if (job.traffic != nullptr) {
+      tl.noc_stats = job.stats;
       tl.comm_cycles = static_cast<std::uint64_t>(
           static_cast<double>(tl.noc_stats.completion_cycle) *
           cfg_.noc_clock_divider);
-      tl.traffic_bytes = it->second->total_bytes;
+      tl.traffic_bytes = job.traffic->total_bytes;
       tl.noc_energy_pj =
           noc::energy_from_stats(tl.noc_stats, cfg_.noc_energy, P).total_pj();
     }

@@ -40,6 +40,11 @@ struct SystemConfig {
   /// accelerator datapath; > 1 scales every communication latency up by
   /// that ratio (energy is unaffected — it is per-traversal, not per-time).
   double noc_clock_divider = 1.0;
+  /// Memoize layer-transition burst simulations in the process-wide
+  /// noc::NocRunCache. Correctness-neutral (a hit returns byte-identical
+  /// stats); disable to force every burst through the flit-level simulator
+  /// (e.g. when timing the simulator itself).
+  bool noc_result_cache = true;
 };
 
 struct LayerTimeline {

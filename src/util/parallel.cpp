@@ -1,0 +1,164 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ls::util {
+
+namespace {
+
+// True while the current thread is executing chunks of a parallel_for;
+// nested calls then run inline instead of re-entering the pool.
+thread_local bool tls_in_pool_task = false;
+
+std::size_t threads_from_env() {
+  if (const char* env = std::getenv("LS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  bool stop = false;
+  std::uint64_t generation = 0;
+  std::size_t active = 0;
+
+  // Current job (valid while active > 0 or the caller is in run_chunks).
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::size_t chunk = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  if (threads == 0) threads = 1;
+  workers_count_ = threads - 1;
+  impl_->workers.reserve(workers_count_);
+  for (std::size_t i = 0; i < workers_count_; ++i) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+namespace {
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::instance() {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (!g_pool) g_pool.reset(new ThreadPool(threads_from_env()));
+  return *g_pool;
+}
+
+void ThreadPool::set_num_threads(std::size_t n) {
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  g_pool.reset(new ThreadPool(n == 0 ? threads_from_env() : n));
+}
+
+void ThreadPool::run_chunks() {
+  Impl& im = *impl_;
+  tls_in_pool_task = true;
+  for (;;) {
+    if (im.failed.load(std::memory_order_relaxed)) break;
+    const std::size_t start = im.next.fetch_add(im.chunk);
+    if (start >= im.count) break;
+    const std::size_t stop = std::min(im.count, start + im.chunk);
+    try {
+      for (std::size_t i = start; i < stop; ++i) (*im.fn)(im.begin + i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(im.mu);
+      if (!im.error) im.error = std::current_exception();
+      im.failed.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  tls_in_pool_task = false;
+}
+
+void ThreadPool::worker_loop() {
+  Impl& im = *impl_;
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lk(im.mu);
+    im.cv_work.wait(lk, [&] { return im.stop || im.generation != seen; });
+    if (im.stop) return;
+    seen = im.generation;
+    lk.unlock();
+    run_chunks();
+    lk.lock();
+    if (--im.active == 0) im.cv_done.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (count == 1 || workers_count_ == 0 || tls_in_pool_task) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  Impl& im = *impl_;
+  {
+    std::lock_guard<std::mutex> lk(im.mu);
+    im.fn = &fn;
+    im.begin = begin;
+    im.count = count;
+    im.chunk = std::max<std::size_t>(1, count / (num_threads() * 8));
+    im.next.store(0);
+    im.failed.store(false);
+    im.error = nullptr;
+    im.active = workers_count_;
+    ++im.generation;
+  }
+  im.cv_work.notify_all();
+  run_chunks();
+  std::unique_lock<std::mutex> lk(im.mu);
+  im.cv_done.wait(lk, [&] { return im.active == 0; });
+  im.fn = nullptr;
+  if (im.error) {
+    std::exception_ptr err = im.error;
+    im.error = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::instance().parallel_for(begin, end, fn);
+}
+
+std::size_t num_threads() { return ThreadPool::instance().num_threads(); }
+
+}  // namespace ls::util

@@ -1,0 +1,67 @@
+#pragma once
+// Shared worker pool + deterministic parallel_for.
+//
+// Every hot path in the repo (im2col/GEMM conv kernels, FC layers, the
+// per-layer NoC burst dispatch in ls::sim) funnels through this one pool so
+// the process never oversubscribes the machine. Sizing:
+//
+//   * `LS_THREADS` environment variable when set (1 = fully serial),
+//   * otherwise std::thread::hardware_concurrency().
+//
+// Determinism policy (see DESIGN.md "Performance architecture"): callers
+// must write only to locations derived from the loop index, never
+// accumulate into shared state from inside the loop body. Under that
+// contract parallel_for only changes *which thread* computes an index,
+// never the arithmetic performed for it, so results are bit-identical for
+// any thread count including 1.
+//
+// parallel_for called from inside a pool task runs inline on the calling
+// thread (no nested fan-out, no deadlock), which lets composite kernels
+// (e.g. a batch loop around a row-parallel GEMM) use it unconditionally.
+
+#include <cstddef>
+#include <functional>
+
+namespace ls::util {
+
+class ThreadPool {
+ public:
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool, created on first use from LS_THREADS.
+  static ThreadPool& instance();
+
+  /// Re-sizes the process pool (test hook for the 1-vs-N determinism
+  /// suite). `n == 0` restores the LS_THREADS / hardware default. Must not
+  /// be called concurrently with a running parallel_for.
+  static void set_num_threads(std::size_t n);
+
+  /// Worker threads plus the calling thread.
+  std::size_t num_threads() const { return workers_count_ + 1; }
+
+  /// Runs fn(i) exactly once for every i in [begin, end), blocking until
+  /// all complete. The first exception thrown by any invocation is
+  /// rethrown on the calling thread (remaining chunks are abandoned).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  explicit ThreadPool(std::size_t threads);
+  void worker_loop();
+  void run_chunks();
+
+  struct Impl;
+  Impl* impl_;
+  std::size_t workers_count_ = 0;
+};
+
+/// Convenience wrapper over ThreadPool::instance().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Threads the process pool will use (workers + caller).
+std::size_t num_threads();
+
+}  // namespace ls::util

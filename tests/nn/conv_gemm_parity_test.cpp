@@ -1,0 +1,97 @@
+// Parity suite: the im2col+GEMM conv kernel must match the naive loop nest
+// within 1e-4 (forward output, input gradient, weight/bias gradients) across
+// strides, padding, groups, and odd spatial shapes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+struct ParityCase {
+  std::string name;
+  std::size_t N, cin, H, W;
+  std::size_t cout, k, stride, pad, groups;
+};
+
+const std::vector<ParityCase> kCases = {
+    {"lenet_c1", 2, 1, 28, 28, 16, 5, 1, 0, 1},
+    {"lenet_c2", 2, 16, 12, 12, 32, 5, 1, 0, 1},
+    {"strided", 3, 3, 15, 15, 8, 3, 2, 1, 1},
+    {"padded", 2, 4, 9, 9, 6, 3, 1, 2, 1},
+    {"grouped", 2, 8, 11, 11, 12, 3, 1, 1, 4},
+    {"grouped_strided", 1, 6, 13, 10, 6, 5, 2, 2, 3},
+    {"one_by_one", 2, 5, 7, 7, 9, 1, 1, 0, 1},
+    {"odd_everything", 1, 3, 17, 11, 7, 3, 3, 1, 1},
+    {"single_pixel_out", 1, 2, 5, 5, 4, 5, 1, 0, 2},
+};
+
+Conv2DConfig make_cfg(const ParityCase& c, ConvImpl impl) {
+  Conv2DConfig cfg;
+  cfg.in_channels = c.cin;
+  cfg.out_channels = c.cout;
+  cfg.kernel = c.k;
+  cfg.stride = c.stride;
+  cfg.pad = c.pad;
+  cfg.groups = c.groups;
+  cfg.impl = impl;
+  return cfg;
+}
+
+float max_diff(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return tensor::max_abs_diff(a, b);
+}
+
+TEST(ConvGemmParity, ForwardAndBackwardMatchNaive) {
+  constexpr float kTol = 1e-4f;
+  for (const ParityCase& c : kCases) {
+    SCOPED_TRACE(c.name);
+    // Identical seeds give both layers identical weights.
+    util::Rng rng_a(99), rng_b(99), rng_in(7);
+    Conv2D gemm("g", make_cfg(c, ConvImpl::kGemm), rng_a);
+    Conv2D naive("n", make_cfg(c, ConvImpl::kNaive), rng_b);
+    ASSERT_EQ(gemm.resolved_impl(), ConvImpl::kGemm);
+    ASSERT_EQ(naive.resolved_impl(), ConvImpl::kNaive);
+    ASSERT_LT(max_diff(gemm.weight().value, naive.weight().value), 1e-7f);
+
+    const Tensor in =
+        Tensor::uniform(Shape{c.N, c.cin, c.H, c.W}, -1.f, 1.f, rng_in);
+    const Tensor out_g = gemm.forward(in, /*training=*/true);
+    const Tensor out_n = naive.forward(in, /*training=*/true);
+    ASSERT_EQ(out_g.shape(), out_n.shape());
+    EXPECT_LT(max_diff(out_g, out_n), kTol);
+
+    // Backward from a fixed upstream gradient.
+    util::Rng rng_go(13);
+    const Tensor grad_out =
+        Tensor::uniform(out_g.shape(), -1.f, 1.f, rng_go);
+    const Tensor din_g = gemm.backward(grad_out);
+    const Tensor din_n = naive.backward(grad_out);
+    EXPECT_LT(max_diff(din_g, din_n), kTol) << "input gradient";
+    EXPECT_LT(max_diff(gemm.weight().grad, naive.weight().grad), kTol)
+        << "weight gradient";
+    EXPECT_LT(max_diff(gemm.bias().grad, naive.bias().grad), kTol)
+        << "bias gradient";
+  }
+}
+
+TEST(ConvGemmParity, SetImplSwitchesKernelInPlace) {
+  util::Rng rng(3), rng_in(5);
+  Conv2DConfig cfg = make_cfg(kCases[2], ConvImpl::kGemm);
+  Conv2D conv("c", cfg, rng);
+  const Tensor in = Tensor::uniform(Shape{2, 3, 15, 15}, -1.f, 1.f, rng_in);
+  const Tensor out_gemm = conv.forward(in, false);
+  conv.set_impl(ConvImpl::kNaive);
+  const Tensor out_naive = conv.forward(in, false);
+  EXPECT_LT(max_diff(out_gemm, out_naive), 1e-4f);
+}
+
+}  // namespace
+}  // namespace ls::nn

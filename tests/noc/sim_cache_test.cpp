@@ -1,0 +1,104 @@
+#include "noc/sim_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+
+namespace ls::noc {
+namespace {
+
+std::vector<Message> burst_a() {
+  return {{0, 5, 4096, 0}, {1, 6, 2048, 0}, {2, 7, 8192, 0}};
+}
+
+std::vector<Message> burst_b() {
+  return {{0, 5, 4096, 0}, {1, 6, 2048, 0}, {2, 7, 8193, 0}};  // one byte off
+}
+
+TEST(NocRunCache, HitReturnsIdenticalStats) {
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+
+  const NocStats direct = sim.run(burst_a());
+  const NocStats miss = cache.run(sim, burst_a());
+  EXPECT_EQ(miss, direct);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const NocStats hit = cache.run(sim, burst_a());
+  EXPECT_EQ(hit, direct);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NocRunCache, DistinctBurstsDoNotCollide) {
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+
+  const NocStats a = cache.run(sim, burst_a());
+  const NocStats b = cache.run(sim, burst_b());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(a.total_flits, 0u);
+  EXPECT_EQ(a, sim.run(burst_a()));
+  EXPECT_EQ(b, sim.run(burst_b()));
+}
+
+TEST(NocRunCache, KeyIncludesTopologyAndConfig) {
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+
+  MeshNocSimulator mesh16(MeshTopology::for_cores(16), NocConfig{});
+  MeshNocSimulator mesh64(MeshTopology::for_cores(64), NocConfig{});
+  NocConfig slow;
+  slow.router_latency = 5;
+  MeshNocSimulator mesh16_slow(MeshTopology::for_cores(16), slow);
+
+  cache.run(mesh16, burst_a());
+  cache.run(mesh64, burst_a());
+  cache.run(mesh16_slow, burst_a());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(NocRunCache, DisabledBypassesEntirely) {
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(false);
+
+  const NocStats direct = sim.run(burst_a());
+  EXPECT_EQ(cache.run(sim, burst_a()), direct);
+  EXPECT_EQ(cache.run(sim, burst_a()), direct);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  cache.set_enabled(true);
+}
+
+TEST(NocRunCache, ClearResetsCountersAndEntries) {
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+  cache.run(sim, burst_a());
+  cache.run(sim, burst_a());
+  EXPECT_GT(cache.size() + cache.hits() + cache.misses(), 0u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+}  // namespace
+}  // namespace ls::noc

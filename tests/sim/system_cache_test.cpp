@@ -1,0 +1,78 @@
+// The NoC burst-result cache must be correctness-neutral: a CmpSystem run
+// with the cache enabled must produce an InferenceResult identical to one
+// with every burst forced through the flit-level simulator. Sweeps core
+// counts like experiment E5.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "noc/sim_cache.hpp"
+#include "sim/system.hpp"
+
+namespace ls::sim {
+namespace {
+
+void expect_identical(const InferenceResult& a, const InferenceResult& b) {
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  EXPECT_EQ(a.compute_cycles, b.compute_cycles);
+  EXPECT_EQ(a.comm_cycles, b.comm_cycles);
+  EXPECT_EQ(a.traffic_bytes, b.traffic_bytes);
+  EXPECT_DOUBLE_EQ(a.compute_energy_pj, b.compute_energy_pj);
+  EXPECT_DOUBLE_EQ(a.noc_energy_pj, b.noc_energy_pj);
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].layer_name, b.layers[i].layer_name);
+    EXPECT_EQ(a.layers[i].compute_cycles, b.layers[i].compute_cycles);
+    EXPECT_EQ(a.layers[i].comm_cycles, b.layers[i].comm_cycles);
+    EXPECT_EQ(a.layers[i].blocking_comm_cycles,
+              b.layers[i].blocking_comm_cycles);
+    EXPECT_EQ(a.layers[i].noc_stats, b.layers[i].noc_stats);
+    EXPECT_EQ(a.layers[i].traffic_bytes, b.layers[i].traffic_bytes);
+    EXPECT_DOUBLE_EQ(a.layers[i].noc_energy_pj, b.layers[i].noc_energy_pj);
+  }
+}
+
+TEST(SystemNocCache, CachedRunMatchesUncachedAcrossCoreSweep) {
+  noc::NocRunCache::instance().clear();
+  const nn::NetSpec spec = nn::convnet_expt_spec();
+  for (std::size_t cores : {4u, 8u, 16u}) {
+    SCOPED_TRACE(cores);
+    SystemConfig cached_cfg;
+    cached_cfg.cores = cores;
+    cached_cfg.noc_result_cache = true;
+    SystemConfig uncached_cfg = cached_cfg;
+    uncached_cfg.noc_result_cache = false;
+
+    CmpSystem cached(cached_cfg);
+    CmpSystem uncached(uncached_cfg);
+    const auto traffic = core::traffic_dense(
+        spec, cached.topology(), cached_cfg.bytes_per_value);
+
+    const InferenceResult without = uncached.run_inference(spec, traffic);
+    const InferenceResult cold = cached.run_inference(spec, traffic);
+    const InferenceResult warm = cached.run_inference(spec, traffic);
+    expect_identical(cold, without);
+    expect_identical(warm, without);
+  }
+  // The warm re-runs must actually have hit the cache.
+  EXPECT_GT(noc::NocRunCache::instance().hits(), 0u);
+}
+
+TEST(SystemNocCache, RepeatRunsAreDeterministic) {
+  noc::NocRunCache::instance().clear();
+  SystemConfig cfg;
+  cfg.cores = 16;
+  CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const InferenceResult first = system.run_inference(spec, traffic);
+  const InferenceResult second = system.run_inference(spec, traffic);
+  expect_identical(first, second);
+}
+
+}  // namespace
+}  // namespace ls::sim

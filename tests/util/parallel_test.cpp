@@ -1,0 +1,121 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/network.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace ls::util {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(1337);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ThreadPool::set_num_threads(0);
+}
+
+TEST(ParallelFor, DisjointWritesMatchSerialLoop) {
+  ThreadPool::set_num_threads(3);
+  std::vector<double> par(10'000), ser(10'000);
+  auto f = [](std::size_t i) {
+    return static_cast<double>(i) * 0.25 + 1.0 / (1.0 + static_cast<double>(i));
+  };
+  parallel_for(0, par.size(), [&](std::size_t i) { par[i] = f(i); });
+  for (std::size_t i = 0; i < ser.size(); ++i) ser[i] = f(i);
+  EXPECT_EQ(par, ser);
+  ThreadPool::set_num_threads(0);
+}
+
+TEST(ParallelFor, EmptyAndSingleRanges) {
+  int calls = 0;
+  parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(7, 8, [&](std::size_t i) {
+    ++calls;
+    EXPECT_EQ(i, 7u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallRunsInline) {
+  ThreadPool::set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64 * 32);
+  parallel_for(0, 64, [&](std::size_t outer) {
+    parallel_for(0, 32, [&](std::size_t inner) { ++hits[outer * 32 + inner]; });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  ThreadPool::set_num_threads(0);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool::set_num_threads(4);
+  EXPECT_THROW(
+      parallel_for(0, 1000,
+                   [](std::size_t i) {
+                     if (i == 503) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+  ThreadPool::set_num_threads(0);
+}
+
+TEST(ParallelFor, RespectsExplicitThreadCount) {
+  ThreadPool::set_num_threads(1);
+  EXPECT_EQ(num_threads(), 1u);
+  ThreadPool::set_num_threads(5);
+  EXPECT_EQ(num_threads(), 5u);
+  ThreadPool::set_num_threads(0);
+  EXPECT_GE(num_threads(), 1u);
+}
+
+// The determinism policy in action: a full seeded training run (GEMM conv +
+// FC kernels, all parallelized through this pool) must produce bit-identical
+// weights for 1 worker and for many.
+std::vector<float> train_lenet_and_dump_weights() {
+  util::Rng rng(21);
+  nn::NetSpec spec = nn::lenet_expt_spec();
+  nn::Network net = nn::build_network(spec, rng);
+  const data::Dataset train_set = data::mnist_like(192, /*sample_seed=*/3);
+  const data::Dataset test_set = data::mnist_like(64, /*sample_seed=*/4);
+  train::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.seed = 11;
+  train::train_classifier(net, train_set, test_set, cfg);
+  std::vector<float> weights;
+  for (const nn::Param* p : net.params()) {
+    weights.insert(weights.end(), p->value.data(),
+                   p->value.data() + p->value.numel());
+  }
+  return weights;
+}
+
+TEST(ParallelFor, TrainerIsThreadCountInvariant) {
+  ThreadPool::set_num_threads(1);
+  const std::vector<float> serial = train_lenet_and_dump_weights();
+  ThreadPool::set_num_threads(4);
+  const std::vector<float> parallel = train_lenet_and_dump_weights();
+  ThreadPool::set_num_threads(0);
+  ASSERT_EQ(serial.size(), parallel.size());
+  // Bit-identical, not approximately equal: the fast path may only change
+  // *which thread* computes a value, never the arithmetic.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i], parallel[i]) << "weight " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ls::util

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 wrapper: configure (Release), build, run the full test suite, then
+# the conv-kernel microbenchmark with a JSON dump. Usage:
+#   tools/run_tier1.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build"}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+"$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json"
+echo "tier1 OK — kernel bench results in BENCH_kernels.json"
