@@ -6,7 +6,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +13,7 @@
 #include "nn/layer_spec.hpp"
 #include "nn/model_zoo.hpp"
 #include "tensor/tensor.hpp"
+#include "util/json.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -108,21 +108,26 @@ BenchResult run_case(const BenchCase& c) {
 }
 
 void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"kernel_micro\",\n  \"threads\": "
-      << ls::util::num_threads() << ",\n  \"cases\": [\n";
-  for (std::size_t i = 0; i < rs.size(); ++i) {
-    const BenchResult& r = rs[i];
-    out << "    {\"net\": \"" << r.c.net << "\", \"layer\": \"" << r.c.layer
-        << "\", \"naive_fwd_ms\": " << r.naive_fwd_ms
-        << ", \"gemm_fwd_ms\": " << r.gemm_fwd_ms
-        << ", \"naive_bwd_ms\": " << r.naive_bwd_ms
-        << ", \"gemm_bwd_ms\": " << r.gemm_bwd_ms
-        << ", \"fwd_speedup\": " << r.fwd_speedup()
-        << ", \"bwd_speedup\": " << r.bwd_speedup() << "}"
-        << (i + 1 < rs.size() ? "," : "") << "\n";
+  ls::util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("kernel_micro");
+  w.key("threads").value(static_cast<std::uint64_t>(ls::util::num_threads()));
+  w.key("cases").begin_array();
+  for (const BenchResult& r : rs) {
+    w.begin_object();
+    w.key("net").value(r.c.net);
+    w.key("layer").value(r.c.layer);
+    w.key("naive_fwd_ms").value(r.naive_fwd_ms);
+    w.key("gemm_fwd_ms").value(r.gemm_fwd_ms);
+    w.key("naive_bwd_ms").value(r.naive_bwd_ms);
+    w.key("gemm_bwd_ms").value(r.gemm_bwd_ms);
+    w.key("fwd_speedup").value(r.fwd_speedup());
+    w.key("bwd_speedup").value(r.bwd_speedup());
+    w.end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  w.write_file(path);
 }
 
 }  // namespace

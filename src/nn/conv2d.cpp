@@ -1,17 +1,26 @@
 #include "nn/conv2d.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
 
 #include "nn/gemm.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace ls::nn {
 
 namespace {
+
+// Kernel-span args: {"impl":...,"N":batch} — rendered only when tracing.
+std::string conv_span_args(const char* impl, std::size_t batch) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"impl\":\"%s\",\"N\":%zu}", impl, batch);
+  return buf;
+}
 Shape weight_shape(const Conv2DConfig& cfg) {
   return Shape{cfg.out_channels, cfg.in_channels / cfg.groups, cfg.kernel,
                cfg.kernel};
@@ -91,6 +100,11 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 // ---------------------------------------------------------------------------
 
 Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
+  obs::Span span;
+  if (obs::trace_enabled()) {
+    span.begin(name_ + ".fwd", "kernel",
+               conv_span_args("im2col+gemm", in.shape()[0]));
+  }
   const Shape out_shape = output_shape(in.shape());
   Tensor out(out_shape);
   const std::size_t N = in.shape()[0];
@@ -137,6 +151,11 @@ Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
 }
 
 Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
+  obs::Span span;
+  if (obs::trace_enabled()) {
+    span.begin(name_ + ".bwd", "kernel",
+               conv_span_args("im2col+gemm", grad_out.shape()[0]));
+  }
   if (cached_input_.empty()) {
     throw std::logic_error("conv2d backward without training forward");
   }
@@ -208,6 +227,11 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
 // ---------------------------------------------------------------------------
 
 Tensor Conv2D::naive_forward(const Tensor& in, bool training) {
+  obs::Span span;
+  if (obs::trace_enabled()) {
+    span.begin(name_ + ".fwd", "kernel",
+               conv_span_args("naive", in.shape()[0]));
+  }
   const Shape out_shape = output_shape(in.shape());
   Tensor out(out_shape);
   const std::size_t N = in.shape()[0];
@@ -283,6 +307,11 @@ Tensor Conv2D::naive_forward(const Tensor& in, bool training) {
 }
 
 Tensor Conv2D::naive_backward(const Tensor& grad_out) {
+  obs::Span span;
+  if (obs::trace_enabled()) {
+    span.begin(name_ + ".bwd", "kernel",
+               conv_span_args("naive", grad_out.shape()[0]));
+  }
   if (cached_input_.empty()) {
     throw std::logic_error("conv2d backward without training forward");
   }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "nn/gemm.hpp"
+#include "obs/trace.hpp"
 
 namespace ls::nn {
 
@@ -34,6 +35,8 @@ Shape FullyConnected::output_shape(const Shape& in) const {
 }
 
 Tensor FullyConnected::forward(const Tensor& in, bool training) {
+  obs::Span span;
+  if (obs::trace_enabled()) span.begin(name_ + ".fwd", "kernel");
   const Shape out_shape = output_shape(in.shape());
   const std::size_t N = out_shape[0];
   Tensor flat = in.reshaped(Shape{N, in_features_});
@@ -56,6 +59,8 @@ Tensor FullyConnected::forward(const Tensor& in, bool training) {
 }
 
 Tensor FullyConnected::backward(const Tensor& grad_out) {
+  obs::Span span;
+  if (obs::trace_enabled()) span.begin(name_ + ".bwd", "kernel");
   if (cached_input_.empty()) {
     throw std::logic_error("fc backward without training forward");
   }

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace ls::noc {
 
 namespace {
@@ -98,15 +100,21 @@ NocStats NocRunCache::run(const MeshNocSimulator& sim,
   key.cfg = sim.config();
   key.max_cycles = max_cycles;
   key.messages = messages;
+  static obs::Counter& hit_metric =
+      obs::Registry::instance().counter("noc.cache.hits");
+  static obs::Counter& miss_metric =
+      obs::Registry::instance().counter("noc.cache.misses");
   {
     std::lock_guard<std::mutex> lk(impl_->mu);
     const auto it = impl_->map.find(key);
     if (it != impl_->map.end()) {
       impl_->hits.fetch_add(1, std::memory_order_relaxed);
+      hit_metric.inc();
       return it->second;
     }
   }
   impl_->misses.fetch_add(1, std::memory_order_relaxed);
+  miss_metric.inc();
   // Simulate outside the lock: bursts are the expensive part and distinct
   // layers can run concurrently. A racing duplicate computes the same
   // stats, so emplace-after is harmless.

@@ -1,9 +1,12 @@
 #include "noc/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <deque>
 #include <queue>
 #include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace ls::noc {
 
@@ -80,6 +83,9 @@ std::uint64_t MeshNocSimulator::zero_load_latency(const Message& m) const {
 
 NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
                                std::uint64_t max_cycles) const {
+  obs::Span burst_span;
+  if (obs::trace_enabled()) burst_span.begin("noc.burst", "noc");
+
   const std::size_t n = topo_.num_cores();
   const std::size_t vcs = cfg_.vcs;
 
@@ -109,6 +115,8 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
   std::vector<std::deque<PendingFlit>> inject_q(n);
 
   NocStats stats;
+  obs::Span phase_span;
+  if (obs::trace_enabled()) phase_span.begin("noc.packetize", "noc");
   std::uint64_t next_packet = 0;
   for (const Message& m : messages) {
     if (m.src >= n || m.dst >= n) throw std::out_of_range("message endpoint");
@@ -130,8 +138,11 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
       flits_left -= in_pkt;
     }
   }
+  phase_span.end();
   stats.packets = packets.size();
   if (stats.total_flits == 0) return stats;
+
+  if (obs::trace_enabled()) phase_span.begin("noc.drain", "noc");
 
   std::priority_queue<InFlight, std::vector<InFlight>, InFlightLater> in_flight;
 
@@ -269,6 +280,8 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
     }
   }
 
+  phase_span.end();
+
   for (const std::uint64_t count : link_flits) {
     if (count > 0) {
       ++stats.links_used;
@@ -280,6 +293,17 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
       stats.packets ? static_cast<double>(total_pkt_latency) /
                           static_cast<double>(stats.packets)
                     : 0.0;
+  stats.per_link_flits = std::move(link_flits);
+
+  if (obs::trace_enabled()) {
+    char args[96];
+    std::snprintf(args, sizeof(args),
+                  "{\"flits\":%llu,\"packets\":%llu,\"cycles\":%llu}",
+                  static_cast<unsigned long long>(stats.total_flits),
+                  static_cast<unsigned long long>(stats.packets),
+                  static_cast<unsigned long long>(stats.completion_cycle));
+    burst_span.set_args(args);
+  }
   return stats;
 }
 

@@ -57,6 +57,10 @@ struct NocStats {
   std::uint64_t max_link_flits = 0;
   /// Links that carried at least one flit.
   std::size_t links_used = 0;
+  /// Flits per directed link: 5 entries per router in port order
+  /// [local, north, south, west, east] (local stays 0 — ejection is not a
+  /// mesh link). Feeds the ls::obs mesh link heatmap.
+  std::vector<std::uint64_t> per_link_flits;
 
   friend bool operator==(const NocStats&, const NocStats&) = default;
 };

@@ -1,0 +1,264 @@
+#include "obs/metrics.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ls::obs {
+
+namespace detail {
+void install_pool_hooks();  // defined in trace.cpp
+}
+
+const char* const kLinkPortNames[kLinkPorts] = {"local", "north", "south",
+                                                "west", "east"};
+
+// ---------------------------------------------------------------------------
+// HistogramMetric
+// ---------------------------------------------------------------------------
+
+void HistogramMetric::observe(double x) {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.add(x);
+  if (hist_) hist_->add(x);
+}
+
+void HistogramMetric::configure_bins(double lo, double hi, std::size_t bins) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!hist_) hist_.emplace(lo, hi, bins);
+}
+
+util::RunningStats HistogramMetric::summary() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::optional<util::Histogram> HistogramMetric::bins() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return hist_;
+}
+
+void HistogramMetric::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.reset();
+  hist_.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::uint64_t LinkHeatmap::router_total(std::size_t router) const {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < kLinkPorts; ++p) {
+    total += flits[router * kLinkPorts + p];
+  }
+  return total;
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map for deterministic export order; node-based so references
+  // handed out stay stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>> histos;
+  LinkHeatmap heatmap;
+  std::string path;
+  bool written = false;
+};
+
+Registry::Registry() : impl_(new Impl) { detail::install_pool_hooks(); }
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  auto it = impl_->histos.find(name);
+  if (it == impl_->histos.end()) {
+    it = impl_->histos
+             .emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t bins) {
+  HistogramMetric& h = histogram(name);
+  h.configure_bins(lo, hi, bins);
+  return h;
+}
+
+void Registry::accumulate_link_flits(std::size_t cols, std::size_t rows,
+                                     std::span<const std::uint64_t> flits) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  LinkHeatmap& hm = impl_->heatmap;
+  if (hm.cols != cols || hm.rows != rows ||
+      hm.flits.size() != flits.size()) {
+    hm.cols = cols;
+    hm.rows = rows;
+    hm.flits.assign(flits.size(), 0);
+  }
+  for (std::size_t i = 0; i < flits.size(); ++i) hm.flits[i] += flits[i];
+}
+
+LinkHeatmap Registry::link_heatmap() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->heatmap;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  util::JsonWriter w;
+  w.begin_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : impl_->counters) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : impl_->gauges) {
+    w.key(name);
+    w.value(g->value());
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : impl_->histos) {
+    const util::RunningStats s = h->summary();
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(static_cast<std::uint64_t>(s.count()));
+    w.key("mean");
+    w.value(s.mean());
+    w.key("stddev");
+    w.value(s.stddev());
+    w.key("min");
+    w.value(s.min());
+    w.key("max");
+    w.value(s.max());
+    if (const auto bins = h->bins()) {
+      w.key("bins");
+      w.begin_object();
+      w.key("lo");
+      w.value(bins->bin_low(0));
+      w.key("hi");
+      w.value(bins->bin_high(bins->bins() - 1));
+      w.key("underflow");
+      w.value(static_cast<std::uint64_t>(bins->underflow()));
+      w.key("overflow");
+      w.value(static_cast<std::uint64_t>(bins->overflow()));
+      w.key("counts");
+      w.begin_array();
+      for (std::size_t i = 0; i < bins->bins(); ++i) {
+        w.value(static_cast<std::uint64_t>(bins->bin_count(i)));
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  const LinkHeatmap& hm = impl_->heatmap;
+  w.key("noc_link_heatmap");
+  w.begin_object();
+  w.key("cols");
+  w.value(static_cast<std::uint64_t>(hm.cols));
+  w.key("rows");
+  w.value(static_cast<std::uint64_t>(hm.rows));
+  w.key("ports");
+  w.begin_array();
+  for (const char* p : kLinkPortNames) w.value(p);
+  w.end_array();
+  w.key("links");
+  w.begin_array();
+  const std::size_t routers = hm.flits.size() / kLinkPorts;
+  for (std::size_t r = 0; r < routers; ++r) {
+    w.begin_array();
+    for (std::size_t p = 0; p < kLinkPorts; ++p) {
+      w.value(hm.flits[r * kLinkPorts + p]);
+    }
+    w.end_array();
+  }
+  w.end_array();
+  w.key("router_totals");
+  w.begin_array();
+  for (std::size_t r = 0; r < routers; ++r) w.value(hm.router_total(r));
+  w.end_array();
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+bool Registry::write(const std::string& path) const {
+  util::JsonWriter w;
+  w.raw(to_json());
+  return w.write_file(path);
+}
+
+void Registry::set_output(std::string path) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->path = std::move(path);
+  impl_->written = false;
+}
+
+void Registry::finish() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    if (impl_->written || impl_->path.empty()) return;
+    impl_->written = true;
+    path = impl_->path;
+  }
+  write(path);
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  // Reset in place: references handed out by counter()/gauge()/histogram()
+  // must stay valid for the life of the process.
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->set(0.0);
+  for (auto& [name, h] : impl_->histos) h->reset();
+  impl_->heatmap = LinkHeatmap{};
+}
+
+}  // namespace ls::obs

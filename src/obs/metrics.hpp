@@ -1,0 +1,118 @@
+#pragma once
+// ls::obs metrics registry — process-wide named counters, gauges and
+// histograms, plus the NoC per-link flit heatmap, exported as one JSON
+// document (`ls_experiment --metrics out.json` / LS_METRICS=out.json).
+//
+// Counters and gauges are lock-free atomics and cheap enough to leave
+// always-on; the registry map itself is mutex-guarded, so hot paths should
+// capture the returned reference once (function-local static) instead of
+// re-looking-up by name. References returned by the registry stay valid
+// for the life of the process.
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hpp"
+
+namespace ls::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+  }
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+/// Welford summary (util::RunningStats) plus an optional fixed-range
+/// binned util::Histogram when constructed with a range.
+class HistogramMetric {
+ public:
+  void observe(double x);
+  void configure_bins(double lo, double hi, std::size_t bins);
+
+  util::RunningStats summary() const;
+  std::optional<util::Histogram> bins() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  util::RunningStats stats_;
+  std::optional<util::Histogram> hist_;
+};
+
+/// Per-link flit counts accumulated over every simulated burst, laid out
+/// as noc::NocStats::per_link_flits: kLinkPorts entries per router in port
+/// order [local, north, south, west, east] (local stays 0 — ejection is
+/// not a mesh link).
+inline constexpr std::size_t kLinkPorts = 5;
+extern const char* const kLinkPortNames[kLinkPorts];
+
+struct LinkHeatmap {
+  std::size_t cols = 0;
+  std::size_t rows = 0;
+  std::vector<std::uint64_t> flits;  ///< kLinkPorts per router, row-major
+
+  std::uint64_t router_total(std::size_t router) const;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name);
+  HistogramMetric& histogram(std::string_view name, double lo, double hi,
+                             std::size_t bins);
+
+  /// Accumulates one burst's per-link flits (resets if the mesh shape
+  /// changed since the last accumulation).
+  void accumulate_link_flits(std::size_t cols, std::size_t rows,
+                             std::span<const std::uint64_t> flits);
+  LinkHeatmap link_heatmap() const;
+
+  /// Whole registry as a JSON document.
+  std::string to_json() const;
+  bool write(const std::string& path) const;
+
+  /// Arms export: finish() (or process exit via init_from_env) writes the
+  /// registry to `path` once.
+  void set_output(std::string path);
+  void finish();
+
+  /// Test hook: drops every metric and the heatmap.
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+  ~Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace ls::obs

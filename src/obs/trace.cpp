@@ -1,0 +1,335 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+#include "util/parallel.hpp"
+
+namespace ls::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+void install_pool_hooks();
+}  // namespace detail
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+struct Event {
+  std::string name;
+  const char* cat = "";
+  std::uint64_t ts = 0;
+  std::uint64_t dur = 0;
+  std::uint32_t pid = kWallPid;
+  std::uint64_t tid = 0;
+  std::string args;  ///< pre-rendered JSON object or empty
+};
+
+}  // namespace
+
+struct Tracer::Impl {
+  mutable std::mutex mu;
+  std::vector<Event> events;
+  steady::time_point t0 = steady::now();
+  std::string path;
+  bool written = false;
+  std::map<std::uint64_t, std::string> thread_names;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> virt_names;
+};
+
+Tracer::Tracer() : impl_(new Impl) { detail::install_pool_hooks(); }
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::start(std::string path) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.clear();
+  impl_->t0 = steady::now();
+  impl_->path = std::move(path);
+  impl_->written = false;
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.clear();
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->events.size();
+}
+
+void Tracer::complete(std::string name, const char* cat, std::uint64_t ts_us,
+                      std::uint64_t dur_us, std::uint32_t pid,
+                      std::uint64_t tid, std::string args_json) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ts = ts_us;
+  e.dur = dur_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.args = std::move(args_json);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(steady::now() -
+                                                            impl_->t0)
+          .count());
+}
+
+std::uint64_t Tracer::current_tid() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id = next.fetch_add(1);
+  return id;
+}
+
+void Tracer::set_current_thread_name(std::string name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->thread_names[current_tid()] = std::move(name);
+}
+
+void Tracer::set_virtual_thread_name(std::uint32_t pid, std::uint64_t tid,
+                                     std::string name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->virt_names[{pid, tid}] = std::move(name);
+}
+
+namespace {
+
+void append_meta(util::JsonWriter& w, const char* what, std::uint32_t pid,
+                 std::uint64_t tid, bool with_tid, const std::string& name) {
+  w.begin_object();
+  w.key("name");
+  w.value(what);
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(static_cast<std::uint64_t>(pid));
+  if (with_tid) {
+    w.key("tid");
+    w.value(tid);
+  }
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value(name);
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+bool Tracer::write(const std::string& path) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  const std::string& out_path = path.empty() ? impl_->path : path;
+  if (out_path.empty()) return false;
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  append_meta(w, "process_name", kWallPid, 0, false, "wall-clock");
+  append_meta(w, "process_name", kSimPid, 0, false, "sim-cycles (1cy = 1us)");
+  for (const auto& [tid, name] : impl_->thread_names) {
+    append_meta(w, "thread_name", kWallPid, tid, true, name);
+  }
+  for (const auto& [key, name] : impl_->virt_names) {
+    append_meta(w, "thread_name", key.first, key.second, true, name);
+  }
+  for (const Event& e : impl_->events) {
+    w.begin_object();
+    w.key("name");
+    w.value(e.name);
+    w.key("cat");
+    w.value(e.cat);
+    w.key("ph");
+    w.value("X");
+    w.key("ts");
+    w.value(e.ts);
+    w.key("dur");
+    w.value(e.dur);
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(e.pid));
+    w.key("tid");
+    w.value(e.tid);
+    if (!e.args.empty()) {
+      w.key("args");
+      w.raw(e.args);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  const bool ok = w.write_file(out_path);
+  if (ok && out_path == impl_->path) impl_->written = true;
+  return ok;
+}
+
+void Tracer::finish() {
+  stop();
+  bool pending = false;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    pending = !impl_->path.empty() && !impl_->written;
+  }
+  if (pending) write();
+}
+
+// ---------------------------------------------------------------------------
+// Span
+// ---------------------------------------------------------------------------
+
+void Span::begin(std::string name, const char* cat, std::string args_json) {
+  end();  // a re-armed span closes its previous interval first
+  name_ = std::move(name);
+  cat_ = cat;
+  args_ = std::move(args_json);
+  start_us_ = Tracer::instance().now_us();
+  active_ = true;
+}
+
+void Span::set_args(std::string args_json) { args_ = std::move(args_json); }
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tr = Tracer::instance();
+  const std::uint64_t now = tr.now_us();
+  tr.complete(std::move(name_), cat_, start_us_, now - start_us_, kWallPid,
+              Tracer::current_tid(), std::move(args_));
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool hooks: one trace "thread" per pool worker, always-on task
+// counters. Installed once, the first time Tracer or Registry is touched;
+// processes that never use obs keep a hook-free pool.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kNoStart = ~std::uint64_t{0};
+thread_local std::uint64_t tls_task_start = kNoStart;
+thread_local std::uint64_t tls_job_start = kNoStart;
+thread_local bool tls_worker_named = false;
+
+void hook_task_begin(std::size_t worker) {
+  if (worker != SIZE_MAX && !tls_worker_named) {
+    tls_worker_named = true;
+    Tracer::instance().set_current_thread_name("pool-worker-" +
+                                               std::to_string(worker));
+  }
+  if (trace_enabled()) tls_task_start = Tracer::instance().now_us();
+}
+
+void hook_task_end(std::size_t worker, std::size_t items) {
+  (void)worker;
+  static Counter& tasks = Registry::instance().counter("pool.tasks");
+  static Counter& done = Registry::instance().counter("pool.items");
+  tasks.inc();
+  done.inc(items);
+  if (tls_task_start == kNoStart) return;
+  const std::uint64_t start = tls_task_start;
+  tls_task_start = kNoStart;
+  Tracer& tr = Tracer::instance();
+  char args[48];
+  std::snprintf(args, sizeof(args), "{\"items\":%zu}", items);
+  tr.complete("pool.task", "pool", start, tr.now_us() - start, kWallPid,
+              Tracer::current_tid(), args);
+}
+
+void hook_job_begin(std::size_t count) {
+  (void)count;
+  static Counter& jobs = Registry::instance().counter("pool.jobs");
+  jobs.inc();
+  if (trace_enabled()) tls_job_start = Tracer::instance().now_us();
+}
+
+void hook_job_end(std::size_t count) {
+  if (tls_job_start == kNoStart) return;
+  const std::uint64_t start = tls_job_start;
+  tls_job_start = kNoStart;
+  Tracer& tr = Tracer::instance();
+  char args[48];
+  std::snprintf(args, sizeof(args), "{\"count\":%zu}", count);
+  tr.complete("parallel_for", "pool", start, tr.now_us() - start, kWallPid,
+              Tracer::current_tid(), args);
+}
+
+}  // namespace
+
+namespace detail {
+void install_pool_hooks() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    util::PoolHooks hooks;
+    hooks.task_begin = hook_task_begin;
+    hooks.task_end = hook_task_end;
+    hooks.job_begin = hook_job_begin;
+    hooks.job_end = hook_job_end;
+    util::set_pool_hooks(hooks);
+  });
+}
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Environment plumbing
+// ---------------------------------------------------------------------------
+
+namespace {
+// Arms LS_TRACE / LS_METRICS in every binary that links the instrumented
+// stack: any reference into this translation unit (the tracer, a span,
+// the pool hooks) pulls this initializer in, so benches and examples get
+// the env plumbing without calling init_from_env() themselves.
+const bool g_env_armed = [] {
+  init_from_env();
+  return true;
+}();
+}  // namespace
+
+void init_from_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    // Touch both singletons now so the atexit handler below runs before
+    // their destructors (reverse registration order).
+    Tracer::instance();
+    Registry::instance();
+    if (const char* trace = std::getenv("LS_TRACE");
+        trace != nullptr && trace[0] != '\0') {
+      Tracer::instance().start(trace);
+    }
+    if (const char* metrics = std::getenv("LS_METRICS");
+        metrics != nullptr && metrics[0] != '\0') {
+      Registry::instance().set_output(metrics);
+    }
+    std::atexit([] {
+      Tracer::instance().finish();
+      Registry::instance().finish();
+    });
+  });
+}
+
+}  // namespace ls::obs

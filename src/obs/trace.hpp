@@ -1,0 +1,120 @@
+#pragma once
+// ls::obs event tracer — RAII spans collected into a Chrome-trace-event
+// JSON file that Perfetto / chrome://tracing loads directly.
+//
+// Two time domains share one file, separated by trace "process" id:
+//   * pid 1 "wall-clock": real-thread spans (kernel calls, pool tasks,
+//     trainer epochs/batches, flit-sim phases), ts = microseconds since
+//     Tracer::start(), tid = a small per-thread ordinal.
+//   * pid 2 "sim-cycles": the CMP system model's virtual timeline
+//     (per-core layer compute spans, per-layer NoC burst spans), ts = model
+//     cycle rendered as 1 cycle = 1 us, tid = core index (or the NoC track).
+//
+// Cost model: tracing is off by default and gated by one relaxed atomic
+// load — no compile-time flag needed, and instrumented hot paths only pay
+// that load when disabled. When enabled, span ends append to a
+// mutex-guarded vector (spans are layer/epoch/burst grained, so contention
+// is negligible). Tracing never feeds back into simulated results; the
+// tier-1 determinism test asserts InferenceResult is identical on/off.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ls::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}
+
+/// One relaxed load; instrumentation guards on this before building names.
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+inline constexpr std::uint32_t kWallPid = 1;  ///< wall-clock events
+inline constexpr std::uint32_t kSimPid = 2;   ///< simulated-cycle events
+
+class Tracer {
+ public:
+  /// Process-wide tracer.
+  static Tracer& instance();
+
+  /// Clears captured events, records t0, enables capture. `path` is where
+  /// finish()/write() will export ("" = in-memory only, for tests).
+  void start(std::string path);
+  /// Disables capture; captured events are retained for write().
+  void stop();
+  /// Writes the trace to `path` (or the start() path when empty). Returns
+  /// false if no path is known or the file cannot be written.
+  bool write(const std::string& path = {});
+  /// stop() + write-once to the pending path; safe to call repeatedly.
+  void finish();
+  void clear();
+
+  std::size_t event_count() const;
+
+  /// Records one complete ("ph":"X") event. `args_json` is either empty or
+  /// a pre-rendered JSON object (inserted verbatim).
+  void complete(std::string name, const char* cat, std::uint64_t ts_us,
+                std::uint64_t dur_us, std::uint32_t pid, std::uint64_t tid,
+                std::string args_json = {});
+
+  /// Microseconds since start() on the steady clock.
+  std::uint64_t now_us() const;
+
+  /// Small sequential ordinal of the calling thread (stable per thread).
+  static std::uint64_t current_tid();
+
+  /// Trace-viewer metadata rows. Idempotent; cheap enough to call per-run.
+  void set_current_thread_name(std::string name);
+  void set_virtual_thread_name(std::uint32_t pid, std::uint64_t tid,
+                               std::string name);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+  ~Tracer();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII wall-clock span. Default-constructed spans are inert; begin() arms
+/// them, the destructor (or end()) records the complete event. The
+/// enabled-guarded begin() pattern keeps dynamic-name construction off the
+/// disabled path:
+///
+///   obs::Span span;
+///   if (obs::trace_enabled()) span.begin(name_ + ".fwd", "kernel");
+class Span {
+ public:
+  Span() = default;
+  /// Convenience for static names; no-op when tracing is disabled.
+  Span(const char* name, const char* cat) {
+    if (trace_enabled()) begin(name, cat);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  void begin(std::string name, const char* cat, std::string args_json = {});
+  /// Replaces the args recorded at end() (e.g. results known only later).
+  void set_args(std::string args_json);
+  void end();
+
+ private:
+  bool active_ = false;
+  std::uint64_t start_us_ = 0;
+  std::string name_;
+  const char* cat_ = "";
+  std::string args_;
+};
+
+/// Reads LS_TRACE / LS_METRICS and arms the tracer / metrics registry
+/// accordingly (export happens at finish() or process exit). Called by the
+/// tools; harmless to call more than once.
+void init_from_env();
+
+}  // namespace ls::obs

@@ -1,13 +1,56 @@
 #include "sim/system.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "core/partition.hpp"
 #include "noc/sim_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace ls::sim {
+
+namespace {
+
+// Emits one inference's model-time timeline onto the sim-cycles trace
+// process: per-layer NoC burst spans on a dedicated "noc" track (tid = P)
+// and per-core compute spans on core tracks (tid = core). `cursor` is the
+// serialized model time at which the layer starts.
+void trace_layer_timeline(const LayerTimeline& tl,
+                          const std::vector<std::uint64_t>& per_core_cycles,
+                          std::uint64_t cursor, std::size_t P) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  if (tl.blocking_comm_cycles > 0) {
+    char args[128];
+    std::snprintf(args, sizeof(args),
+                  "{\"bytes\":%zu,\"flits\":%llu,\"comm_cycles\":%llu}",
+                  tl.traffic_bytes,
+                  static_cast<unsigned long long>(tl.noc_stats.total_flits),
+                  static_cast<unsigned long long>(tl.comm_cycles));
+    tr.complete(tl.layer_name + " (burst)", "noc.burst", cursor,
+                tl.blocking_comm_cycles, obs::kSimPid, P, args);
+  }
+  const std::uint64_t compute_start = cursor + tl.blocking_comm_cycles;
+  for (std::size_t c = 0; c < per_core_cycles.size(); ++c) {
+    if (per_core_cycles[c] == 0) continue;
+    tr.complete(tl.layer_name, "compute", compute_start, per_core_cycles[c],
+                obs::kSimPid, c);
+  }
+}
+
+// Per-layer always-on metrics (counters accumulate across runs, like any
+// process-wide metrics registry).
+void record_layer_metrics(const LayerTimeline& tl) {
+  obs::Registry& reg = obs::Registry::instance();
+  const std::string prefix = "sim.layer." + tl.layer_name;
+  reg.counter(prefix + ".compute_cycles").inc(tl.compute_cycles);
+  reg.counter(prefix + ".comm_cycles").inc(tl.blocking_comm_cycles);
+  reg.counter(prefix + ".traffic_bytes").inc(tl.traffic_bytes);
+}
+
+}  // namespace
 
 CmpSystem::CmpSystem(const SystemConfig& cfg)
     : cfg_(cfg), topo_(noc::MeshTopology::for_cores(cfg.cores)) {
@@ -22,6 +65,18 @@ InferenceResult CmpSystem::run_inference(
     const nn::NetSpec& spec, const core::InferenceTraffic& traffic) const {
   const auto analysis = nn::analyze(spec);
   const std::size_t P = cfg_.cores;
+
+  const bool tracing = obs::trace_enabled();
+  obs::Span run_span;
+  if (tracing) {
+    run_span.begin("sim.run_inference(" + spec.name + ")", "sim");
+    obs::Tracer& tr = obs::Tracer::instance();
+    for (std::size_t c = 0; c < P; ++c) {
+      tr.set_virtual_thread_name(obs::kSimPid, c,
+                                 "core-" + std::to_string(c));
+    }
+    tr.set_virtual_thread_name(obs::kSimPid, P, "noc");
+  }
 
   std::unordered_map<std::string, const core::TransitionTraffic*> by_layer;
   for (const auto& t : traffic.transitions) {
@@ -62,6 +117,8 @@ InferenceResult CmpSystem::run_inference(
 
   InferenceResult result;
   std::uint64_t prev_compute = 0;
+  std::uint64_t cursor = 0;  // serialized model time, for the trace
+  std::vector<std::uint64_t> per_core_cycles(P, 0);
   for (const LayerJob& job : jobs) {
     const nn::LayerAnalysis& a = *job.a;
 
@@ -93,6 +150,7 @@ InferenceResult CmpSystem::run_inference(
         a.weight_count * cfg_.bytes_per_value;
     const std::size_t in_bytes = a.in.numel() * cfg_.bytes_per_value;
     std::uint64_t worst = 0;
+    per_core_cycles.assign(P, 0);
     for (std::size_t c = 0; c < P; ++c) {
       const double share = out_units
                                ? static_cast<double>(out_ranges[c].count()) /
@@ -109,11 +167,20 @@ InferenceResult CmpSystem::run_inference(
           static_cast<double>(a.out.numel() * cfg_.bytes_per_value) * share +
           0.5);
       const accel::LayerCoreCost cost = core_model_.layer_cost(work);
+      per_core_cycles[c] = cost.cycles();
       worst = std::max(worst, cost.cycles());
       tl.compute_energy_pj += cost.energy_pj;
     }
     tl.compute_cycles = worst;
     prev_compute = worst;
+
+    if (tracing) trace_layer_timeline(tl, per_core_cycles, cursor, P);
+    record_layer_metrics(tl);
+    if (!tl.noc_stats.per_link_flits.empty()) {
+      obs::Registry::instance().accumulate_link_flits(
+          topo_.cols(), topo_.rows(), tl.noc_stats.per_link_flits);
+    }
+    cursor += tl.blocking_comm_cycles + tl.compute_cycles;
 
     result.compute_cycles += tl.compute_cycles;
     result.comm_cycles += tl.blocking_comm_cycles;
@@ -123,6 +190,9 @@ InferenceResult CmpSystem::run_inference(
     result.layers.push_back(std::move(tl));
   }
   result.total_cycles = result.compute_cycles + result.comm_cycles;
+  obs::Registry::instance().counter("sim.inferences").inc();
+  obs::Registry::instance().counter("sim.total_cycles").inc(
+      result.total_cycles);
   return result;
 }
 

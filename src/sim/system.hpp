@@ -56,6 +56,8 @@ struct LayerTimeline {
   double noc_energy_pj = 0.0;
   std::size_t traffic_bytes = 0;
   noc::NocStats noc_stats{};
+
+  friend bool operator==(const LayerTimeline&, const LayerTimeline&) = default;
 };
 
 struct InferenceResult {
@@ -75,6 +77,11 @@ struct InferenceResult {
                               static_cast<double>(total_cycles)
                         : 0.0;
   }
+
+  /// Exact equality — used by the obs determinism test (tracing/metrics
+  /// must not perturb results).
+  friend bool operator==(const InferenceResult&,
+                         const InferenceResult&) = default;
 };
 
 class CmpSystem {

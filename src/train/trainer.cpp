@@ -1,6 +1,10 @@
 #include "train/trainer.hpp"
 
+#include <cstdio>
+
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace ls::train {
@@ -29,8 +33,18 @@ TrainReport train_classifier(nn::Network& net, const data::Dataset& train_set,
   Sgd sgd(net.params(), cfg.sgd);
   data::Batcher batcher(train_set, cfg.batch_size, cfg.seed);
 
+  static obs::Counter& batch_count =
+      obs::Registry::instance().counter("train.batches");
+  static obs::Counter& epoch_count =
+      obs::Registry::instance().counter("train.epochs");
+
   double lr = cfg.sgd.lr;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span;
+    if (obs::trace_enabled()) {
+      epoch_span.begin(net.name() + ".epoch-" + std::to_string(epoch),
+                       "train");
+    }
     sgd.set_lr(lr);
     batcher.reset();
     tensor::Tensor images;
@@ -38,11 +52,13 @@ TrainReport train_classifier(nn::Network& net, const data::Dataset& train_set,
     double epoch_loss = 0.0;
     std::size_t batches = 0;
     while (batcher.next(images, labels)) {
+      obs::Span batch_span("train.batch", "train");
       net.zero_grad();
       const tensor::Tensor logits = net.forward(images, /*training=*/true);
       nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
       epoch_loss += loss.loss;
       ++batches;
+      batch_count.inc();
       net.backward(loss.grad_logits);
       if (reg != nullptr && reg->mode() == LassoMode::kSubgradient) {
         reg->apply(lr);  // adds the penalty gradient before the step
@@ -52,7 +68,14 @@ TrainReport train_classifier(nn::Network& net, const data::Dataset& train_set,
         reg->apply(lr);  // proximal shrink after the step
       }
     }
+    epoch_count.inc();
     epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    if (obs::trace_enabled()) {
+      char args[64];
+      std::snprintf(args, sizeof(args), "{\"loss\":%.6f,\"batches\":%zu}",
+                    epoch_loss, batches);
+      epoch_span.set_args(args);
+    }
     report.epoch_loss.push_back(epoch_loss);
     report.epoch_penalty.push_back(reg ? reg->penalty() : 0.0);
     if (cfg.verbose) {

@@ -1,0 +1,163 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ls::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) {
+    if (!out_.empty()) throw std::logic_error("json: second top-level value");
+    return;
+  }
+  Frame& f = stack_.back();
+  if (f.array) {
+    if (!f.first) out_ += ',';
+    f.first = false;
+    return;
+  }
+  if (!pending_key_) throw std::logic_error("json: value in object needs key");
+  pending_key_ = false;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back().array) {
+    throw std::logic_error("json: key outside object");
+  }
+  if (pending_key_) throw std::logic_error("json: key after key");
+  Frame& f = stack_.back();
+  if (!f.first) out_ += ',';
+  f.first = false;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Frame{/*array=*/false, /*first=*/true});
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().array || pending_key_) {
+    throw std::logic_error("json: unbalanced end_object");
+  }
+  stack_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Frame{/*array=*/true, /*first=*/true});
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().array) {
+    throw std::logic_error("json: unbalanced end_array");
+  }
+  stack_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(bool b) {
+  pre_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::value(double d) {
+  if (!std::isfinite(d)) {
+    null();
+    return;
+  }
+  pre_value();
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out_.append(buf, res.ptr);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out_.append(buf, res.ptr);
+}
+
+void JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  pre_value();
+  out_ += json;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+  const bool ok = n == out_.size() && std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ls::util

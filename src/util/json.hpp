@@ -1,0 +1,64 @@
+#pragma once
+// Minimal streaming JSON writer shared by the observability exporters
+// (ls::obs trace / metrics files) and the bench --json dumps. Produces
+// compact, strictly valid JSON: strings are escaped, non-finite doubles
+// are emitted as null (JSON has no NaN/Inf literal).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ls::util {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): \" \\ and control characters become escape sequences.
+std::string json_escape(std::string_view s);
+
+/// Push-API writer. Misuse (a bare value inside an object without a key,
+/// unbalanced end_*) throws std::logic_error rather than emitting garbage.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Names the next value inside an object; returns *this so call sites
+  /// can chain `w.key("k").value(v)`.
+  JsonWriter& key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b);
+  void value(double d);  ///< non-finite doubles emit null
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null();
+
+  /// Emits `json` verbatim as one value. The caller guarantees it is a
+  /// well-formed JSON value (used for pre-rendered trace-event args).
+  void raw(std::string_view json);
+
+  /// The document so far. Valid JSON once every begin_* is closed.
+  const std::string& str() const { return out_; }
+  bool done() const { return stack_.empty() && !out_.empty(); }
+
+  /// Writes str() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  void pre_value();
+
+  struct Frame {
+    bool array = false;
+    bool first = true;
+  };
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ls::util

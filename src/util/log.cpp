@@ -1,11 +1,39 @@
 #include "util/log.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdarg>
+#include <cstdlib>
+#include <cstring>
 
 namespace ls::util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("LS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0 || std::strcmp(env, "0") == 0) {
+    return LogLevel::kDebug;
+  }
+  if (std::strcmp(env, "info") == 0 || std::strcmp(env, "1") == 0) {
+    return LogLevel::kInfo;
+  }
+  if (std::strcmp(env, "warn") == 0 || std::strcmp(env, "warning") == 0 ||
+      std::strcmp(env, "2") == 0) {
+    return LogLevel::kWarn;
+  }
+  if (std::strcmp(env, "error") == 0 || std::strcmp(env, "3") == 0) {
+    return LogLevel::kError;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_ref() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -20,19 +48,48 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+double seconds_since_start() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point t0 = clock::now();
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t id = next.fetch_add(1);
+  return id;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  level_ref().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_ref().load(std::memory_order_relaxed));
+}
 
 void log(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] ", level_tag(level));
+  if (static_cast<int>(level) < level_ref().load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[2048];
+  int n = std::snprintf(buf, sizeof(buf), "[%11.6f %s t%02zu] ",
+                        seconds_since_start(), level_tag(level),
+                        thread_ordinal());
+  if (n < 0) return;
+  auto used = static_cast<std::size_t>(n);
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  const int body = std::vsnprintf(buf + used, sizeof(buf) - used, fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (body > 0) {
+    used = std::min(used + static_cast<std::size_t>(body), sizeof(buf) - 2);
+  }
+  buf[used] = '\n';
+  std::fwrite(buf, 1, used + 1, stderr);
 }
 
 }  // namespace ls::util

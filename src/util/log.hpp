@@ -1,6 +1,12 @@
 #pragma once
 // Minimal leveled logger. Experiments print structured result tables via
 // util/table.hpp; this logger is for progress and diagnostics only.
+//
+// The threshold starts from the LS_LOG_LEVEL environment variable
+// (debug|info|warn|error or 0-3, default info). Every line is prefixed
+// with a monotonic seconds-since-start timestamp and a small per-thread
+// id, and is formatted into one buffer and written with a single fwrite
+// so lines from concurrent threads never interleave.
 
 #include <cstdio>
 #include <string>
@@ -9,7 +15,8 @@ namespace ls::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. Overrides the
+/// LS_LOG_LEVEL environment default.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

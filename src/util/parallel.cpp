@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -28,7 +29,15 @@ std::size_t threads_from_env() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+PoolHooks g_pool_hooks{};
+std::atomic<bool> g_pool_hooks_set{false};
+
 }  // namespace
+
+void set_pool_hooks(const PoolHooks& hooks) {
+  g_pool_hooks = hooks;
+  g_pool_hooks_set.store(true, std::memory_order_release);
+}
 
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
@@ -55,7 +64,7 @@ ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
   workers_count_ = threads - 1;
   impl_->workers.reserve(workers_count_);
   for (std::size_t i = 0; i < workers_count_; ++i) {
-    impl_->workers.emplace_back([this] { worker_loop(); });
+    impl_->workers.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -85,8 +94,13 @@ void ThreadPool::set_num_threads(std::size_t n) {
   g_pool.reset(new ThreadPool(n == 0 ? threads_from_env() : n));
 }
 
-void ThreadPool::run_chunks() {
+void ThreadPool::run_chunks(std::size_t worker) {
   Impl& im = *impl_;
+  const bool hooked = g_pool_hooks_set.load(std::memory_order_acquire);
+  if (hooked && g_pool_hooks.task_begin != nullptr) {
+    g_pool_hooks.task_begin(worker);
+  }
+  std::size_t items = 0;
   tls_in_pool_task = true;
   for (;;) {
     if (im.failed.load(std::memory_order_relaxed)) break;
@@ -95,6 +109,7 @@ void ThreadPool::run_chunks() {
     const std::size_t stop = std::min(im.count, start + im.chunk);
     try {
       for (std::size_t i = start; i < stop; ++i) (*im.fn)(im.begin + i);
+      items += stop - start;
     } catch (...) {
       std::lock_guard<std::mutex> lk(im.mu);
       if (!im.error) im.error = std::current_exception();
@@ -103,9 +118,12 @@ void ThreadPool::run_chunks() {
     }
   }
   tls_in_pool_task = false;
+  if (hooked && g_pool_hooks.task_end != nullptr) {
+    g_pool_hooks.task_end(worker, items);
+  }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker) {
   Impl& im = *impl_;
   std::uint64_t seen = 0;
   for (;;) {
@@ -114,7 +132,7 @@ void ThreadPool::worker_loop() {
     if (im.stop) return;
     seen = im.generation;
     lk.unlock();
-    run_chunks();
+    run_chunks(worker);
     lk.lock();
     if (--im.active == 0) im.cv_done.notify_all();
   }
@@ -129,6 +147,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
   Impl& im = *impl_;
+  const bool hooked = g_pool_hooks_set.load(std::memory_order_acquire);
+  if (hooked && g_pool_hooks.job_begin != nullptr) {
+    g_pool_hooks.job_begin(count);
+  }
   {
     std::lock_guard<std::mutex> lk(im.mu);
     im.fn = &fn;
@@ -142,16 +164,17 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     ++im.generation;
   }
   im.cv_work.notify_all();
-  run_chunks();
+  run_chunks(SIZE_MAX);
   std::unique_lock<std::mutex> lk(im.mu);
   im.cv_done.wait(lk, [&] { return im.active == 0; });
   im.fn = nullptr;
-  if (im.error) {
-    std::exception_ptr err = im.error;
-    im.error = nullptr;
-    lk.unlock();
-    std::rethrow_exception(err);
+  std::exception_ptr err = im.error;
+  im.error = nullptr;
+  lk.unlock();
+  if (hooked && g_pool_hooks.job_end != nullptr) {
+    g_pool_hooks.job_end(count);
   }
+  if (err) std::rethrow_exception(err);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

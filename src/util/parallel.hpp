@@ -24,6 +24,23 @@
 
 namespace ls::util {
 
+/// Observability hooks around pool activity, installed process-wide by
+/// ls::obs (null by default — the pool itself never depends on obs).
+/// All callbacks must be thread-safe; `worker` is the pool worker index or
+/// SIZE_MAX for the calling thread, `items` the loop indices the thread
+/// executed. Install before parallel work starts, not during a running
+/// parallel_for.
+struct PoolHooks {
+  void (*task_begin)(std::size_t worker) = nullptr;
+  void (*task_end)(std::size_t worker, std::size_t items) = nullptr;
+  /// Around a whole pooled parallel_for, on the calling thread. Serial and
+  /// nested-inline fallbacks do not fire hooks.
+  void (*job_begin)(std::size_t count) = nullptr;
+  void (*job_end)(std::size_t count) = nullptr;
+};
+
+void set_pool_hooks(const PoolHooks& hooks);
+
 class ThreadPool {
  public:
   ~ThreadPool();
@@ -49,8 +66,8 @@ class ThreadPool {
 
  private:
   explicit ThreadPool(std::size_t threads);
-  void worker_loop();
-  void run_chunks();
+  void worker_loop(std::size_t worker);
+  void run_chunks(std::size_t worker);
 
   struct Impl;
   Impl* impl_;

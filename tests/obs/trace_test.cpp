@@ -1,0 +1,107 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace ls::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Trace, DisabledByDefaultAndSpansInert) {
+  Tracer& tr = Tracer::instance();
+  tr.stop();
+  tr.clear();
+  EXPECT_FALSE(trace_enabled());
+  {
+    Span s("noop", "test");  // not armed while disabled
+    Span s2;
+    if (trace_enabled()) s2.begin("never", "test");
+  }
+  EXPECT_EQ(tr.event_count(), 0u);
+}
+
+TEST(Trace, SpanRecordsCompleteEvent) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");  // in-memory capture
+  EXPECT_TRUE(trace_enabled());
+  {
+    Span s;
+    if (trace_enabled()) s.begin("unit.span", "test", "{\"k\":1}");
+  }
+  tr.stop();
+  EXPECT_GE(tr.event_count(), 1u);
+  tr.clear();
+}
+
+TEST(Trace, StartClearsPreviousEvents) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");
+  tr.complete("stale", "test", 0, 1, kWallPid, 0);
+  ASSERT_GE(tr.event_count(), 1u);
+  tr.start("");
+  EXPECT_EQ(tr.event_count(), 0u);
+  tr.stop();
+}
+
+TEST(Trace, WriteWithoutPathFails) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");
+  tr.stop();
+  EXPECT_FALSE(tr.write());
+  tr.clear();
+}
+
+TEST(Trace, WriteEmitsChromeTraceJson) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");
+  tr.complete("layerA", "compute", 10, 20, kSimPid, 3, "{\"flits\":7}");
+  tr.complete("burstA", "noc.burst", 0, 10, kSimPid, 16);
+  tr.set_virtual_thread_name(kSimPid, 3, "core-3");
+  tr.stop();
+
+  const std::string path = testing::TempDir() + "trace_test_out.json";
+  ASSERT_TRUE(tr.write(path));
+  const std::string doc = slurp(path);
+
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Process metadata for both time domains and the named virtual thread.
+  EXPECT_NE(doc.find("wall-clock"), std::string::npos);
+  EXPECT_NE(doc.find("sim-cycles"), std::string::npos);
+  EXPECT_NE(doc.find("core-3"), std::string::npos);
+  // The complete events with verbatim args.
+  EXPECT_NE(doc.find("\"name\":\"layerA\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("{\"flits\":7}"), std::string::npos);
+  // Structurally balanced (no string content here contains braces).
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+            std::count(doc.begin(), doc.end(), ']'));
+  tr.clear();
+}
+
+TEST(Trace, ReArmedSpanClosesPreviousInterval) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");
+  Span s;
+  s.begin("first", "test");
+  s.begin("second", "test");  // should record "first" before re-arming
+  s.end();
+  tr.stop();
+  EXPECT_GE(tr.event_count(), 2u);
+  tr.clear();
+}
+
+}  // namespace
+}  // namespace ls::obs

@@ -62,6 +62,42 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(RunningStats, MergeSplitVsWholeEverySplitPoint) {
+  std::vector<double> data;
+  for (int i = 0; i < 24; ++i) data.push_back(1.5 * i * i - 7.0 * i + 0.25);
+  RunningStats whole;
+  for (double v : data) whole.add(v);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    RunningStats lo, hi;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (i < split ? lo : hi).add(data[i]);
+    }
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), whole.count()) << "split=" << split;
+    EXPECT_NEAR(lo.mean(), whole.mean(), 1e-9) << "split=" << split;
+    EXPECT_NEAR(lo.variance(), whole.variance(), 1e-6) << "split=" << split;
+    EXPECT_EQ(lo.min(), whole.min()) << "split=" << split;
+    EXPECT_EQ(lo.max(), whole.max()) << "split=" << split;
+  }
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 42.0);
+}
+
 TEST(Percentile, MedianAndExtremes) {
   std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
   EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
@@ -101,6 +137,22 @@ TEST(Histogram, BinsAndOverflow) {
   EXPECT_EQ(h.bin_count(2), 1u);
   EXPECT_DOUBLE_EQ(h.bin_low(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_high(4), 10.0);
+}
+
+TEST(Histogram, BinEdgeSemantics) {
+  // Bins are lo-inclusive / hi-exclusive; the global hi edge overflows.
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.0);  // bin 0 (lo edge is inclusive)
+  h.add(1.0);  // bin 1, not bin 0
+  h.add(3.999999);
+  h.add(4.0);  // hi edge counts as overflow
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(1), 2.0);
 }
 
 TEST(Histogram, RejectsBadSpec) {

@@ -7,6 +7,12 @@
 //   ls_experiment structure --c1 32 --c2 64 --c3 128 --groups 16 --cores 16
 //   ls_experiment traffic --net alexnet --cores 16
 //   ls_experiment pipeline --net alexnet --cores 16
+//   ls_experiment infer --net alexnet --cores 16 [--overlap] [--no-cache]
+//
+// Observability: `--trace out.json` writes a Chrome-trace/Perfetto timeline
+// and `--metrics out.json` dumps the process metrics registry (counters,
+// histograms, NoC link heatmap) when the run finishes. The LS_TRACE /
+// LS_METRICS environment variables do the same for any command.
 
 #include <cstdio>
 #include <cstdlib>
@@ -17,8 +23,11 @@
 #include "core/pipeline.hpp"
 #include "core/traffic.hpp"
 #include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment.hpp"
 #include "sim/pipeline_model.hpp"
+#include "sim/system.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -179,6 +188,54 @@ int cmd_pipeline(const Args& args) {
   return 0;
 }
 
+int cmd_infer(const Args& args) {
+  const nn::NetSpec spec = analytic_net(args.str("net", "alexnet"));
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  cfg.overlap_comm = args.flag("overlap");
+  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sim::InferenceResult r = system.run_inference(spec, traffic);
+
+  util::Table t(spec.name + " inference on " + std::to_string(cfg.cores) +
+                " cores");
+  t.set_header({"layer", "compute-cyc", "comm-cyc", "blocking-cyc", "traffic",
+                "noc-energy"});
+  for (const auto& tl : r.layers) {
+    t.add_row({tl.layer_name, std::to_string(tl.compute_cycles),
+               std::to_string(tl.comm_cycles),
+               std::to_string(tl.blocking_comm_cycles),
+               util::fmt_bytes(double(tl.traffic_bytes)),
+               util::fmt_double(tl.noc_energy_pj / 1e6, 2) + " uJ"});
+  }
+  t.print();
+  std::printf(
+      "total %llu cyc (compute %llu + blocking comm %llu), comm fraction "
+      "%.1f%%, energy %.2f uJ\n",
+      static_cast<unsigned long long>(r.total_cycles),
+      static_cast<unsigned long long>(r.compute_cycles),
+      static_cast<unsigned long long>(r.comm_cycles),
+      100.0 * r.comm_fraction(), r.total_energy_pj() / 1e6);
+
+  // Router-total flit heatmap of the mesh, accumulated by the metrics
+  // registry from the per-link counts of every simulated burst.
+  const obs::LinkHeatmap hm = obs::Registry::instance().link_heatmap();
+  if (hm.cols > 0 && hm.rows > 0) {
+    std::printf("\nNoC flit heatmap (%zux%zu mesh, flits per router):\n",
+                hm.cols, hm.rows);
+    for (std::size_t y = 0; y < hm.rows; ++y) {
+      for (std::size_t x = 0; x < hm.cols; ++x) {
+        std::printf("  %10llu", static_cast<unsigned long long>(
+                                    hm.router_total(y * hm.cols + x)));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
 void usage() {
   std::puts(
       "usage: ls_experiment <command> [--key value ...]\n"
@@ -187,7 +244,13 @@ void usage() {
       "             [--block] [--verbose]\n"
       "  structure  --c1 N --c2 N --c3 N --groups N --cores N\n"
       "  traffic    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "  pipeline   --net mlp|lenet|convnet|alexnet|vgg19 --cores N");
+      "  pipeline   --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
+      "  infer      --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
+      "             [--overlap] [--no-cache]\n"
+      "global observability flags (any command):\n"
+      "  --trace out.json    write a Perfetto/chrome-trace timeline\n"
+      "  --metrics out.json  dump the metrics registry (counters, heatmap)\n"
+      "  (or set LS_TRACE / LS_METRICS in the environment)");
 }
 
 }  // namespace
@@ -199,15 +262,35 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const Args args = parse(argc, argv, 2);
+  ls::obs::init_from_env();  // LS_TRACE / LS_METRICS
+  const std::string trace_path = args.str("trace", "");
+  const std::string metrics_path = args.str("metrics", "");
+  if (!trace_path.empty()) ls::obs::Tracer::instance().start(trace_path);
+  if (!metrics_path.empty()) {
+    ls::obs::Registry::instance().set_output(metrics_path);
+  }
+  int rc = 2;
   try {
-    if (cmd == "sparsified") return cmd_sparsified(args);
-    if (cmd == "structure") return cmd_structure(args);
-    if (cmd == "traffic") return cmd_traffic(args);
-    if (cmd == "pipeline") return cmd_pipeline(args);
-    usage();
-    return 2;
+    if (cmd == "sparsified") {
+      rc = cmd_sparsified(args);
+    } else if (cmd == "structure") {
+      rc = cmd_structure(args);
+    } else if (cmd == "traffic") {
+      rc = cmd_traffic(args);
+    } else if (cmd == "pipeline") {
+      rc = cmd_pipeline(args);
+    } else if (cmd == "infer") {
+      rc = cmd_infer(args);
+    } else {
+      usage();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  // Flush observers explicitly so outputs exist even though the atexit
+  // fallback (from init_from_env) would also write them.
+  ls::obs::Tracer::instance().finish();
+  ls::obs::Registry::instance().finish();
+  return rc;
 }

@@ -13,4 +13,20 @@ cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
 "$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json"
-echo "tier1 OK — kernel bench results in BENCH_kernels.json"
+
+# Observability smoke: an AlexNet 16-core inference must produce a valid
+# Perfetto trace and metrics dump (validated with python3 when available).
+obs_dir="$build_dir/obs_smoke"
+mkdir -p "$obs_dir"
+"$build_dir/tools/ls_experiment" infer --net alexnet --cores 16 \
+  --trace "$obs_dir/trace.json" --metrics "$obs_dir/metrics.json" >/dev/null
+for f in "$obs_dir/trace.json" "$obs_dir/metrics.json"; do
+  [ -s "$f" ] || { echo "obs smoke: missing $f" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$f" >/dev/null
+  fi
+done
+grep -q '"traceEvents"' "$obs_dir/trace.json"
+grep -q '"noc_link_heatmap"' "$obs_dir/metrics.json"
+
+echo "tier1 OK — kernel bench results in BENCH_kernels.json, obs smoke in $obs_dir"
