@@ -2,14 +2,21 @@
 // and backward, on every conv layer of the model-zoo experiment specs
 // (LeNet / ConvNet / CaffeNet). Prints a speedup table; `--json PATH`
 // additionally emits machine-readable results for the tier-1 wrapper.
+//
+// A second section measures the block-sparse fast path: dense GEMM vs the
+// armed sparse path on the same pruned weights at 0/25/50/75/90 % block
+// sparsity (`--sparse-json PATH` dumps it, tier-1 writes BENCH_sparse.json).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "nn/block_sparsity.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/fc.hpp"
 #include "nn/layer_spec.hpp"
 #include "nn/model_zoo.hpp"
 #include "tensor/tensor.hpp"
@@ -130,13 +137,119 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
   w.write_file(path);
 }
 
+// ---------------------------------------------------------------------------
+// Block-sparse fast path: dense GEMM vs sparse-armed GEMM on pruned weights.
+
+struct SparseBenchResult {
+  std::string kind;  ///< "conv" or "fc"
+  int sparsity_pct = 0;
+  double dense_fwd_ms = 0.0, sparse_fwd_ms = 0.0;
+  double speedup() const { return dense_fwd_ms / sparse_fwd_ms; }
+};
+
+/// Zeroes `frac` of the P x P weight blocks. Kill order is producer-panel-
+/// major (all consumers of panel 0, then panel 1, ...) so that at high
+/// sparsity whole input-unit panels go dead and the im2col channel skip
+/// engages — the structure group-Lasso training converges to.
+void kill_block_fraction(ls::nn::Param& w, std::size_t parts,
+                         std::size_t in_units, std::size_t out_units,
+                         std::size_t elems_per_in_unit, double frac) {
+  const auto kb = ls::nn::balanced_bounds(in_units, parts);
+  const auto ob = ls::nn::balanced_bounds(out_units, parts);
+  const std::size_t target =
+      static_cast<std::size_t>(frac * static_cast<double>(parts * parts) + 0.5);
+  const std::size_t row_elems = w.value.numel() / out_units;
+  float* data = w.value.data();
+  std::size_t killed = 0;
+  for (std::size_t p = 0; p < parts && killed < target; ++p) {
+    for (std::size_t c = 0; c < parts && killed < target; ++c, ++killed) {
+      for (std::size_t o = ob[c]; o < ob[c + 1]; ++o) {
+        float* row = data + o * row_elems;
+        std::fill(row + kb[p] * elems_per_in_unit,
+                  row + kb[p + 1] * elems_per_in_unit, 0.0f);
+      }
+    }
+  }
+  w.bump();
+}
+
+SparseBenchResult run_sparse_conv(int pct, std::size_t parts) {
+  SparseBenchResult r;
+  r.kind = "conv";
+  r.sparsity_pct = pct;
+  Conv2DConfig cfg;
+  cfg.in_channels = 64;
+  cfg.out_channels = 64;
+  cfg.kernel = 3;
+  cfg.pad = 1;
+  cfg.impl = ConvImpl::kGemm;
+  ls::util::Rng rng_w(11), rng_w2(11), rng_in(5);
+  Conv2D dense("d", cfg, rng_w);
+  Conv2D sparse("s", cfg, rng_w2);
+  sparse.set_sparsity_partition(parts);
+  const double frac = pct / 100.0;
+  // Same pruned weights on both layers: the dense baseline multiplies the
+  // zeros, the sparse path skips them.
+  kill_block_fraction(dense.weight(), parts, cfg.in_channels,
+                      cfg.out_channels, cfg.kernel * cfg.kernel, frac);
+  kill_block_fraction(sparse.weight(), parts, cfg.in_channels,
+                      cfg.out_channels, cfg.kernel * cfg.kernel, frac);
+  const Tensor in =
+      Tensor::uniform(Shape{8, cfg.in_channels, 32, 32}, -1.f, 1.f, rng_in);
+  r.dense_fwd_ms = time_ms([&] { dense.forward(in, false); });
+  r.sparse_fwd_ms = time_ms([&] { sparse.forward(in, false); });
+  return r;
+}
+
+SparseBenchResult run_sparse_fc(int pct, std::size_t parts) {
+  SparseBenchResult r;
+  r.kind = "fc";
+  r.sparsity_pct = pct;
+  const std::size_t in_f = 512, out_f = 512;
+  ls::util::Rng rng_w(11), rng_w2(11), rng_in(5);
+  ls::nn::FullyConnected dense("d", in_f, out_f, rng_w);
+  ls::nn::FullyConnected sparse("s", in_f, out_f, rng_w2);
+  sparse.set_sparsity_partition(parts, /*in_units=*/in_f);
+  const double frac = pct / 100.0;
+  kill_block_fraction(dense.weight(), parts, in_f, out_f, 1, frac);
+  kill_block_fraction(sparse.weight(), parts, in_f, out_f, 1, frac);
+  const Tensor in = Tensor::uniform(Shape{64, in_f, 1, 1}, -1.f, 1.f, rng_in);
+  r.dense_fwd_ms = time_ms([&] { dense.forward(in, false); });
+  r.sparse_fwd_ms = time_ms([&] { sparse.forward(in, false); });
+  return r;
+}
+
+void write_sparse_json(const std::string& path,
+                       const std::vector<SparseBenchResult>& rs) {
+  ls::util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("kernel_sparse");
+  w.key("threads").value(static_cast<std::uint64_t>(ls::util::num_threads()));
+  w.key("cases").begin_array();
+  for (const SparseBenchResult& r : rs) {
+    w.begin_object();
+    w.key("kind").value(r.kind);
+    w.key("sparsity_pct").value(static_cast<std::uint64_t>(r.sparsity_pct));
+    w.key("dense_fwd_ms").value(r.dense_fwd_ms);
+    w.key("sparse_fwd_ms").value(r.sparse_fwd_ms);
+    w.key("speedup").value(r.speedup());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.write_file(path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string sparse_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--sparse-json") == 0 && i + 1 < argc) {
+      sparse_json_path = argv[++i];
     }
   }
 
@@ -165,6 +278,32 @@ int main(int argc, char** argv) {
   if (!json_path.empty()) {
     write_json(json_path, results);
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  // --- Block-sparse fast path ------------------------------------------
+  const std::size_t parts = 8;
+  std::vector<SparseBenchResult> sparse_results;
+  ls::util::Table sparse_table(
+      "block-sparse GEMM forward vs dense, P=8 partitions");
+  sparse_table.set_header(
+      {"kind", "sparsity", "dense fwd", "sparse fwd", "speedup"});
+  for (const int pct : {0, 25, 50, 75, 90}) {
+    for (const bool is_fc : {false, true}) {
+      const SparseBenchResult r =
+          is_fc ? run_sparse_fc(pct, parts) : run_sparse_conv(pct, parts);
+      sparse_table.add_row({r.kind, std::to_string(r.sparsity_pct) + "%",
+                            ls::util::fmt_double(r.dense_fwd_ms, 2) + " ms",
+                            ls::util::fmt_double(r.sparse_fwd_ms, 2) + " ms",
+                            ls::util::fmt_speedup(r.speedup(), 2)});
+      sparse_results.push_back(r);
+    }
+  }
+  std::printf("\n");
+  sparse_table.print();
+
+  if (!sparse_json_path.empty()) {
+    write_sparse_json(sparse_json_path, sparse_results);
+    std::printf("\nwrote %s\n", sparse_json_path.c_str());
   }
   return 0;
 }

@@ -1,0 +1,46 @@
+#include "core/sparsity_profile.hpp"
+
+namespace ls::core {
+
+const LayerSparsity* SparsityProfile::find(
+    const std::string& layer_name) const {
+  for (const LayerSparsity& l : layers) {
+    if (l.layer_name == layer_name) return &l;
+  }
+  return nullptr;
+}
+
+SparsityProfile profile_from_groups(
+    const std::vector<LayerGroupSet>& groups) {
+  SparsityProfile profile;
+  profile.layers.reserve(groups.size());
+  for (const LayerGroupSet& set : groups) {
+    LayerSparsity layer;
+    layer.layer_name = set.layer_name;
+    layer.live_fraction.assign(set.cores, 1.0);
+    std::size_t layer_total = 0, layer_live = 0;
+    for (std::size_t c = 0; c < set.cores; ++c) {
+      std::size_t total = 0, live = 0;
+      for (std::size_t p = 0; p < set.cores; ++p) {
+        const std::size_t n = set.block(p, c).size();
+        if (n == 0) continue;
+        total += n;
+        if (!set.block_dead(p, c)) live += n;
+      }
+      layer_total += total;
+      layer_live += live;
+      if (total > 0) {
+        layer.live_fraction[c] =
+            static_cast<double>(live) / static_cast<double>(total);
+      }
+    }
+    if (layer_total > 0) {
+      layer.layer_live_fraction = static_cast<double>(layer_live) /
+                                  static_cast<double>(layer_total);
+    }
+    profile.layers.push_back(std::move(layer));
+  }
+  return profile;
+}
+
+}  // namespace ls::core

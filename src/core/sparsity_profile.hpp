@@ -1,0 +1,43 @@
+#pragma once
+// Structured-sparsity summary consumed by the analytic cycle model
+// (DESIGN.md "Sparse execution").
+//
+// Group-Lasso training kills whole (producer, consumer) weight blocks; a
+// consumer core then executes only the MACs of its surviving blocks. This
+// profile reduces a trained network's LayerGroupSets to the per-consumer
+// live-weight fraction per layer, which CmpSystem::run_inference uses to
+// discount each core's macs and weight_bytes. MACs scale uniformly with
+// weights within a layer (each weight element fires once per output
+// pixel), so the live-weight fraction *is* the live-MAC fraction.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/weight_groups.hpp"
+
+namespace ls::core {
+
+struct LayerSparsity {
+  std::string layer_name;
+  /// Live-weight (== live-MAC) fraction of each consumer core's partition,
+  /// indexed by consumer core id; 1.0 = nothing pruned.
+  std::vector<double> live_fraction;
+  /// Live fraction over the whole layer's weights.
+  double layer_live_fraction = 1.0;
+};
+
+struct SparsityProfile {
+  std::vector<LayerSparsity> layers;
+
+  /// Null when the layer is not profiled (e.g. the first compute layer,
+  /// which build_group_sets never covers) — callers treat that as dense.
+  const LayerSparsity* find(const std::string& layer_name) const;
+  bool empty() const { return layers.empty(); }
+};
+
+/// Scans the group sets' weight tensors (block_dead) into a profile.
+/// Reflects the weights at call time — rebuild after further training.
+SparsityProfile profile_from_groups(const std::vector<LayerGroupSet>& groups);
+
+}  // namespace ls::core

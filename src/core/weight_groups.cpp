@@ -26,6 +26,7 @@ bool LayerGroupSet::block_dead(std::size_t p, std::size_t c) const {
 
 void LayerGroupSet::kill_block(std::size_t p, std::size_t c) {
   for (std::size_t idx : block(p, c)) weight->value[idx] = 0.0f;
+  weight->bump();  // invalidate cached block-sparsity bitmaps
 }
 
 double LayerGroupSet::off_diagonal_dead_fraction() const {

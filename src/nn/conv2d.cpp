@@ -7,7 +7,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "nn/block_sparsity.hpp"
 #include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
@@ -60,8 +62,30 @@ Conv2D::Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng)
                                  rng))),
       bias_(name_ + ".b", Tensor::zeros(Shape{cfg.out_channels})) {}
 
+Conv2D::~Conv2D() = default;
+
 ConvImpl Conv2D::resolved_impl() const {
   return cfg_.impl == ConvImpl::kAuto ? env_default_impl() : cfg_.impl;
+}
+
+void Conv2D::set_sparsity_partition(std::size_t parts) {
+  if (cfg_.groups != 1) {
+    throw std::invalid_argument(
+        "block sparsity requires groups == 1 at " + name_);
+  }
+  sparsity_ = std::make_unique<BlockSparsity>(
+      parts, cfg_.in_channels, cfg_.out_channels,
+      cfg_.kernel * cfg_.kernel);
+}
+
+void Conv2D::clear_sparsity_partition() { sparsity_.reset(); }
+
+const BlockMap* Conv2D::sparse_map() {
+  if (!sparsity_ || cfg_.groups != 1 || !sparse_runtime_enabled()) {
+    return nullptr;
+  }
+  const BlockMap& m = sparsity_->map(weight_);
+  return m.engaged() ? &m : nullptr;
 }
 
 Shape Conv2D::output_shape(const Shape& in) const {
@@ -130,20 +154,46 @@ Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
   const float* w_base = weight_.value.data();
   float* out_base = out.data();
 
+  // Resolve the block-zero bitmap once, outside the fan-out (the rescan is
+  // not thread-safe). Null when unarmed, disabled, or nothing is pruned.
+  const BlockMap* bm = sparse_map();
+  if (bm != nullptr) {
+    static auto& blocks_skipped =
+        obs::Registry::instance().counter("sparse.blocks_skipped");
+    static auto& macs_skipped =
+        obs::Registry::instance().counter("sparse.macs_skipped");
+    blocks_skipped.inc(bm->zero_blocks * N);
+    macs_skipped.inc(bm->zero_weight_elems * ohw * N);
+    obs::Registry::instance()
+        .gauge("sparse.layer." + name_ + ".block_density")
+        .set(bm->block_density());
+  }
+
   util::parallel_for(0, N * cfg_.groups, [&](std::size_t t) {
     const std::size_t n = t / cfg_.groups;
     const std::size_t g = t % cfg_.groups;
     static thread_local std::vector<float> col;
     if (col.size() < ck2 * ohw) col.resize(ck2 * ohw);
-    gemm::im2col(ps, in_base + (n * C + g * cin_g) * H * W, col.data());
+    const float* in_g = in_base + (n * C + g * cin_g) * H * W;
+    if (bm != nullptr) {
+      gemm::im2col_masked(ps, in_g, col.data(), bm->channel_skip.data());
+    } else {
+      gemm::im2col(ps, in_g, col.data());
+    }
     float* out_g = out_base + (n * OC + g * cout_g) * ohw;
     for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
       const float b = cfg_.bias ? bias_.value[g * cout_g + ocg] : 0.0f;
       std::fill(out_g + ocg * ohw, out_g + (ocg + 1) * ohw, b);
     }
-    gemm::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2 * 1, ck2,
-                  col.data(), ohw, out_g, ohw, /*accumulate=*/true,
-                  /*parallel=*/true);
+    if (bm != nullptr) {
+      gemm::gemm_nn_sparse(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2,
+                           col.data(), ohw, out_g, ohw, /*accumulate=*/true,
+                           /*parallel=*/true, bm->mask());
+    } else {
+      gemm::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2 * 1, ck2,
+                    col.data(), ohw, out_g, ohw, /*accumulate=*/true,
+                    /*parallel=*/true);
+    }
   });
 
   if (training) cached_input_ = in;
@@ -190,6 +240,11 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
   std::vector<float> row(ohw * ck2);
   std::vector<float> drow(ohw * ck2);
 
+  // Block sparsity in backward only accelerates the data-gradient GEMM.
+  // The weight-gradient GEMM must stay dense: group-Lasso training needs
+  // gradients *into* currently-zero blocks so they can revive.
+  const BlockMap* bm = sparse_map();
+
   // Serial over (sample, group) so every weight-gradient element
   // accumulates in a fixed order; the GEMMs inside parallelize over rows.
   for (std::size_t n = 0; n < N; ++n) {
@@ -211,10 +266,19 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
         }
       }
 
-      // dRow (ohw x ck2) = dOut_g^T * W_g (cout_g x ck2)
-      gemm::gemm_tn(ohw, ck2, cout_g, go_g, ohw, w_base + g * cout_g * ck2,
-                    ck2, drow.data(), ck2, /*accumulate=*/false,
-                    /*parallel=*/true);
+      // dRow (ohw x ck2) = dOut_g^T * W_g (cout_g x ck2). In the sparse
+      // variant the reduction dim (cout) is the consumer partition and the
+      // columns (ck2) are producer panels; pruned spans stay zero.
+      if (bm != nullptr) {
+        gemm::gemm_tn_sparse(ohw, ck2, cout_g, go_g, ohw,
+                             w_base + g * cout_g * ck2, ck2, drow.data(),
+                             ck2, /*accumulate=*/false, /*parallel=*/true,
+                             bm->mask());
+      } else {
+        gemm::gemm_tn(ohw, ck2, cout_g, go_g, ohw, w_base + g * cout_g * ck2,
+                      ck2, drow.data(), ck2, /*accumulate=*/false,
+                      /*parallel=*/true);
+      }
       gemm::row2im_add(ps, drow.data(),
                        gi_base + (n * C + g * cin_g) * H * W);
     }

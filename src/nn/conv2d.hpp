@@ -18,11 +18,14 @@
 // tests/nn/conv_gemm_parity_test.cpp).
 
 #include <cstddef>
+#include <memory>
 
 #include "nn/layer.hpp"
 #include "util/rng.hpp"
 
 namespace ls::nn {
+
+class BlockSparsity;
 
 /// Conv/FC compute kernel selection. kAuto resolves to the LS_CONV_IMPL
 /// environment variable ("gemm" | "naive"), defaulting to kGemm.
@@ -42,6 +45,7 @@ struct Conv2DConfig {
 class Conv2D final : public Layer {
  public:
   Conv2D(std::string name, const Conv2DConfig& cfg, util::Rng& rng);
+  ~Conv2D() override;
 
   Tensor forward(const Tensor& in, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
@@ -60,17 +64,31 @@ class Conv2D final : public Layer {
   /// The kernel forward/backward will actually run (kAuto resolved).
   ConvImpl resolved_impl() const;
 
+  /// Arms the block-sparse fast path (DESIGN.md "Sparse execution"):
+  /// in/out channels are split `parts` ways (balanced_bounds) and all-zero
+  /// weight blocks are skipped by the GEMM path. Requires groups == 1.
+  /// Dense behavior is unchanged until blocks are actually pruned, and
+  /// LS_SPARSE=off force-disables the path at runtime.
+  void set_sparsity_partition(std::size_t parts);
+  void clear_sparsity_partition();
+  const BlockSparsity* sparsity() const { return sparsity_.get(); }
+
  private:
   Tensor naive_forward(const Tensor& in, bool training);
   Tensor naive_backward(const Tensor& grad_out);
   Tensor gemm_forward(const Tensor& in, bool training);
   Tensor gemm_backward(const Tensor& grad_out);
 
+  /// Cached bitmap when armed and eligible, nullptr for the dense path.
+  /// Rescans on weight-version change; cheap when nothing moved.
+  const struct BlockMap* sparse_map();
+
   std::string name_;
   Conv2DConfig cfg_;
   Param weight_;
   Param bias_;
   Tensor cached_input_;
+  std::unique_ptr<BlockSparsity> sparsity_;
 };
 
 }  // namespace ls::nn

@@ -3,7 +3,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/block_sparsity.hpp"
 #include "nn/gemm.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ls::nn {
@@ -21,6 +23,27 @@ FullyConnected::FullyConnected(std::string name, std::size_t in_features,
   if (in_features == 0 || out_features == 0) {
     throw std::invalid_argument("fc: zero-sized features");
   }
+}
+
+FullyConnected::~FullyConnected() = default;
+
+void FullyConnected::set_sparsity_partition(std::size_t parts,
+                                            std::size_t in_units) {
+  if (in_units == 0 || in_features_ % in_units != 0) {
+    throw std::invalid_argument(
+        "fc block sparsity: in_features not a multiple of in_units at " +
+        name_);
+  }
+  sparsity_ = std::make_unique<BlockSparsity>(parts, in_units, out_features_,
+                                              in_features_ / in_units);
+}
+
+void FullyConnected::clear_sparsity_partition() { sparsity_.reset(); }
+
+const BlockMap* FullyConnected::sparse_map() {
+  if (!sparsity_ || !sparse_runtime_enabled()) return nullptr;
+  const BlockMap& m = sparsity_->map(weight_);
+  return m.engaged() ? &m : nullptr;
 }
 
 Shape FullyConnected::output_shape(const Shape& in) const {
@@ -48,9 +71,27 @@ Tensor FullyConnected::forward(const Tensor& in, bool training) {
     }
   }
   // out (N x Out) += X (N x In) * W^T, column-parallel over output units.
-  gemm::gemm_nt(N, out_features_, in_features_, flat.data(), in_features_,
-                weight_.value.data(), in_features_, out.data(), out_features_,
-                /*accumulate=*/true, /*parallel=*/true);
+  const BlockMap* bm = sparse_map();
+  if (bm != nullptr) {
+    static auto& blocks_skipped =
+        obs::Registry::instance().counter("sparse.blocks_skipped");
+    static auto& macs_skipped =
+        obs::Registry::instance().counter("sparse.macs_skipped");
+    blocks_skipped.inc(bm->zero_blocks * N);
+    macs_skipped.inc(bm->zero_weight_elems * N);
+    obs::Registry::instance()
+        .gauge("sparse.layer." + name_ + ".block_density")
+        .set(bm->block_density());
+    gemm::gemm_nt_sparse(N, out_features_, in_features_, flat.data(),
+                         in_features_, weight_.value.data(), in_features_,
+                         out.data(), out_features_, /*accumulate=*/true,
+                         /*parallel=*/true, bm->mask());
+  } else {
+    gemm::gemm_nt(N, out_features_, in_features_, flat.data(), in_features_,
+                  weight_.value.data(), in_features_, out.data(),
+                  out_features_,
+                  /*accumulate=*/true, /*parallel=*/true);
+  }
   if (training) {
     cached_input_ = flat;
     cached_input_shape_ = in.shape();

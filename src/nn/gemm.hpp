@@ -14,6 +14,7 @@
 // BLAS. `accumulate == false` overwrites C, `true` adds into it.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ls::nn::gemm {
 
@@ -31,6 +32,67 @@ void gemm_tn(std::size_t M, std::size_t N, std::size_t K, const float* A,
 void gemm_nt(std::size_t M, std::size_t N, std::size_t K, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
              std::size_t ldc, bool accumulate, bool parallel = false);
+
+// ---------------------------------------------------------------------------
+// Block-sparse variants (DESIGN.md "Sparse execution").
+//
+// The weight operand of each variant is partitioned into a parts x parts
+// grid of (producer panel, consumer panel) blocks; zero[p * parts + c] != 0
+// declares block (p, c) all-zero *in memory* — the kernels trust the caller
+// (nn::BlockSparsity scans and caches the bitmap). Work that only touches
+// all-zero weights is skipped.
+//
+// Bit-exactness contract: the sparse kernels replicate the dense kernels'
+// per-element accumulation structure (ascending k, the same absolute
+// 4-aligned unroll groups) and only skip an unroll group when every k in it
+// lies in panels pruned for that element's consumer. A skipped group's
+// contribution in the dense kernel is a sum of products with exact 0.0f
+// weights, i.e. +/-0.0, and x + (+/-0.0) == x for every finite x — so the
+// sparse and dense paths agree to the last bit, up to the sign of exact
+// zeros (outputs compare equal under ==; see
+// tests/nn/sparse_parity_test.cpp).
+// ---------------------------------------------------------------------------
+
+/// Block-zero descriptor shared by the sparse kernels. Bounds are cumulative
+/// (parts + 1 entries, ascending, possibly with empty panels); the grid is
+/// indexed zero[p * parts + c] with p the producer panel and c the consumer
+/// panel. Which matrix dimension each bound array partitions depends on the
+/// variant — see each function.
+struct BlockMask {
+  std::size_t parts = 0;
+  const std::size_t* k_bounds = nullptr;    ///< producer panels
+  const std::size_t* out_bounds = nullptr;  ///< consumer panels
+  const std::uint8_t* zero = nullptr;       ///< parts x parts, (p, c)
+};
+
+/// gemm_nn with A = weights (M x K): rows of C are consumer panels
+/// (mask.out_bounds over M, so out_bounds[parts] == M) and the reduction
+/// dimension is producer panels (mask.k_bounds over K). Used by the conv
+/// im2col forward: k-panels whose weight block is all-zero for a given
+/// output-channel row are skipped.
+void gemm_nn_sparse(std::size_t M, std::size_t N, std::size_t K,
+                    const float* A, std::size_t lda, const float* B,
+                    std::size_t ldb, float* C, std::size_t ldc,
+                    bool accumulate, bool parallel, const BlockMask& mask);
+
+/// gemm_nt with B = weights (N x K): columns of C are consumer panels
+/// (mask.out_bounds over N) and the reduction dimension is producer panels
+/// (mask.k_bounds over K). Used by the FC forward.
+void gemm_nt_sparse(std::size_t M, std::size_t N, std::size_t K,
+                    const float* A, std::size_t lda, const float* B,
+                    std::size_t ldb, float* C, std::size_t ldc,
+                    bool accumulate, bool parallel, const BlockMask& mask);
+
+/// gemm_tn with B = weights (K x N): here the *reduction* dimension is the
+/// consumer partition (mask.out_bounds over K — the weight rows) and the
+/// columns of C are producer panels (mask.k_bounds over N). Used by the conv
+/// backward data-gradient GEMM: for each consumer row k, only the live
+/// producer column intervals are touched. Skipping is exact because this
+/// kernel's per-element accumulation is flat ascending-k.
+void gemm_tn_sparse(std::size_t M, std::size_t N, std::size_t K,
+                    const float* A, std::size_t lda, const float* B,
+                    std::size_t ldb, float* C, std::size_t ldc,
+                    bool accumulate, bool parallel, const BlockMask& mask);
 
 /// Geometry of one conv im2col/im2row packing: a single sample's single
 /// channel group, NCHW layout.
@@ -50,6 +112,16 @@ struct PackShape {
 /// (patch() x cols()): col[(c*K+kh)*K+kw][oh*OW+ow], zero-filling padding.
 /// Row order (c, kh, kw) matches the naive loop nest's accumulation order.
 void im2col(const PackShape& s, const float* in, float* col);
+
+/// im2col that skips packing input channels whose entire weight-block
+/// column is pruned (`channel_skip[c] != 0`). Skipped channels' col rows
+/// are left untouched *except* the rows a 4-aligned unroll group of
+/// gemm_nn_sparse could still read (group straddling a live/dead boundary,
+/// or the K%4 tail): those are zero-filled so the sparse GEMM never
+/// multiplies garbage. Packing is ~30% of conv forward time, so fully
+/// pruned columns skip that share too.
+void im2col_masked(const PackShape& s, const float* in, float* col,
+                   const std::uint8_t* channel_skip);
 
 /// Transposed packing into `row` (cols() x patch()):
 /// row[oh*OW+ow][(c*K+kh)*K+kw]. Used by the backward pass so both GEMMs

@@ -6,6 +6,7 @@
 // *training-time* technique: group-Lasso regularization with per-group
 // strength derived from NoC hop distances (paper §IV.C).
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -22,9 +23,19 @@ struct Param {
   std::string name;
   Tensor value;
   Tensor grad;
+  /// Monotonic weight-version counter — the invalidation contract for the
+  /// block-sparsity bitmap cache (DESIGN.md "Sparse execution"). Every code
+  /// path that mutates `value` must bump() afterwards; Sgd::step, the
+  /// proximal group-Lasso update, LayerGroupSet::kill_block and
+  /// serialize::load_params all do. Code that pokes `value` directly (tests,
+  /// ad-hoc surgery) must bump() itself or stale bitmaps will skip
+  /// now-nonzero blocks.
+  std::uint64_t version = 0;
 
   Param(std::string n, Tensor v)
       : name(std::move(n)), value(std::move(v)), grad(value.shape(), 0.0f) {}
+
+  void bump() { ++version; }
 };
 
 class Layer {

@@ -98,6 +98,7 @@ void load_params(Network& net, const std::string& path) {
   }
   for (Param* p : params) {
     p->value = std::move(staged.at(p->name));
+    p->bump();  // invalidate cached block-sparsity bitmaps
   }
 }
 

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/sparsity_profile.hpp"
 #include "core/weight_groups.hpp"
+#include "nn/block_sparsity.hpp"
 #include "util/log.hpp"
 
 namespace ls::sim {
@@ -34,15 +36,15 @@ data::Dataset dataset_for(const nn::NetSpec& spec, std::size_t samples,
 
 namespace {
 
-StrategyOutcome simulate_with_traffic(const nn::NetSpec& spec,
-                                      const core::InferenceTraffic& traffic,
-                                      const ExperimentConfig& cfg,
-                                      const StrategyOutcome* baseline) {
+StrategyOutcome simulate_with_traffic(
+    const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+    const ExperimentConfig& cfg, const StrategyOutcome* baseline,
+    const core::SparsityProfile* sparsity = nullptr) {
   SystemConfig sys = cfg.system;
   sys.cores = cfg.cores;
   CmpSystem system(sys);
   StrategyOutcome out;
-  out.result = system.run_inference(spec, traffic);
+  out.result = system.run_inference(spec, traffic, sparsity);
   const std::size_t bytes = traffic.total_bytes();
   out.mean_traffic_hops =
       bytes ? static_cast<double>(traffic.total_byte_hops()) /
@@ -100,6 +102,10 @@ std::vector<StrategyOutcome> run_sparsified_experiment(
     util::Rng rng(cfg.seed);  // same init as baseline: isolates the
                               // regularizer's effect
     nn::Network net = nn::build_network(spec, rng);
+    // Arm the block-sparse execution path on the layers group-Lasso prunes
+    // (same eligibility as build_group_sets). Bit-exact vs dense, so the
+    // training outcome is unchanged; evaluation speeds up as blocks die.
+    nn::enable_block_sparsity(net, spec, cfg.cores);
     auto group_sets = core::build_group_sets(net, spec, cfg.cores);
     train::StrengthMask mask =
         scheme.distance_aware
@@ -112,8 +118,11 @@ std::vector<StrategyOutcome> run_sparsified_experiment(
 
     const auto traffic = core::traffic_live(
         net, spec, topo, cfg.system.bytes_per_value, cfg.granularity);
+    // The analytic model sees the same structured sparsity the kernels do.
+    const core::SparsityProfile profile =
+        core::profile_from_groups(reg.groups());
     StrategyOutcome out =
-        simulate_with_traffic(spec, traffic, cfg, &baseline);
+        simulate_with_traffic(spec, traffic, cfg, &baseline, &profile);
     out.scheme = scheme.name;
     out.accuracy = report.test_accuracy;
     out.weight_sparsity = report.weight_sparsity;
@@ -151,8 +160,10 @@ StrategyOutcome run_hybrid_variant(const nn::NetSpec& grouped_spec,
       train::train_classifier(net, train_set, test_set, cfg.train, &reg);
   const auto traffic = core::traffic_live(
       net, grouped_spec, topo, cfg.system.bytes_per_value, cfg.granularity);
+  const core::SparsityProfile profile =
+      core::profile_from_groups(reg.groups());
   StrategyOutcome out =
-      simulate_with_traffic(grouped_spec, traffic, cfg, baseline);
+      simulate_with_traffic(grouped_spec, traffic, cfg, baseline, &profile);
   out.scheme = "Hybrid(" + grouped_spec.name + ")";
   out.accuracy = report.test_accuracy;
   out.weight_sparsity = report.weight_sparsity;

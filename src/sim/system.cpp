@@ -62,7 +62,8 @@ CmpSystem::CmpSystem(const SystemConfig& cfg)
 }
 
 InferenceResult CmpSystem::run_inference(
-    const nn::NetSpec& spec, const core::InferenceTraffic& traffic) const {
+    const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+    const core::SparsityProfile* sparsity) const {
   const auto analysis = nn::analyze(spec);
   const std::size_t P = cfg_.cores;
 
@@ -149,7 +150,16 @@ InferenceResult CmpSystem::run_inference(
     const std::size_t weight_bytes_total =
         a.weight_count * cfg_.bytes_per_value;
     const std::size_t in_bytes = a.in.numel() * cfg_.bytes_per_value;
+    // Structured-sparsity discount: a sparsity-aware core executes only
+    // the MACs of its live weight blocks, and streams only live weights.
+    // Inputs/outputs are unaffected (activations stay dense), and so are
+    // comm cycles — live traffic is already modeled by traffic_live.
+    const core::LayerSparsity* layer_sparsity = nullptr;
+    if (cfg_.sparse_cycle_model && sparsity != nullptr) {
+      layer_sparsity = sparsity->find(a.spec.name);
+    }
     std::uint64_t worst = 0;
+    std::uint64_t macs_discounted = 0;
     per_core_cycles.assign(P, 0);
     for (std::size_t c = 0; c < P; ++c) {
       const double share = out_units
@@ -157,11 +167,18 @@ InferenceResult CmpSystem::run_inference(
                                      static_cast<double>(out_units)
                                : 0.0;
       if (share == 0.0) continue;
+      const double live = layer_sparsity != nullptr &&
+                                  c < layer_sparsity->live_fraction.size()
+                              ? layer_sparsity->live_fraction[c]
+                              : 1.0;
       accel::LayerPartitionWork work;
-      work.macs = static_cast<std::uint64_t>(
+      const auto dense_macs = static_cast<std::uint64_t>(
           static_cast<double>(a.macs) * share + 0.5);
+      work.macs = static_cast<std::uint64_t>(
+          static_cast<double>(a.macs) * share * live + 0.5);
+      macs_discounted += dense_macs - work.macs;
       work.weight_bytes = static_cast<std::uint64_t>(
-          static_cast<double>(weight_bytes_total) * share + 0.5);
+          static_cast<double>(weight_bytes_total) * share * live + 0.5);
       work.input_bytes = in_bytes;  // every core reads the full input
       work.output_bytes = static_cast<std::uint64_t>(
           static_cast<double>(a.out.numel() * cfg_.bytes_per_value) * share +
@@ -170,6 +187,11 @@ InferenceResult CmpSystem::run_inference(
       per_core_cycles[c] = cost.cycles();
       worst = std::max(worst, cost.cycles());
       tl.compute_energy_pj += cost.energy_pj;
+    }
+    if (macs_discounted > 0) {
+      static auto& discounted =
+          obs::Registry::instance().counter("sparse.sim.macs_discounted");
+      discounted.inc(macs_discounted);
     }
     tl.compute_cycles = worst;
     prev_compute = worst;

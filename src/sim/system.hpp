@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "accel/core_model.hpp"
+#include "core/sparsity_profile.hpp"
 #include "core/traffic.hpp"
 #include "noc/energy.hpp"
 #include "noc/simulator.hpp"
@@ -45,6 +46,13 @@ struct SystemConfig {
   /// stats); disable to force every burst through the flit-level simulator
   /// (e.g. when timing the simulator itself).
   bool noc_result_cache = true;
+  /// Apply the structured-sparsity discount when run_inference is given a
+  /// SparsityProfile: each core's macs and weight_bytes scale by its
+  /// live-weight fraction (pruned blocks execute nothing on a sparsity-
+  /// aware core). Communication cycles are never touched — traffic is
+  /// modeled separately (traffic_live). Ablation switch for the
+  /// sparse-model tests.
+  bool sparse_cycle_model = true;
 };
 
 struct LayerTimeline {
@@ -90,9 +98,13 @@ class CmpSystem {
 
   /// Runs one partitioned inference of `spec` with the given layer-
   /// transition traffic (produced by core::traffic_dense / traffic_live on
-  /// the same spec).
-  InferenceResult run_inference(const nn::NetSpec& spec,
-                                const core::InferenceTraffic& traffic) const;
+  /// the same spec). When `sparsity` is non-null (and
+  /// SystemConfig::sparse_cycle_model is on), per-core compute work is
+  /// discounted by the profile's live-MAC fractions; unprofiled layers
+  /// stay dense.
+  InferenceResult run_inference(
+      const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+      const core::SparsityProfile* sparsity = nullptr) const;
 
   const SystemConfig& config() const { return cfg_; }
   const noc::MeshTopology& topology() const { return topo_; }

@@ -22,6 +22,7 @@ GroupLassoRegularizer::GroupLassoRegularizer(
 
 void GroupLassoRegularizer::apply(double lr) {
   for (core::LayerGroupSet& set : groups_) {
+    if (mode_ == LassoMode::kProximal) set.weight->bump();
     for (std::size_t p = 0; p < set.cores; ++p) {
       for (std::size_t c = 0; c < set.cores; ++c) {
         const double strength = lambda_g_ * mask_[p][c];

@@ -35,6 +35,7 @@ void Sgd::step() {
       v[j] = mom * v[j] - lr * g;
       p.value[j] += v[j];
     }
+    p.bump();  // invalidate cached block-sparsity bitmaps
   }
 }
 

@@ -1,6 +1,7 @@
 #include "train/trainer.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "nn/loss.hpp"
 #include "obs/metrics.hpp"
@@ -11,18 +12,29 @@ namespace ls::train {
 
 double evaluate(nn::Network& net, const data::Dataset& test_set,
                 std::size_t batch_size) {
+  if (test_set.size() == 0) return 0.0;
+  // One scratch batch tensor reused across the loop instead of a full
+  // Dataset copy per batch (slice() copies images *and* labels); it only
+  // reallocates for the final short batch. Labels are read in place.
+  const tensor::Shape& full = test_set.images.shape();
+  const std::size_t sample_elems = full.numel() / full[0];
+  tensor::Tensor batch;
   std::size_t hits = 0;
   for (std::size_t lo = 0; lo < test_set.size(); lo += batch_size) {
     const std::size_t hi = std::min(lo + batch_size, test_set.size());
-    const data::Dataset chunk = test_set.slice(lo, hi);
-    const auto preds = net.predict(chunk.images);
-    for (std::size_t i = 0; i < preds.size(); ++i) {
-      if (preds[i] == chunk.labels[i]) ++hits;
+    const std::size_t rows = hi - lo;
+    if (batch.empty() || batch.shape()[0] != rows) {
+      batch = tensor::Tensor(
+          tensor::Shape{rows, full[1], full[2], full[3]});
+    }
+    std::memcpy(batch.data(), test_set.images.data() + lo * sample_elems,
+                rows * sample_elems * sizeof(float));
+    const auto preds = net.predict(batch);
+    for (std::size_t i = 0; i < rows; ++i) {
+      if (preds[i] == test_set.labels[lo + i]) ++hits;
     }
   }
-  return test_set.size()
-             ? static_cast<double>(hits) / static_cast<double>(test_set.size())
-             : 0.0;
+  return static_cast<double>(hits) / static_cast<double>(test_set.size());
 }
 
 TrainReport train_classifier(nn::Network& net, const data::Dataset& train_set,

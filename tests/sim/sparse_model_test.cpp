@@ -1,0 +1,135 @@
+// Mask-aware cycle model tests: the SparsityProfile discount must reduce
+// compute cycles proportionally to the pruned-block MAC fraction while
+// leaving every communication quantity untouched, and the
+// sparse_cycle_model ablation switch must restore the dense result
+// exactly.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "core/sparsity_profile.hpp"
+#include "core/traffic.hpp"
+#include "core/weight_groups.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "util/rng.hpp"
+
+namespace ls::sim {
+namespace {
+
+struct Fixture {
+  nn::NetSpec spec = nn::lenet_expt_spec();
+  nn::Network net;
+  std::vector<core::LayerGroupSet> sets;
+
+  explicit Fixture(std::size_t cores) : net(make_net()) {
+    sets = core::build_group_sets(net, spec, cores);
+  }
+
+  nn::Network make_net() {
+    util::Rng rng(11);
+    return nn::build_network(spec, rng);
+  }
+};
+
+TEST(SparsityProfile, LiveFractionsReflectKilledBlocks) {
+  Fixture f(4);
+  ASSERT_FALSE(f.sets.empty());
+  // Kill producer panels 0 and 1 for every consumer of the first profiled
+  // layer: each consumer keeps exactly half its weights (lenet_expt units
+  // divide evenly by 4).
+  core::LayerGroupSet& set = f.sets.front();
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t c = 0; c < set.cores; ++c) set.kill_block(p, c);
+  }
+  const auto profile = core::profile_from_groups(f.sets);
+  ASSERT_EQ(profile.layers.size(), f.sets.size());
+  const core::LayerSparsity* ls = profile.find(set.layer_name);
+  ASSERT_NE(ls, nullptr);
+  for (double frac : ls->live_fraction) EXPECT_DOUBLE_EQ(frac, 0.5);
+  EXPECT_DOUBLE_EQ(ls->layer_live_fraction, 0.5);
+  // Untouched layers stay dense.
+  const core::LayerSparsity* other =
+      profile.find(f.sets.back().layer_name);
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->layer_live_fraction, 1.0);
+  // Layers never profiled read as dense via find().
+  EXPECT_EQ(profile.find("no-such-layer"), nullptr);
+}
+
+TEST(SparseCycleModel, DiscountsComputeNotComm) {
+  const std::size_t cores = 4;
+  Fixture f(cores);
+  core::LayerGroupSet& set = f.sets.front();
+  for (std::size_t p = 0; p < 2; ++p) {
+    for (std::size_t c = 0; c < set.cores; ++c) set.kill_block(p, c);
+  }
+  const auto profile = core::profile_from_groups(f.sets);
+
+  SystemConfig cfg;
+  cfg.cores = cores;
+  CmpSystem system(cfg);
+  const auto traffic = core::traffic_dense(
+      f.spec, system.topology(), cfg.bytes_per_value);
+
+  const InferenceResult dense = system.run_inference(f.spec, traffic);
+  const InferenceResult sparse =
+      system.run_inference(f.spec, traffic, &profile);
+
+  ASSERT_EQ(dense.layers.size(), sparse.layers.size());
+  for (std::size_t i = 0; i < dense.layers.size(); ++i) {
+    const LayerTimeline& d = dense.layers[i];
+    const LayerTimeline& s = sparse.layers[i];
+    SCOPED_TRACE(d.layer_name);
+    // Communication must be untouched by the compute discount.
+    EXPECT_EQ(d.comm_cycles, s.comm_cycles);
+    EXPECT_EQ(d.blocking_comm_cycles, s.blocking_comm_cycles);
+    EXPECT_EQ(d.traffic_bytes, s.traffic_bytes);
+    EXPECT_DOUBLE_EQ(d.noc_energy_pj, s.noc_energy_pj);
+    if (d.layer_name == set.layer_name) {
+      // Every consumer kept exactly half its MACs; compute cycles are
+      // ceil(macs / rate) per core, so the ratio is 0.5 up to rounding.
+      ASSERT_GT(d.compute_cycles, 0u);
+      const double ratio = static_cast<double>(s.compute_cycles) /
+                           static_cast<double>(d.compute_cycles);
+      EXPECT_NEAR(ratio, 0.5, 0.02);
+    } else {
+      EXPECT_EQ(d.compute_cycles, s.compute_cycles);
+    }
+  }
+  EXPECT_LT(sparse.compute_cycles, dense.compute_cycles);
+  EXPECT_EQ(sparse.comm_cycles, dense.comm_cycles);
+}
+
+TEST(SparseCycleModel, AblationSwitchRestoresDenseResult) {
+  const std::size_t cores = 4;
+  Fixture f(cores);
+  for (auto& set : f.sets) {
+    for (std::size_t c = 0; c < set.cores; ++c) set.kill_block(0, c);
+  }
+  const auto profile = core::profile_from_groups(f.sets);
+
+  SystemConfig cfg;
+  cfg.cores = cores;
+  const auto traffic = core::traffic_dense(
+      f.spec, noc::MeshTopology::for_cores(cores), cfg.bytes_per_value);
+
+  cfg.sparse_cycle_model = false;
+  CmpSystem off(cfg);
+  cfg.sparse_cycle_model = true;
+  CmpSystem on(cfg);
+
+  const InferenceResult dense = on.run_inference(f.spec, traffic);
+  const InferenceResult gated = off.run_inference(f.spec, traffic, &profile);
+  EXPECT_EQ(dense, gated);  // flag off: profile is ignored entirely
+
+  const InferenceResult discounted =
+      on.run_inference(f.spec, traffic, &profile);
+  EXPECT_LT(discounted.compute_cycles, dense.compute_cycles);
+  EXPECT_EQ(discounted.comm_cycles, dense.comm_cycles);
+}
+
+}  // namespace
+}  // namespace ls::sim

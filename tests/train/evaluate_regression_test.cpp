@@ -1,0 +1,70 @@
+// evaluate() regression test: the scratch-buffer batching must report the
+// same accuracy as the straightforward per-batch Dataset::slice loop it
+// replaced, including when the final batch is shorter than batch_size.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "data/dataset.hpp"
+#include "nn/model_zoo.hpp"
+#include "train/trainer.hpp"
+#include "util/rng.hpp"
+
+namespace ls::train {
+namespace {
+
+// The pre-optimization evaluate(): one full Dataset copy per batch.
+double evaluate_reference(nn::Network& net, const data::Dataset& test_set,
+                          std::size_t batch_size) {
+  std::size_t hits = 0;
+  for (std::size_t lo = 0; lo < test_set.size(); lo += batch_size) {
+    const std::size_t hi = std::min(lo + batch_size, test_set.size());
+    const data::Dataset batch = test_set.slice(lo, hi);
+    const auto preds = net.predict(batch.images);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == batch.labels[i]) ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_set.size());
+}
+
+data::Dataset make_set(std::size_t samples) {
+  data::SyntheticSpec spec;
+  spec.samples = samples;
+  spec.seed = 7;
+  spec.sample_seed = 3;
+  return data::make_synthetic(spec);
+}
+
+TEST(EvaluateRegression, MatchesSliceReferenceWithPartialFinalBatch) {
+  util::Rng rng(5);
+  nn::Network net = nn::build_network(nn::lenet_expt_spec(), rng);
+  // 70 samples at batch 32 -> batches of 32, 32, and 6: exercises both the
+  // scratch-buffer reuse and the short-final-batch reallocation.
+  const data::Dataset set = make_set(70);
+  const double got = evaluate(net, set, 32);
+  const double want = evaluate_reference(net, set, 32);
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(EvaluateRegression, ExactDivisorBatchAndSingleBatch) {
+  util::Rng rng(6);
+  nn::Network net = nn::build_network(nn::lenet_expt_spec(), rng);
+  const data::Dataset set = make_set(64);
+  EXPECT_DOUBLE_EQ(evaluate(net, set, 16), evaluate_reference(net, set, 16));
+  // batch_size >= N: a single batch covering the whole set.
+  EXPECT_DOUBLE_EQ(evaluate(net, set, 256),
+                   evaluate_reference(net, set, 256));
+}
+
+TEST(EvaluateRegression, EmptySetReturnsZero) {
+  util::Rng rng(8);
+  nn::Network net = nn::build_network(nn::lenet_expt_spec(), rng);
+  data::Dataset empty;  // no labels: evaluate must bail before reading images
+  empty.num_classes = 10;
+  EXPECT_DOUBLE_EQ(evaluate(net, empty, 32), 0.0);
+}
+
+}  // namespace
+}  // namespace ls::train

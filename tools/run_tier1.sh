@@ -12,7 +12,15 @@ cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 
-"$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json"
+"$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json" \
+  --sparse-json "$repo_root/BENCH_sparse.json"
+
+# Sparse bench smoke: the block-sparse dump must exist and contain the
+# swept sparsity levels.
+[ -s "$repo_root/BENCH_sparse.json" ] || {
+  echo "sparse bench: missing BENCH_sparse.json" >&2; exit 1; }
+grep -q '"kernel_sparse"' "$repo_root/BENCH_sparse.json"
+grep -q '"sparsity_pct":75' "$repo_root/BENCH_sparse.json"
 
 # Observability smoke: an AlexNet 16-core inference must produce a valid
 # Perfetto trace and metrics dump (validated with python3 when available).
