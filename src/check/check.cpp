@@ -1,0 +1,24 @@
+#include "check/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ls::check {
+
+void fail(const char* file, int line, const char* expr, const char* fmt,
+          ...) {
+  std::fprintf(stderr, "%s:%d: LS_CHECK(%s) failed", file, line, expr);
+  if (fmt != nullptr) {
+    std::fprintf(stderr, ": ");
+    std::va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ls::check

@@ -1,0 +1,63 @@
+#pragma once
+// Zero-cost-when-off runtime invariant layer (DESIGN.md "Correctness
+// tooling").
+//
+// LS_CHECK(cond) and LS_CHECK_MSG(cond, fmt, ...) compile to nothing unless
+// the build defines LS_ENABLE_CHECKS (cmake -DLS_CHECKS=ON; every LS_SAN
+// sanitizer preset turns it on too). A failing check in a checked build
+// prints "file:line: LS_CHECK(expr) failed: message" to stderr and aborts —
+// which is what the tests/check death suite keys on.
+//
+// Policy:
+//  * LS_CHECK guards *internal invariants*: conditions that cannot be false
+//    unless this repo (or a caller breaking a documented contract, e.g.
+//    mutating a Param without bump()) has a bug. Validation of user input
+//    keeps throwing std::invalid_argument / std::out_of_range as before.
+//  * The unchecked build must not pay for a check. The condition expression
+//    sits under sizeof, so it is never evaluated when checks are off; whole
+//    scan loops that exist only to feed checks belong under
+//    `if constexpr (ls::check::kEnabled)`.
+//  * Checks must not perturb results: probes may read anything but write
+//    nothing observable.
+
+#include <cstddef>
+
+namespace ls::check {
+
+/// True in checked builds. Use to gate expensive probe loops so the
+/// unchecked build carries no trace of them.
+inline constexpr bool kEnabled =
+#ifdef LS_ENABLE_CHECKS
+    true;
+#else
+    false;
+#endif
+
+/// Prints the failure report to stderr and aborts. `fmt` may be null (plain
+/// LS_CHECK); otherwise printf-style formatting.
+[[noreturn]] void fail(const char* file, int line, const char* expr,
+                       const char* fmt = nullptr, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// Declared but never defined: referenced only inside sizeof so message
+/// arguments count as used in unchecked builds without being evaluated.
+template <typename... Args>
+int unevaluated(Args&&...);
+
+}  // namespace ls::check
+
+#ifdef LS_ENABLE_CHECKS
+#define LS_CHECK(cond) \
+  ((cond) ? (void)0 : ::ls::check::fail(__FILE__, __LINE__, #cond))
+#define LS_CHECK_MSG(cond, ...) \
+  ((cond) ? (void)0          \
+          : ::ls::check::fail(__FILE__, __LINE__, #cond, __VA_ARGS__))
+#else
+#define LS_CHECK(cond) ((void)sizeof(!(cond)))
+#define LS_CHECK_MSG(cond, ...) \
+  ((void)sizeof(!(cond)),       \
+   (void)sizeof(::ls::check::unevaluated(__VA_ARGS__)))
+#endif

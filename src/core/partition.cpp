@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace ls::core {
 
 std::vector<UnitRange> balanced_ranges(std::size_t units, std::size_t parts) {
@@ -14,6 +16,23 @@ std::vector<UnitRange> balanced_ranges(std::size_t units, std::size_t parts) {
     const std::size_t count = base + (p < extra ? 1 : 0);
     ranges[p] = {cursor, cursor + count};
     cursor += count;
+  }
+  // Coverage/disjointness post-condition: the ranges are contiguous by
+  // construction, so covering exactly [0, units) reduces to the cursor
+  // landing on `units`, and the closed-form owner_of must agree with the
+  // ranges it mirrors (both encode the fat-parts-first split).
+  LS_CHECK_MSG(cursor == units,
+               "balanced_ranges(%zu, %zu) covered %zu units", units, parts,
+               cursor);
+  if constexpr (check::kEnabled) {
+    for (std::size_t p = 0; p < parts; ++p) {
+      if (ranges[p].count() == 0) continue;
+      LS_CHECK_MSG(owner_of(ranges[p].begin, units, parts) == p &&
+                       owner_of(ranges[p].end - 1, units, parts) == p,
+                   "owner_of disagrees with balanced_ranges for part %zu "
+                   "of %zu over %zu units",
+                   p, parts, units);
+    }
   }
   return ranges;
 }

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/check.hpp"
+
 namespace ls::core {
 
 Placement Placement::identity(std::size_t cores) {
@@ -26,6 +28,12 @@ bool Placement::valid() const {
 std::size_t placement_cost(const InferenceTraffic& traffic,
                            const Placement& placement,
                            const noc::MeshTopology& topo) {
+  // A placement is a bijection partition -> core; a duplicate or
+  // out-of-range core silently double-counts some link loads and drops
+  // others, so the cost would be meaningless rather than wrong-and-loud.
+  LS_CHECK_MSG(placement.valid(),
+               "placement_cost over a non-bijective placement (%zu entries)",
+               placement.partition_to_core.size());
   std::size_t cost = 0;
   for (const auto& t : traffic.transitions) {
     for (const auto& m : t.messages) {
@@ -116,6 +124,12 @@ Placement optimize_placement(const InferenceTraffic& traffic,
     }
     temp *= cooling;
   }
+  // Annealing only ever swaps two entries of an identity permutation, so
+  // the result must still be a bijection.
+  LS_CHECK_MSG(best.valid(),
+               "optimize_placement produced a non-bijective placement after "
+               "%zu iterations",
+               iterations);
   return best;
 }
 

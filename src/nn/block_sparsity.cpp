@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/fc.hpp"
 #include "nn/layer.hpp"
@@ -46,8 +47,49 @@ BlockSparsity::BlockSparsity(std::size_t parts, std::size_t in_units,
   map_.zero.assign(parts * parts, 0);
 }
 
+namespace {
+
+// Checked-build probe: every block the bitmap marks zero must still be
+// exactly zero in memory. A mismatch means the weights were mutated without
+// Param::bump() — the stale-cache hazard the invalidation contract above
+// exists to prevent — and the sparse kernels would silently skip live
+// blocks.
+void verify_zero_blocks(const BlockMap& map, const Param& weight) {
+  const std::size_t parts = map.parts;
+  const std::size_t red_extent = map.k_bounds[parts];
+  const float* w = weight.value.data();
+  for (std::size_t p = 0; p < parts; ++p) {
+    for (std::size_t c = 0; c < parts; ++c) {
+      if (!map.zero[p * parts + c]) continue;
+      for (std::size_t oc = map.out_bounds[c]; oc < map.out_bounds[c + 1];
+           ++oc) {
+        const float* row = w + oc * red_extent;
+        for (std::size_t k = map.k_bounds[p]; k < map.k_bounds[p + 1]; ++k) {
+          LS_CHECK_MSG(
+              row[k] == 0.0f,
+              "sparsity bitmap stale for '%s': block (p=%zu,c=%zu) is "
+              "marked zero but weight[%zu][%zu] = %g — value mutated "
+              "without Param::bump()?",
+              weight.name.c_str(), p, c, oc, k, static_cast<double>(row[k]));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 const BlockMap& BlockSparsity::map(const Param& weight) {
-  if (scanned_ && scanned_version_ == weight.version) return map_;
+  LS_CHECK_MSG(!scanned_ || weight.version >= scanned_version_,
+               "Param '%s' version moved backwards (%llu -> %llu); versions "
+               "are monotonic by contract",
+               weight.name.c_str(),
+               static_cast<unsigned long long>(scanned_version_),
+               static_cast<unsigned long long>(weight.version));
+  if (scanned_ && scanned_version_ == weight.version) {
+    if constexpr (check::kEnabled) verify_zero_blocks(map_, weight);
+    return map_;
+  }
 
   const std::size_t parts = map_.parts;
   const std::size_t out_extent = map_.out_bounds[parts];

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "check/check.hpp"
 #include "util/parallel.hpp"
 
 namespace ls::nn::gemm {
@@ -81,6 +82,25 @@ void tn_block(std::size_t i0, std::size_t i1, std::size_t N, std::size_t K,
       float* c_row = C + i * ldc;
       for (std::size_t j = 0; j < N; ++j) c_row[j] += a * b_row[j];
     }
+  }
+}
+
+// Checked-build probe at every sparse entry point: the mask's panel bounds
+// must be monotonic and span exactly the reduction/output extents the call
+// is using — a mismatched mask silently skips (or double-counts) k spans.
+void check_mask_extents(const BlockMask& mask, std::size_t red_extent,
+                        std::size_t out_extent) {
+  LS_CHECK(mask.parts > 0);
+  LS_CHECK_MSG(mask.k_bounds[mask.parts] == red_extent,
+               "block mask k extent %zu != gemm reduction extent %zu",
+               mask.k_bounds[mask.parts], red_extent);
+  LS_CHECK_MSG(mask.out_bounds[mask.parts] == out_extent,
+               "block mask out extent %zu != gemm output extent %zu",
+               mask.out_bounds[mask.parts], out_extent);
+  for (std::size_t p = 0; p < mask.parts; ++p) {
+    LS_CHECK_MSG(mask.k_bounds[p] <= mask.k_bounds[p + 1] &&
+                     mask.out_bounds[p] <= mask.out_bounds[p + 1],
+                 "block mask bounds not monotonic at panel %zu", p);
   }
 }
 
@@ -374,6 +394,7 @@ void gemm_nn_sparse(std::size_t M, std::size_t N, std::size_t K,
                     std::size_t ldb, float* C, std::size_t ldc,
                     bool accumulate, bool parallel, const BlockMask& mask) {
   if (M == 0 || N == 0) return;
+  if constexpr (check::kEnabled) check_mask_extents(mask, K, M);
   const auto row_consumer = expand_consumers(mask.out_bounds, mask.parts, M);
   const auto live4 = build_group_live(mask, K);
   const std::size_t n_groups = groups_of(K);
@@ -395,6 +416,7 @@ void gemm_nt_sparse(std::size_t M, std::size_t N, std::size_t K,
                     std::size_t ldb, float* C, std::size_t ldc,
                     bool accumulate, bool parallel, const BlockMask& mask) {
   if (M == 0 || N == 0) return;
+  if constexpr (check::kEnabled) check_mask_extents(mask, K, N);
   const auto col_consumer = expand_consumers(mask.out_bounds, mask.parts, N);
   const auto live4 = build_group_live(mask, K);
   const auto runs =
@@ -416,6 +438,7 @@ void gemm_tn_sparse(std::size_t M, std::size_t N, std::size_t K,
                     std::size_t ldb, float* C, std::size_t ldc,
                     bool accumulate, bool parallel, const BlockMask& mask) {
   if (M == 0 || N == 0) return;
+  if constexpr (check::kEnabled) check_mask_extents(mask, N, K);
   const auto k_consumer = expand_consumers(mask.out_bounds, mask.parts, K);
   const auto li = build_live_intervals(mask);
   if (parallel && M * N * K >= kParallelMinWork && M > kRowBlock) {

@@ -1,6 +1,9 @@
 #include "nn/network.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "check/check.hpp"
 
 namespace ls::nn {
 
@@ -10,6 +13,29 @@ Layer& Network::add(std::unique_ptr<Layer> layer) {
 }
 
 Tensor Network::forward(const Tensor& in, bool training) {
+  // Checked builds guard every layer boundary: the produced tensor must
+  // match the layer's declared output_shape and stay finite. Catches layers
+  // whose forward() drifts from their shape contract and pinpoints the
+  // first layer that produces NaN/Inf instead of letting it surface as a
+  // garbage loss many steps later.
+  if constexpr (check::kEnabled) {
+    LS_CHECK_MSG(in.all_finite(), "non-finite input into network '%s'",
+                 name_.c_str());
+    Tensor x = in;
+    for (auto& layer : layers_) {
+      const Shape expected = layer->output_shape(x.shape());
+      Tensor out = layer->forward(x, training);
+      LS_CHECK_MSG(out.shape() == expected,
+                   "layer '%s' produced shape %s but declared %s",
+                   layer->name().c_str(), out.shape().to_string().c_str(),
+                   expected.to_string().c_str());
+      LS_CHECK_MSG(out.all_finite(),
+                   "non-finite activations out of layer '%s'",
+                   layer->name().c_str());
+      x = std::move(out);
+    }
+    return x;
+  }
   Tensor x = in;
   for (auto& layer : layers_) x = layer->forward(x, training);
   return x;

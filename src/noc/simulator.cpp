@@ -1,14 +1,30 @@
 #include "noc/simulator.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <deque>
 #include <queue>
 #include <stdexcept>
 
+#include "check/check.hpp"
 #include "obs/trace.hpp"
 
 namespace ls::noc {
+
+namespace {
+
+std::atomic<bool> g_corrupt_next_run{false};
+
+}  // namespace
+
+namespace testing {
+
+void corrupt_next_run() {
+  if constexpr (check::kEnabled) g_corrupt_next_run.store(true);
+}
+
+}  // namespace testing
 
 namespace {
 
@@ -141,6 +157,20 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
   phase_span.end();
   stats.packets = packets.size();
   if (stats.total_flits == 0) return stats;
+
+#ifdef LS_ENABLE_CHECKS
+  // One-shot test fault: duplicate a pending flit so the network carries
+  // one more flit than the packetizer accounted for. The conservation
+  // checks after the drain loop must catch this.
+  if (g_corrupt_next_run.exchange(false)) {
+    for (auto& q : inject_q) {
+      if (!q.empty()) {
+        q.push_back(q.front());
+        break;
+      }
+    }
+  }
+#endif
 
   if (obs::trace_enabled()) phase_span.begin("noc.drain", "noc");
 
@@ -281,6 +311,50 @@ NocStats MeshNocSimulator::run(const std::vector<Message>& messages,
   }
 
   phase_span.end();
+
+  // Conservation invariants (checked builds): every flit the packetizer
+  // injected must have drained — nothing left in source queues, router
+  // buffers, or on a link — credits must be fully returned, every packet
+  // delivered, and the per-link counters must sum to exactly the hop count.
+  // These are the conserved quantities the paper's communication metrics
+  // (and the ls::obs heatmap) are built on.
+  if constexpr (check::kEnabled) {
+    std::size_t undrained = in_flight.size();
+    for (const auto& q : inject_q) undrained += q.size();
+    for (const auto& q : fifo) undrained += q.size();
+    LS_CHECK_MSG(undrained == 0,
+                 "noc flit conservation: %llu flits injected, %llu "
+                 "delivered, %zu left undrained",
+                 static_cast<unsigned long long>(stats.total_flits),
+                 static_cast<unsigned long long>(delivered_flits), undrained);
+    LS_CHECK_MSG(delivered_flits == stats.total_flits,
+                 "noc flit conservation: delivered %llu != injected %llu",
+                 static_cast<unsigned long long>(delivered_flits),
+                 static_cast<unsigned long long>(stats.total_flits));
+    std::size_t credits_out = 0;
+    for (const std::size_t occ : occupancy) credits_out += occ;
+    LS_CHECK_MSG(credits_out == 0,
+                 "noc flit conservation: %zu buffer credits unreturned",
+                 credits_out);
+    std::uint64_t link_sum = 0;
+    for (const std::uint64_t count : link_flits) link_sum += count;
+    LS_CHECK_MSG(link_sum == stats.flit_hops,
+                 "noc flit conservation: per-link heatmap total %llu != "
+                 "flit_hops %llu",
+                 static_cast<unsigned long long>(link_sum),
+                 static_cast<unsigned long long>(stats.flit_hops));
+    LS_CHECK_MSG(
+        stats.router_traversals == stats.flit_hops + delivered_flits,
+        "noc flit conservation: router traversals %llu != hops %llu + "
+        "ejections %llu",
+        static_cast<unsigned long long>(stats.router_traversals),
+        static_cast<unsigned long long>(stats.flit_hops),
+        static_cast<unsigned long long>(delivered_flits));
+    for (std::size_t p = 0; p < packets.size(); ++p) {
+      LS_CHECK_MSG(packets[p].done,
+                   "noc flit conservation: packet %zu never delivered", p);
+    }
+  }
 
   for (const std::uint64_t count : link_flits) {
     if (count > 0) {

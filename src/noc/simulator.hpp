@@ -65,6 +65,15 @@ struct NocStats {
   friend bool operator==(const NocStats&, const NocStats&) = default;
 };
 
+namespace testing {
+/// Checked-build fault injection: arms a one-shot fault so the *next*
+/// MeshNocSimulator::run duplicates one packetized flit, breaking the
+/// injected == drained conservation invariant. Exists solely so the
+/// tests/check death suite can prove the conservation LS_CHECKs fire; a
+/// no-op in unchecked builds (the run stays unperturbed).
+void corrupt_next_run();
+}  // namespace testing
+
 class MeshNocSimulator {
  public:
   MeshNocSimulator(MeshTopology topo, NocConfig cfg);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "check/check.hpp"
 #include "core/partition.hpp"
 #include "noc/sim_cache.hpp"
 #include "obs/metrics.hpp"
@@ -128,6 +129,32 @@ InferenceResult CmpSystem::run_inference(
 
     // --- Communication into this layer --------------------------------
     if (job.traffic != nullptr) {
+      // The flit-level simulation and the analytic traffic model must
+      // account for the same burst: the simulator's flit count is exactly
+      // the packetization of the transition's messages, and the message
+      // bytes sum to the transition's total. Every downstream number
+      // (comm cycles, NoC energy, heatmaps) rides on this.
+      if constexpr (check::kEnabled) {
+        std::size_t expected_flits = 0;
+        std::size_t message_bytes = 0;
+        for (const noc::Message& m : job.traffic->messages) {
+          message_bytes += m.bytes;
+          if (m.src != m.dst && m.bytes > 0) {
+            expected_flits += noc_sim.flits_for_bytes(m.bytes);
+          }
+        }
+        LS_CHECK_MSG(message_bytes == job.traffic->total_bytes,
+                     "traffic accounting into '%s': messages carry %zu "
+                     "bytes but the transition claims %zu",
+                     a.spec.name.c_str(), message_bytes,
+                     job.traffic->total_bytes);
+        LS_CHECK_MSG(job.stats.total_flits == expected_flits,
+                     "traffic accounting into '%s': simulator drained %llu "
+                     "flits but the traffic model injects %zu",
+                     a.spec.name.c_str(),
+                     static_cast<unsigned long long>(job.stats.total_flits),
+                     expected_flits);
+      }
       tl.noc_stats = job.stats;
       tl.comm_cycles = static_cast<std::uint64_t>(
           static_cast<double>(tl.noc_stats.completion_cycle) *

@@ -168,6 +168,13 @@ std::size_t Tensor::count_zeros() const {
   return n;
 }
 
+bool Tensor::all_finite() const {
+  for (float v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
 void Tensor::quantize_fixed16(int frac_bits) {
   auto quant = [frac_bits](float v) {
     switch (frac_bits) {

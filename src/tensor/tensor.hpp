@@ -97,6 +97,10 @@ class Tensor {
   /// Count of exactly-zero elements (used for sparsity reporting).
   std::size_t count_zeros() const;
 
+  /// True iff every element is finite (no NaN/Inf). Probe for the checked-
+  /// build layer-boundary guards (src/check); also useful in tests.
+  bool all_finite() const;
+
   /// Quantize every element through 16-bit fixed point (FracBits fractional
   /// bits) — models deployment on the fixed-point accelerator cores.
   void quantize_fixed16(int frac_bits);

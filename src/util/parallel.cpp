@@ -1,5 +1,7 @@
 #include "util/parallel.hpp"
 
+#include "check/check.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -41,6 +43,12 @@ void set_pool_hooks(const PoolHooks& hooks) {
 
 struct ThreadPool::Impl {
   std::vector<std::thread> workers;
+
+  // Held for the duration of one pooled parallel_for. The job slots below
+  // are single-occupancy, so a second *external* thread arriving while a
+  // job is in flight falls back to inline serial execution (see
+  // parallel_for) instead of corrupting them.
+  std::mutex job_mu;
 
   std::mutex mu;
   std::condition_variable cv_work;
@@ -90,7 +98,21 @@ ThreadPool& ThreadPool::instance() {
 }
 
 void ThreadPool::set_num_threads(std::size_t n) {
+  // Resizing destroys the pool; from inside a task that joins the thread
+  // you are standing on, and mid-job it tears the Impl out from under the
+  // workers. Both are caught in checked builds.
+  LS_CHECK_MSG(!tls_in_pool_task,
+               "ThreadPool::set_num_threads called from inside a pool task");
   std::lock_guard<std::mutex> lk(g_pool_mu);
+  if constexpr (check::kEnabled) {
+    if (g_pool) {
+      std::unique_lock<std::mutex> job_lk(g_pool->impl_->job_mu,
+                                          std::try_to_lock);
+      LS_CHECK_MSG(job_lk.owns_lock(),
+                   "ThreadPool::set_num_threads while a parallel_for is "
+                   "running on the pool");
+    }
+  }
   g_pool.reset(new ThreadPool(n == 0 ? threads_from_env() : n));
 }
 
@@ -147,12 +169,22 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     return;
   }
   Impl& im = *impl_;
+  // One external job at a time. A concurrent caller (two CmpSystem runs on
+  // two threads, say) executes its loop inline instead — always valid under
+  // the determinism contract (results are thread-count independent,
+  // including fully serial) and safe by construction.
+  std::unique_lock<std::mutex> job_lk(im.job_mu, std::try_to_lock);
+  if (!job_lk.owns_lock()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const bool hooked = g_pool_hooks_set.load(std::memory_order_acquire);
   if (hooked && g_pool_hooks.job_begin != nullptr) {
     g_pool_hooks.job_begin(count);
   }
   {
     std::lock_guard<std::mutex> lk(im.mu);
+    LS_CHECK_MSG(!im.stop, "parallel_for on a stopped pool");
     im.fn = &fn;
     im.begin = begin;
     im.count = count;

@@ -18,6 +18,12 @@
 // parallel_for called from inside a pool task runs inline on the calling
 // thread (no nested fan-out, no deadlock), which lets composite kernels
 // (e.g. a batch loop around a row-parallel GEMM) use it unconditionally.
+// Likewise, a parallel_for from a second *external* thread while another
+// job is in flight runs inline serially — the pool executes one job at a
+// time, and serial execution is always valid under the determinism
+// contract. Checked builds (LS_CHECKS) additionally assert against pool
+// misuse: resizing from inside a task or mid-job, and submitting to a
+// stopped pool.
 
 #include <cstddef>
 #include <functional>

@@ -1,0 +1,190 @@
+// Pinned regression suite for the sparse-kernel edge cases the sanitizer
+// jobs guard: reductions whose K is not a multiple of the 4-wide unroll
+// (the tail group straddles a live/dead panel boundary), block grids with
+// more parts than units (empty panels ⇒ empty bounds spans), and
+// im2col_masked's obligation to zero-fill every row a straddling unroll
+// group of gemm_nn_sparse can still read. Each case runs the dense and
+// sparse kernels on identical inputs and requires bit-identical output —
+// an out-of-bounds read or a garbage multiply shows up as a diff here (and
+// as a report under -DLS_SAN=address,undefined).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/block_sparsity.hpp"
+#include "nn/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace ls::nn {
+namespace {
+
+struct Mask {
+  std::size_t parts = 0;
+  std::vector<std::size_t> k_bounds, out_bounds;
+  std::vector<std::uint8_t> zero;
+  gemm::BlockMask view() const {
+    return {parts, k_bounds.data(), out_bounds.data(), zero.data()};
+  }
+};
+
+// Every sparse variant stores its weight operand as (out_extent rows x
+// red_extent cols) row-major with rows partitioned by out_bounds and
+// columns by k_bounds. Marks the requested blocks zero and zeroes the
+// matching weight spans so the bitmap is truthful.
+Mask prune_blocks(std::vector<float>& w, std::size_t out_extent,
+                  std::size_t red_extent, std::size_t parts,
+                  const std::vector<std::pair<std::size_t, std::size_t>>& pc) {
+  Mask m;
+  m.parts = parts;
+  m.out_bounds = balanced_bounds(out_extent, parts);
+  m.k_bounds = balanced_bounds(red_extent, parts);
+  m.zero.assign(parts * parts, 0);
+  for (const auto& [p, c] : pc) {
+    m.zero[p * parts + c] = 1;
+    for (std::size_t i = m.out_bounds[c]; i < m.out_bounds[c + 1]; ++i) {
+      for (std::size_t k = m.k_bounds[p]; k < m.k_bounds[p + 1]; ++k) {
+        w[i * red_extent + k] = 0.0f;
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  return v;
+}
+
+void expect_bitwise_equal(const std::vector<float>& a,
+                          const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+  }
+}
+
+// K = 7 with parts = 3 gives panels [0,3) [3,5) [5,7): every unroll group
+// the kernel forms straddles a panel boundary or is the K%4 tail — the
+// exact geometry where a skipped group must not skip live k's or read past
+// the reduction extent.
+TEST(GemmEdge, SparseNnOddKTailParity) {
+  const std::size_t M = 5, N = 6, K = 7, parts = 3;
+  auto A = random_vec(M * K, 21);
+  const auto B = random_vec(K * N, 22);
+  const Mask m = prune_blocks(A, M, K, parts, {{0, 1}, {2, 0}, {1, 2}});
+
+  std::vector<float> dense(M * N, 0.0f), sparse(M * N, 0.0f);
+  gemm::gemm_nn(M, N, K, A.data(), K, B.data(), N, dense.data(), N,
+                /*accumulate=*/false);
+  gemm::gemm_nn_sparse(M, N, K, A.data(), K, B.data(), N, sparse.data(), N,
+                       /*accumulate=*/false, /*parallel=*/false, m.view());
+  expect_bitwise_equal(dense, sparse);
+}
+
+TEST(GemmEdge, SparseNtOddKTailParity) {
+  const std::size_t M = 3, N = 5, K = 7, parts = 3;
+  const auto A = random_vec(M * K, 31);
+  auto B = random_vec(N * K, 32);  // weights: N x K
+  const Mask m = prune_blocks(B, N, K, parts, {{0, 0}, {1, 1}, {2, 2}});
+
+  std::vector<float> dense(M * N, 0.0f), sparse(M * N, 0.0f);
+  gemm::gemm_nt(M, N, K, A.data(), K, B.data(), K, dense.data(), N,
+                /*accumulate=*/false);
+  gemm::gemm_nt_sparse(M, N, K, A.data(), K, B.data(), K, sparse.data(), N,
+                       /*accumulate=*/false, /*parallel=*/false, m.view());
+  expect_bitwise_equal(dense, sparse);
+}
+
+TEST(GemmEdge, SparseTnOddReductionParity) {
+  // Weights: K x N, reduction rows are the consumer partition.
+  const std::size_t M = 4, N = 5, K = 6, parts = 3;
+  const auto A = random_vec(K * M, 41);
+  auto B = random_vec(K * N, 42);
+  const Mask m = prune_blocks(B, K, N, parts, {{0, 2}, {2, 1}});
+
+  std::vector<float> dense(M * N, 0.0f), sparse(M * N, 0.0f);
+  gemm::gemm_tn(M, N, K, A.data(), M, B.data(), N, dense.data(), N,
+                /*accumulate=*/false);
+  gemm::gemm_tn_sparse(M, N, K, A.data(), M, B.data(), N, sparse.data(), N,
+                       /*accumulate=*/false, /*parallel=*/false, m.view());
+  expect_bitwise_equal(dense, sparse);
+}
+
+// More parts than units: panels beyond the extent are empty (equal
+// cumulative bounds). The kernels must treat an empty panel's zero bit as
+// vacuous — no element is skipped, no empty span is dereferenced.
+TEST(GemmEdge, PartsExceedUnitsEmptyPanels) {
+  const std::size_t M = 2, N = 4, K = 3, parts = 4;
+  auto A = random_vec(M * K, 51);
+  const auto B = random_vec(K * N, 52);
+  Mask m = prune_blocks(A, M, K, parts, {{0, 1}});
+  // Blocks touching the empty panels stay marked zero, as the scanner
+  // leaves them (all-of-nothing is vacuously zero).
+  for (std::size_t p = 0; p < parts; ++p) m.zero[p * parts + 3] = 1;
+  m.zero[3 * parts + 0] = 1;
+
+  std::vector<float> dense(M * N, 0.0f), sparse(M * N, 0.0f);
+  gemm::gemm_nn(M, N, K, A.data(), K, B.data(), N, dense.data(), N,
+                /*accumulate=*/false);
+  gemm::gemm_nn_sparse(M, N, K, A.data(), K, B.data(), N, sparse.data(), N,
+                       /*accumulate=*/false, /*parallel=*/false, m.view());
+  expect_bitwise_equal(dense, sparse);
+}
+
+// Dead input channel whose im2col row span (9 rows per channel for a 3x3
+// kernel) starts and ends off the 4-row unroll grid: im2col_masked leaves
+// the span unpacked except for the rows a straddling group of
+// gemm_nn_sparse still reads, which it must zero-fill. Pre-poisoning the
+// col buffer proves no unpacked garbage reaches the accumulation.
+TEST(GemmEdge, Im2colMaskedStraddlingGroupsZeroFilled) {
+  gemm::PackShape s;
+  s.channels = 3;
+  s.H = s.W = 5;
+  s.K = 3;
+  s.stride = 1;
+  s.pad = 1;
+  s.OH = s.OW = 5;
+  const std::size_t ck2 = s.patch();  // 27
+  const std::size_t cols = s.cols();  // 25
+  const std::size_t cout = 4, parts = 3;
+
+  const auto in = random_vec(s.channels * s.H * s.W, 61);
+  auto W = random_vec(cout * ck2, 62);
+
+  // Producer panels = channels (9 elems each); channel 1 dead for every
+  // consumer.
+  Mask m;
+  m.parts = parts;
+  m.k_bounds = {0, 9, 18, 27};
+  m.out_bounds = balanced_bounds(cout, parts);
+  m.zero.assign(parts * parts, 0);
+  for (std::size_t c = 0; c < parts; ++c) {
+    m.zero[1 * parts + c] = 1;
+    for (std::size_t oc = m.out_bounds[c]; oc < m.out_bounds[c + 1]; ++oc) {
+      for (std::size_t k = 9; k < 18; ++k) W[oc * ck2 + k] = 0.0f;
+    }
+  }
+  const std::vector<std::uint8_t> channel_skip = {0, 1, 0};
+
+  std::vector<float> col_dense(ck2 * cols, 0.0f);
+  gemm::im2col(s, in.data(), col_dense.data());
+  std::vector<float> dense(cout * cols, 0.0f);
+  gemm::gemm_nn(cout, cols, ck2, W.data(), ck2, col_dense.data(), cols,
+                dense.data(), cols, /*accumulate=*/false);
+
+  std::vector<float> col_masked(ck2 * cols, 999.0f);  // poison
+  gemm::im2col_masked(s, in.data(), col_masked.data(), channel_skip.data());
+  std::vector<float> sparse(cout * cols, 0.0f);
+  gemm::gemm_nn_sparse(cout, cols, ck2, W.data(), ck2, col_masked.data(),
+                       cols, sparse.data(), cols, /*accumulate=*/false,
+                       /*parallel=*/false, m.view());
+  expect_bitwise_equal(dense, sparse);
+}
+
+}  // namespace
+}  // namespace ls::nn

@@ -1,0 +1,195 @@
+// Thread-sanitizer stress suite (ctest label `stress`; CI runs it under
+// -DLS_SAN=thread). Hammers every cross-thread seam the fast paths share:
+//
+//   * concurrent *external* parallel_for callers — the pool runs one job at
+//     a time and overflow callers fall back to inline serial execution, so
+//     results must stay bit-identical to a serial run;
+//   * concurrent NocRunCache lookups on hot and cold keys;
+//   * whole CmpSystem::run_inference calls racing on two threads (pool
+//     dispatch + burst cache + obs counters all exercised at once);
+//   * concurrent block-sparse forwards on per-thread layers over the shared
+//     pool.
+//
+// The suite also runs (and must pass) unsanitized — the assertions pin the
+// determinism contract the sanitizer jobs then prove race-free.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/fc.hpp"
+#include "nn/model_zoo.hpp"
+#include "noc/sim_cache.hpp"
+#include "noc/simulator.hpp"
+#include "noc/topology.hpp"
+#include "sim/system.hpp"
+#include "tensor/tensor.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ls {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(TsanStress, ConcurrentExternalParallelFor) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kItems = 2048;
+  constexpr std::size_t kRounds = 8;
+
+  std::vector<std::vector<double>> results(kThreads,
+                                           std::vector<double>(kItems, 0.0));
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        util::parallel_for(0, kItems, [&](std::size_t i) {
+          results[t][i] = static_cast<double>(i) * 1.5 + 1.0;
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(results[t][i], static_cast<double>(i) * 1.5 + 1.0)
+          << "thread " << t << " item " << i;
+    }
+  }
+}
+
+TEST(TsanStress, ConcurrentNocRunCache) {
+  noc::NocRunCache::instance().clear();
+  const auto topo = noc::MeshTopology::for_cores(16);
+  const noc::MeshNocSimulator sim(topo, noc::NocConfig{});
+
+  // A few distinct bursts: every thread sweeps all of them repeatedly, so
+  // the cache sees racing cold misses and hot hits on the same keys.
+  std::vector<std::vector<noc::Message>> bursts;
+  for (std::size_t b = 0; b < 4; ++b) {
+    std::vector<noc::Message> msgs;
+    for (std::size_t s = 0; s < 8; ++s) {
+      msgs.push_back({s, (s + 3 + b) % 16, 64 * (b + 1) + 32 * s, 0});
+    }
+    bursts.push_back(std::move(msgs));
+  }
+  std::vector<noc::NocStats> expected;
+  expected.reserve(bursts.size());
+  for (const auto& msgs : bursts) expected.push_back(sim.run(msgs));
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 16;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &bursts, &expected, &sim, &ok] {
+      bool all_match = true;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        for (std::size_t b = 0; b < bursts.size(); ++b) {
+          const noc::NocStats got =
+              noc::NocRunCache::instance().run(sim, bursts[b]);
+          all_match = all_match && got == expected[b];
+        }
+      }
+      ok[t] = all_match;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t << " saw a mismatched cached stat";
+  }
+}
+
+TEST(TsanStress, ConcurrentSystemRuns) {
+  noc::NocRunCache::instance().clear();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+
+  const sim::InferenceResult serial = system.run_inference(spec, traffic);
+
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &system, &spec, &traffic, &serial, &ok] {
+      bool all_match = true;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const sim::InferenceResult r = system.run_inference(spec, traffic);
+        all_match = all_match && r.total_cycles == serial.total_cycles &&
+                    r.compute_cycles == serial.compute_cycles &&
+                    r.comm_cycles == serial.comm_cycles &&
+                    r.traffic_bytes == serial.traffic_bytes;
+      }
+      ok[t] = all_match;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t << " diverged from the serial run";
+  }
+}
+
+TEST(TsanStress, ConcurrentSparseForwards) {
+  // One armed FC per thread (BlockSparsity::map is per-layer and not
+  // thread-safe by contract); the racing surface is the shared pool the
+  // sparse GEMMs fan out on.
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRounds = 8;
+  const Tensor in(Shape{4, 64}, 0.25f);
+
+  std::vector<std::unique_ptr<nn::FullyConnected>> layers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    util::Rng rng(100 + t);
+    auto fc = std::make_unique<nn::FullyConnected>("fc_stress", 64, 32, rng,
+                                                   /*bias=*/false);
+    fc->set_sparsity_partition(/*parts=*/4, /*in_units=*/8);
+    // Prune block (p=0, c=0): rows 0..8 x cols 0..16 of the {32, 64} weight.
+    for (std::size_t oc = 0; oc < 8; ++oc) {
+      for (std::size_t k = 0; k < 16; ++k) {
+        fc->weight().value.at2(oc, k) = 0.0f;
+      }
+    }
+    fc->weight().bump();
+    layers.push_back(std::move(fc));
+  }
+
+  std::vector<Tensor> first(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    first[t] = layers[t]->forward(in, false);
+  }
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &layers, &in, &first, &ok] {
+      bool all_match = true;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const Tensor out = layers[t]->forward(in, false);
+        bool same = out.shape() == first[t].shape();
+        for (std::size_t i = 0; same && i < out.numel(); ++i) {
+          same = out[i] == first[t][i];
+        }
+        all_match = all_match && same;
+      }
+      ok[t] = all_match;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t << " sparse forward diverged";
+  }
+}
+
+}  // namespace
+}  // namespace ls

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Lint gate (DESIGN.md "Correctness tooling"): clang-tidy over every
+# translation unit in src/ (zero-warning policy via -warnings-as-errors)
+# plus a clang-format drift check over all C++ sources. Usage:
+#   tools/lint.sh [build-dir]
+#
+# The build dir only needs a configure (for compile_commands.json); this
+# script runs one if it is missing. Tools are looked up as clang-tidy /
+# clang-format or their -MAJOR suffixed names; a missing tool is a skip
+# with a notice, not a failure, so the gate degrades gracefully on boxes
+# with only gcc (CI installs both and runs the full gate).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"$repo_root/build-lint"}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+find_tool() {
+  local base="$1"
+  if command -v "$base" >/dev/null 2>&1; then
+    echo "$base"
+    return 0
+  fi
+  local v
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "$base-$v" >/dev/null 2>&1; then
+      echo "$base-$v"
+      return 0
+    fi
+  done
+  return 1
+}
+
+clang_tidy="$(find_tool clang-tidy || true)"
+clang_format="$(find_tool clang-format || true)"
+status=0
+ran_any=0
+
+cxx_sources() {
+  find "$repo_root/src" "$repo_root/tests" "$repo_root/tools" \
+    "$repo_root/bench" -name '*.cpp' -o -name '*.hpp' | sort
+}
+
+if [ -n "$clang_format" ]; then
+  ran_any=1
+  echo "== clang-format ($clang_format) drift check"
+  if ! cxx_sources | xargs "$clang_format" --dry-run -Werror; then
+    echo "clang-format: drift found — run: $clang_format -i <files>" >&2
+    status=1
+  fi
+else
+  echo "lint: clang-format not found — format check skipped" >&2
+fi
+
+if [ -n "$clang_tidy" ]; then
+  ran_any=1
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  echo "== clang-tidy ($clang_tidy) over src/ (warnings are errors)"
+  # xargs -P parallelizes across TUs; each failure flips the exit status.
+  if ! find "$repo_root/src" -name '*.cpp' | sort | xargs -P "$jobs" -I {} \
+    "$clang_tidy" -p "$build_dir" --quiet -warnings-as-errors='*' {}; then
+    status=1
+  fi
+else
+  echo "lint: clang-tidy not found — static analysis skipped" >&2
+fi
+
+if [ "$ran_any" -eq 0 ]; then
+  echo "lint: no lint tools available on this machine; nothing checked" >&2
+  exit 0
+fi
+[ "$status" -eq 0 ] && echo "lint OK"
+exit "$status"

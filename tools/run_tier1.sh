@@ -2,15 +2,45 @@
 # Tier-1 wrapper: configure (Release), build, run the full test suite, then
 # the conv-kernel microbenchmark with a JSON dump. Usage:
 #   tools/run_tier1.sh [build-dir]
+#
+# Environment passthrough (DESIGN.md "Correctness tooling"):
+#   LS_SAN=address,undefined|thread  build sanitized (implies LS_CHECKS=ON);
+#                                    benches and the obs smoke are skipped —
+#                                    sanitized timings are meaningless and
+#                                    the jobs exist to find bugs, not numbers.
+#   LS_CHECKS=ON                     checked build without sanitizers (the
+#                                    invariant layer on, benches still run).
+#   LS_TEST_LABEL=<label>            restrict ctest to one label (the TSan
+#                                    CI job runs the `stress` subset).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"$repo_root/build"}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release
+cmake_args=(-DCMAKE_BUILD_TYPE=Release)
+sanitized=0
+if [ -n "${LS_SAN:-}" ]; then
+  cmake_args=(-DCMAKE_BUILD_TYPE=RelWithDebInfo "-DLS_SAN=$LS_SAN")
+  sanitized=1
+fi
+if [ "${LS_CHECKS:-}" = "ON" ] || [ "${LS_CHECKS:-}" = "1" ]; then
+  cmake_args+=(-DLS_CHECKS=ON)
+fi
+
+cmake -S "$repo_root" -B "$build_dir" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+
+ctest_args=(--output-on-failure -j "$jobs")
+if [ -n "${LS_TEST_LABEL:-}" ]; then
+  ctest_args+=(-L "$LS_TEST_LABEL")
+fi
+ctest --test-dir "$build_dir" "${ctest_args[@]}"
+
+if [ "$sanitized" -eq 1 ]; then
+  echo "tier1 OK (sanitized: LS_SAN=$LS_SAN) — benches/obs smoke skipped"
+  exit 0
+fi
 
 "$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json" \
   --sparse-json "$repo_root/BENCH_sparse.json"
