@@ -1,0 +1,122 @@
+// Streaming-throughput bench: software-pipelined multi-request execution
+// (CmpSystem::run_stream) vs back-to-back single-pass inference, in model
+// cycles (deterministic — no wall-clock timing). The headline config is the
+// paper's 16-core ConvNet with the embedded-NoC clock (noc_clock_divider =
+// 2), where layer-transition bursts are a large enough latency share that
+// overlapping request k+1's communication under request k's compute pays.
+//
+//   bench_stream_throughput [--requests N] [--json PATH]
+//
+// `--json` writes the tier-1 artifact (BENCH_stream.json): one row per
+// (net, cores, requests) point with latency, makespan, throughput in
+// inferences per 1e6 cycles, pipeline-fill and occupancy numbers, and the
+// streamed-vs-back-to-back speedup the acceptance gate reads.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sched/schedule.hpp"
+#include "sim/system.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ls;
+
+struct Row {
+  std::string net;
+  std::size_t cores = 0;
+  std::size_t requests = 0;
+  sim::StreamResult s{};
+};
+
+Row run_point(const nn::NetSpec& spec, std::size_t cores,
+              std::size_t requests) {
+  sim::SystemConfig cfg;
+  cfg.cores = cores;
+  cfg.noc_clock_divider = 2.0;  // embedded NoC: comm worth hiding
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  Row row;
+  row.net = spec.name;
+  row.cores = cores;
+  row.requests = requests;
+  row.s = system.run_stream(schedule, requests);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("stream_throughput");
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("net").value(r.net);
+    w.key("cores").value(static_cast<std::uint64_t>(r.cores));
+    w.key("requests").value(static_cast<std::uint64_t>(r.requests));
+    w.key("single_pass_cycles").value(r.s.single_pass.total_cycles);
+    w.key("fill_cycles").value(r.s.fill_cycles);
+    w.key("makespan_cycles").value(r.s.makespan_cycles);
+    w.key("throughput_per_mcycle").value(r.s.throughput_per_mcycle);
+    w.key("compute_occupancy").value(r.s.compute_occupancy);
+    w.key("noc_occupancy").value(r.s.noc_occupancy);
+    w.key("speedup_vs_back_to_back").value(r.s.speedup_vs_back_to_back);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.write_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 16;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (requests == 0) requests = 1;
+
+  std::vector<Row> rows;
+  // Headline: 16-core ConvNet, pipeline depth sweep up to --requests.
+  for (std::size_t n = 1; n < requests; n *= 2) {
+    rows.push_back(run_point(nn::convnet_spec(), 16, n));
+  }
+  rows.push_back(run_point(nn::convnet_spec(), 16, requests));
+  // Context: a bigger net and a wider machine at full depth.
+  rows.push_back(run_point(nn::alexnet_spec(), 16, requests));
+  rows.push_back(run_point(nn::convnet_spec(), 64, requests));
+
+  util::Table t("run_stream vs back-to-back (noc_clock_divider = 2)");
+  t.set_header({"net", "cores", "reqs", "1-pass cyc", "makespan", "inf/Mcyc",
+                "core-occ", "noc-occ", "vs b2b"});
+  for (const Row& r : rows) {
+    t.add_row({r.net, std::to_string(r.cores), std::to_string(r.requests),
+               std::to_string(r.s.single_pass.total_cycles),
+               std::to_string(r.s.makespan_cycles),
+               util::fmt_double(r.s.throughput_per_mcycle, 2),
+               util::fmt_percent(r.s.compute_occupancy),
+               util::fmt_percent(r.s.noc_occupancy),
+               util::fmt_speedup(r.s.speedup_vs_back_to_back)});
+  }
+  t.print();
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -44,4 +44,21 @@ LayerCoreCost CoreModel::layer_cost(const LayerPartitionWork& work) const {
   return cost;
 }
 
+PartitionCost CoreModel::partition_cost(
+    std::span<const LayerPartitionWork> per_core,
+    std::vector<std::uint64_t>* per_core_cycles) const {
+  PartitionCost total;
+  if (per_core_cycles != nullptr) {
+    per_core_cycles->assign(per_core.size(), 0);
+  }
+  for (std::size_t c = 0; c < per_core.size(); ++c) {
+    const LayerCoreCost cost = layer_cost(per_core[c]);
+    const std::uint64_t cycles = cost.cycles();
+    if (per_core_cycles != nullptr) (*per_core_cycles)[c] = cycles;
+    if (cycles > total.worst_cycles) total.worst_cycles = cycles;
+    total.energy_pj += cost.energy_pj;
+  }
+  return total;
+}
+
 }  // namespace ls::accel

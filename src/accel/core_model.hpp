@@ -14,6 +14,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 namespace ls::accel {
 
@@ -66,12 +68,28 @@ struct LayerCoreCost {
   }
 };
 
+/// Gang cost of one layer across all cores: the slowest partition gates
+/// the layer (cores run in parallel), energies add.
+struct PartitionCost {
+  std::uint64_t worst_cycles = 0;
+  double energy_pj = 0.0;
+};
+
 class CoreModel {
  public:
   explicit CoreModel(const AccelConfig& cfg = {});
 
   /// Cost of running one layer partition on one core.
   LayerCoreCost layer_cost(const LayerPartitionWork& work) const;
+
+  /// Cost of one layer's per-core partitions (a Schedule ComputeEvent):
+  /// evaluates layer_cost per core in index order — energy accumulation
+  /// order is part of the bit-exactness contract with the pre-IR executor.
+  /// When `per_core_cycles` is non-null it receives each core's cycles
+  /// (resized to the partition count; idle cores report 0).
+  PartitionCost partition_cost(
+      std::span<const LayerPartitionWork> per_core,
+      std::vector<std::uint64_t>* per_core_cycles = nullptr) const;
 
   const AccelConfig& config() const { return cfg_; }
 

@@ -20,7 +20,8 @@ struct BurstKey {
   std::size_t rows = 0;
   NocConfig cfg{};
   std::uint64_t max_cycles = 0;
-  std::vector<Message> messages;  ///< in injection order
+  std::uint64_t stream_epoch = 0;  ///< memo-space partition (0 = single-pass)
+  std::vector<Message> messages;   ///< in injection order
 
   friend bool operator==(const BurstKey&, const BurstKey&) = default;
 };
@@ -45,6 +46,7 @@ struct BurstKeyHash {
     h = hash_mix(h, k.cfg.phys_channels);
     h = hash_mix(h, static_cast<std::size_t>(k.cfg.routing));
     h = hash_mix(h, static_cast<std::size_t>(k.max_cycles));
+    h = hash_mix(h, static_cast<std::size_t>(k.stream_epoch));
     // Hash a sorted canonical form so equal multisets collide into the
     // same bucket regardless of ordering; equality stays exact.
     std::vector<Message> sorted = k.messages;
@@ -90,7 +92,8 @@ NocRunCache& NocRunCache::instance() {
 
 NocStats NocRunCache::run(const MeshNocSimulator& sim,
                           const std::vector<Message>& messages,
-                          std::uint64_t max_cycles) {
+                          std::uint64_t max_cycles,
+                          std::uint64_t stream_epoch) {
   if (!impl_->enabled.load(std::memory_order_relaxed)) {
     return sim.run(messages, max_cycles);
   }
@@ -99,6 +102,7 @@ NocStats NocRunCache::run(const MeshNocSimulator& sim,
   key.rows = sim.topology().rows();
   key.cfg = sim.config();
   key.max_cycles = max_cycles;
+  key.stream_epoch = stream_epoch;
   key.messages = messages;
   static obs::Counter& hit_metric =
       obs::Registry::instance().counter("noc.cache.hits");

@@ -40,9 +40,20 @@ class NocRunCache {
   static NocRunCache& instance();
 
   /// Memoized equivalent of `sim.run(messages, max_cycles)`.
+  ///
+  /// `stream_epoch` partitions the memo space: entries recorded under one
+  /// epoch are invisible to every other. Epoch 0 is the shared single-pass
+  /// space every plain run_inference uses. The streaming engine
+  /// (ls::sim::CmpSystem::run_stream) keys its bursts by the caller-chosen
+  /// epoch so a stream-context-dependent refinement of burst stats (e.g.
+  /// charging residual-drain contention between overlapped requests) can
+  /// never be served a single-pass memo, and vice versa; today the stats
+  /// are context-independent, so epoch 0 deliberately shares entries with
+  /// the single-pass space.
   NocStats run(const MeshNocSimulator& sim,
                const std::vector<Message>& messages,
-               std::uint64_t max_cycles = 200'000'000ull);
+               std::uint64_t max_cycles = 200'000'000ull,
+               std::uint64_t stream_epoch = 0);
 
   void set_enabled(bool enabled);
   bool enabled() const;

@@ -1,0 +1,126 @@
+#include "sched/builders.hpp"
+
+#include <unordered_map>
+
+#include "core/partition.hpp"
+
+namespace ls::sched {
+
+Schedule lower(const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+               const BuildOptions& opts,
+               const core::SparsityProfile* sparsity, Strategy strategy) {
+  const auto analysis = nn::analyze(spec);
+  const std::size_t P = opts.cores;
+
+  std::unordered_map<std::string, const core::TransitionTraffic*> by_layer;
+  for (const auto& t : traffic.transitions) {
+    by_layer.emplace(t.layer_name, &t);
+  }
+
+  Schedule schedule;
+  schedule.net_name = spec.name;
+  schedule.strategy = strategy;
+  schedule.cores = P;
+
+  for (const nn::LayerAnalysis& a : analysis) {
+    if (!a.is_compute()) continue;
+
+    // The id of the previous layer's compute event (if any) — both the
+    // burst and this layer's compute hang off it.
+    const bool have_prev = !schedule.events.empty();
+    const EventId prev_compute = have_prev ? schedule.events.size() - 1 : 0;
+
+    // --- Comm event: the synchronization burst into this layer ------------
+    bool have_comm = false;
+    const auto it = by_layer.find(a.spec.name);
+    if (it != by_layer.end() && !it->second->messages.empty()) {
+      Event comm;
+      comm.kind = EventKind::kComm;
+      comm.layer_name = a.spec.name;
+      comm.messages = it->second->messages;
+      comm.traffic_bytes = it->second->total_bytes;
+      comm.overlap_with_prev_compute = opts.overlap_comm;
+      if (have_prev) comm.deps.push_back(prev_compute);
+      schedule.events.push_back(std::move(comm));
+      have_comm = true;
+    }
+
+    // --- Compute event: the layer's per-core kernel partitions ------------
+    // Work splitting reproduces the pre-IR executor loop bit-for-bit: same
+    // share/live expressions, same +0.5 roundings.
+    Event compute;
+    compute.kind = EventKind::kCompute;
+    compute.layer_name = a.spec.name;
+    if (have_comm) compute.deps.push_back(schedule.events.size() - 1);
+    if (have_prev) compute.deps.push_back(prev_compute);
+
+    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
+                                      ? a.spec.out_channels
+                                      : a.spec.out_features;
+    const auto out_ranges = core::balanced_ranges(out_units, P);
+    const std::size_t weight_bytes_total =
+        a.weight_count * opts.bytes_per_value;
+    const std::size_t in_bytes = a.in.numel() * opts.bytes_per_value;
+    const core::LayerSparsity* layer_sparsity = nullptr;
+    if (opts.sparse_cycle_model && sparsity != nullptr) {
+      layer_sparsity = sparsity->find(a.spec.name);
+    }
+    compute.per_core_work.assign(P, accel::LayerPartitionWork{});
+    for (std::size_t c = 0; c < P; ++c) {
+      const double share = out_units
+                               ? static_cast<double>(out_ranges[c].count()) /
+                                     static_cast<double>(out_units)
+                               : 0.0;
+      if (share == 0.0) continue;
+      const double live = layer_sparsity != nullptr &&
+                                  c < layer_sparsity->live_fraction.size()
+                              ? layer_sparsity->live_fraction[c]
+                              : 1.0;
+      accel::LayerPartitionWork& work = compute.per_core_work[c];
+      const auto dense_macs = static_cast<std::uint64_t>(
+          static_cast<double>(a.macs) * share + 0.5);
+      work.macs = static_cast<std::uint64_t>(
+          static_cast<double>(a.macs) * share * live + 0.5);
+      compute.macs_discounted += dense_macs - work.macs;
+      work.weight_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(weight_bytes_total) * share * live + 0.5);
+      work.input_bytes = in_bytes;  // every core reads the full input
+      work.output_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(a.out.numel() * opts.bytes_per_value) * share +
+          0.5);
+    }
+    schedule.events.push_back(std::move(compute));
+  }
+
+  validate_against(schedule, spec);
+  return schedule;
+}
+
+Schedule build_traditional(const nn::NetSpec& spec,
+                           const core::InferenceTraffic& dense_traffic,
+                           const BuildOptions& opts) {
+  return lower(spec, dense_traffic, opts, nullptr, Strategy::kTraditional);
+}
+
+Schedule build_structure_level(const nn::NetSpec& grouped_spec,
+                               const core::InferenceTraffic& dense_traffic,
+                               const BuildOptions& opts) {
+  return lower(grouped_spec, dense_traffic, opts, nullptr,
+               Strategy::kStructureLevel);
+}
+
+Schedule build_sparsified(const nn::NetSpec& spec,
+                          const core::InferenceTraffic& live_traffic,
+                          const BuildOptions& opts,
+                          const core::SparsityProfile* sparsity) {
+  return lower(spec, live_traffic, opts, sparsity, Strategy::kSparsified);
+}
+
+Schedule build_hybrid(const nn::NetSpec& grouped_spec,
+                      const core::InferenceTraffic& live_traffic,
+                      const BuildOptions& opts,
+                      const core::SparsityProfile* sparsity) {
+  return lower(grouped_spec, live_traffic, opts, sparsity, Strategy::kHybrid);
+}
+
+}  // namespace ls::sched

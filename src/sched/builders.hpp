@@ -1,0 +1,82 @@
+#pragma once
+// Schedule builders: lower a network architecture plus its layer-transition
+// traffic (and, for the sparsified strategies, a SparsityProfile) into the
+// Schedule IR (schedule.hpp).
+//
+// All four strategies share one lowering — that is the point of the IR.
+// They differ only in their *inputs*:
+//   * traditional       — the dense spec with core::traffic_dense,
+//   * structure-level   — the grouped spec with core::traffic_dense (the
+//     grouping transform already removed the inter-group transitions),
+//   * sparsified        — SS / SS_Mask: the dense spec with
+//     core::traffic_live from the group-Lasso-trained weights plus the
+//     matching SparsityProfile discounting per-core compute,
+//   * hybrid            — the grouped spec with live traffic + profile.
+// The thin strategy entry points below exist so call sites state intent
+// (and get strategy-appropriate invariant checks) while `lower()` stays the
+// single source of truth for what a layer transition costs.
+//
+// Lowering is bit-exact with the pre-IR CmpSystem::run_inference loop: the
+// per-core share/live arithmetic (including its +0.5 roundings and
+// accumulation order) is reproduced here so an executor over the built
+// schedule yields byte-identical InferenceResults — the golden equivalence
+// suite (`ctest -L sched`) pins this.
+
+#include <cstddef>
+
+#include "core/sparsity_profile.hpp"
+#include "core/traffic.hpp"
+#include "nn/layer_spec.hpp"
+#include "sched/schedule.hpp"
+
+namespace ls::sched {
+
+/// Lowering knobs — the subset of ls::sim::SystemConfig the builder needs.
+/// (A separate struct keeps ls_sched below ls_sim in the module DAG.)
+struct BuildOptions {
+  std::size_t cores = 16;
+  std::size_t bytes_per_value = 2;
+  /// Stamp the overlap ablation onto every comm event.
+  bool overlap_comm = false;
+  /// Apply SparsityProfile discounts to per-core work (mirrors
+  /// SystemConfig::sparse_cycle_model).
+  bool sparse_cycle_model = true;
+};
+
+/// The shared lowering: one compute event per compute layer of `spec`
+/// (per-core work split by core::balanced_ranges, discounted by `sparsity`
+/// when given), preceded by a comm event wherever `traffic` carries a
+/// non-empty burst into that layer. Events form a linear dependency chain.
+Schedule lower(const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+               const BuildOptions& opts,
+               const core::SparsityProfile* sparsity = nullptr,
+               Strategy strategy = Strategy::kTraditional);
+
+/// Traditional parallelization: dense traffic, no sparsity.
+Schedule build_traditional(const nn::NetSpec& spec,
+                           const core::InferenceTraffic& dense_traffic,
+                           const BuildOptions& opts);
+
+/// Structure-level (grouped) parallelization: the grouped spec's dense
+/// traffic — grouping removed the transitions instead of sparsifying them.
+Schedule build_structure_level(const nn::NetSpec& grouped_spec,
+                               const core::InferenceTraffic& dense_traffic,
+                               const BuildOptions& opts);
+
+/// SS / SS_Mask sparsified parallelization: live traffic extracted from the
+/// trained weights plus the matching per-core sparsity discounts. The two
+/// schemes differ only in training (uniform vs distance-weighted lasso
+/// strength); their lowering is identical.
+Schedule build_sparsified(const nn::NetSpec& spec,
+                          const core::InferenceTraffic& live_traffic,
+                          const BuildOptions& opts,
+                          const core::SparsityProfile* sparsity);
+
+/// Hybrid: grouped spec + live traffic + sparsity discounts on the
+/// still-dense layers.
+Schedule build_hybrid(const nn::NetSpec& grouped_spec,
+                      const core::InferenceTraffic& live_traffic,
+                      const BuildOptions& opts,
+                      const core::SparsityProfile* sparsity);
+
+}  // namespace ls::sched

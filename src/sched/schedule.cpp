@@ -1,0 +1,202 @@
+#include "sched/schedule.hpp"
+
+#include "check/check.hpp"
+#include "util/json.hpp"
+
+namespace ls::sched {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kComm:
+      return "comm";
+    case EventKind::kCompute:
+      return "compute";
+  }
+  return "?";
+}
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kTraditional:
+      return "traditional";
+    case Strategy::kStructureLevel:
+      return "structure_level";
+    case Strategy::kSparsified:
+      return "sparsified";
+    case Strategy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::size_t Schedule::compute_event_count() const {
+  std::size_t n = 0;
+  for (const Event& e : events) n += e.kind == EventKind::kCompute ? 1 : 0;
+  return n;
+}
+
+std::size_t Schedule::comm_event_count() const {
+  std::size_t n = 0;
+  for (const Event& e : events) n += e.kind == EventKind::kComm ? 1 : 0;
+  return n;
+}
+
+std::size_t Schedule::traffic_bytes() const {
+  std::size_t n = 0;
+  for (const Event& e : events) n += e.traffic_bytes;
+  return n;
+}
+
+void validate(const Schedule& schedule) {
+  if constexpr (check::kEnabled) {
+    LS_CHECK_MSG(schedule.cores > 0, "schedule '%s' has zero cores",
+                 schedule.net_name.c_str());
+    for (std::size_t id = 0; id < schedule.events.size(); ++id) {
+      const Event& e = schedule.events[id];
+      LS_CHECK_MSG(!e.layer_name.empty(),
+                   "schedule '%s': event %zu has no layer name",
+                   schedule.net_name.c_str(), id);
+      for (const EventId dep : e.deps) {
+        LS_CHECK_MSG(dep < id,
+                     "schedule '%s': event %zu ('%s') depends on %zu — deps "
+                     "must point backwards (topological order / acyclicity)",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str(), dep);
+      }
+      if (e.kind == EventKind::kComm) {
+        LS_CHECK_MSG(!e.messages.empty(),
+                     "schedule '%s': comm event %zu ('%s') carries no "
+                     "messages — empty bursts must be elided at build time",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str());
+        std::size_t bytes = 0;
+        for (const noc::Message& m : e.messages) {
+          bytes += m.bytes;
+          LS_CHECK_MSG(m.src < schedule.cores && m.dst < schedule.cores,
+                       "schedule '%s': comm event %zu ('%s') message "
+                       "%zu->%zu is outside the %zu-core machine",
+                       schedule.net_name.c_str(), id, e.layer_name.c_str(),
+                       m.src, m.dst, schedule.cores);
+        }
+        LS_CHECK_MSG(bytes == e.traffic_bytes,
+                     "schedule '%s': comm event %zu ('%s') claims %zu bytes "
+                     "but its messages carry %zu",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str(),
+                     e.traffic_bytes, bytes);
+        LS_CHECK_MSG(id + 1 < schedule.events.size() &&
+                         schedule.events[id + 1].kind == EventKind::kCompute &&
+                         schedule.events[id + 1].layer_name == e.layer_name,
+                     "schedule '%s': comm event %zu ('%s') is not "
+                     "immediately followed by its compute event",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str());
+      } else {
+        LS_CHECK_MSG(e.per_core_work.size() == schedule.cores,
+                     "schedule '%s': compute event %zu ('%s') carries work "
+                     "for %zu cores on a %zu-core machine",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str(),
+                     e.per_core_work.size(), schedule.cores);
+        LS_CHECK_MSG(e.messages.empty() && e.traffic_bytes == 0,
+                     "schedule '%s': compute event %zu ('%s') carries comm "
+                     "payload",
+                     schedule.net_name.c_str(), id, e.layer_name.c_str());
+      }
+    }
+  } else {
+    (void)schedule;
+  }
+}
+
+void validate_against(const Schedule& schedule, const nn::NetSpec& spec) {
+  if constexpr (check::kEnabled) {
+    validate(schedule);
+    std::vector<std::string> expected;
+    for (const nn::LayerAnalysis& a : nn::analyze(spec)) {
+      if (a.is_compute()) expected.push_back(a.spec.name);
+    }
+    std::vector<const Event*> computes;
+    for (const Event& e : schedule.events) {
+      if (e.kind == EventKind::kCompute) computes.push_back(&e);
+    }
+    LS_CHECK_MSG(computes.size() == expected.size(),
+                 "schedule '%s' covers %zu compute layers but '%s' has %zu",
+                 schedule.net_name.c_str(), computes.size(),
+                 spec.name.c_str(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      LS_CHECK_MSG(computes[i]->layer_name == expected[i],
+                   "schedule '%s': compute event %zu is '%s' but layer %zu "
+                   "of '%s' is '%s'",
+                   schedule.net_name.c_str(), i,
+                   computes[i]->layer_name.c_str(), i, spec.name.c_str(),
+                   expected[i].c_str());
+    }
+  } else {
+    (void)schedule;
+    (void)spec;
+  }
+}
+
+void to_json(const Schedule& schedule, util::JsonWriter& w) {
+  w.begin_object();
+  w.key("net").value(schedule.net_name);
+  w.key("strategy").value(to_string(schedule.strategy));
+  w.key("cores").value(static_cast<std::uint64_t>(schedule.cores));
+  w.key("traffic_bytes")
+      .value(static_cast<std::uint64_t>(schedule.traffic_bytes()));
+  w.key("events");
+  w.begin_array();
+  for (std::size_t id = 0; id < schedule.events.size(); ++id) {
+    const Event& e = schedule.events[id];
+    w.begin_object();
+    w.key("id").value(static_cast<std::uint64_t>(id));
+    w.key("kind").value(to_string(e.kind));
+    w.key("layer").value(e.layer_name);
+    w.key("deps");
+    w.begin_array();
+    for (const EventId dep : e.deps) {
+      w.value(static_cast<std::uint64_t>(dep));
+    }
+    w.end_array();
+    if (e.kind == EventKind::kComm) {
+      w.key("bytes").value(static_cast<std::uint64_t>(e.traffic_bytes));
+      w.key("overlap").value(e.overlap_with_prev_compute);
+      w.key("messages");
+      w.begin_array();
+      for (const noc::Message& m : e.messages) {
+        w.begin_array();
+        w.value(static_cast<std::uint64_t>(m.src));
+        w.value(static_cast<std::uint64_t>(m.dst));
+        w.value(static_cast<std::uint64_t>(m.bytes));
+        w.end_array();
+      }
+      w.end_array();
+    } else {
+      w.key("macs_discounted").value(e.macs_discounted);
+      w.key("per_core");
+      w.begin_array();
+      for (std::size_t c = 0; c < e.per_core_work.size(); ++c) {
+        const accel::LayerPartitionWork& work = e.per_core_work[c];
+        if (work.macs == 0 && work.weight_bytes == 0 &&
+            work.input_bytes == 0 && work.output_bytes == 0) {
+          continue;  // idle core
+        }
+        w.begin_object();
+        w.key("core").value(static_cast<std::uint64_t>(c));
+        w.key("macs").value(work.macs);
+        w.key("weight_bytes").value(work.weight_bytes);
+        w.key("input_bytes").value(work.input_bytes);
+        w.key("output_bytes").value(work.output_bytes);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json(const Schedule& schedule) {
+  util::JsonWriter w;
+  to_json(schedule, w);
+  return w.str();
+}
+
+}  // namespace ls::sched

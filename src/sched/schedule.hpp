@@ -1,0 +1,114 @@
+#pragma once
+// Schedule IR: the explicit execution plan of one partitioned inference
+// (DESIGN.md §4f "Schedule IR & streaming engine").
+//
+// The paper's parallelization strategies (traditional, structure-level
+// grouping, SS/SS_Mask sparsified, hybrid) differ only in *what* work each
+// layer transition implies — which bytes move between cores and how many
+// MACs each core executes. This module reifies that as data: a Schedule is
+// a topologically-ordered list of events,
+//   * CommEvent    — the synchronization burst into a compute layer
+//     (explicit noc::Message list, total bytes, overlap policy),
+//   * ComputeEvent — the layer's per-core kernel partitions as
+//     accel::LayerPartitionWork (sparsity discounts already applied),
+// with explicit dependency edges. Builders (builders.hpp) lower
+// NetSpec + InferenceTraffic (+ optional SparsityProfile) into a Schedule;
+// ls::sim::CmpSystem is an executor over schedules — the same engine runs
+// every strategy, single-pass or software-pipelined across many requests.
+//
+// Invariants (validate(); LS_CHECK-enforced in checked builds):
+//   * dependencies point backwards (the event list is a topological order,
+//     so the graph is acyclic by construction),
+//   * every comm event is immediately followed by the compute event it
+//     feeds (same layer), which is what the executor's layer pairing and
+//     the overlap ablation rely on,
+//   * event payloads stay inside the machine: per-core work vectors have
+//     exactly `cores` entries, message endpoints are < cores, and a comm
+//     event's bytes equal the sum of its messages.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/core_model.hpp"
+#include "noc/simulator.hpp"
+#include "nn/layer_spec.hpp"
+
+namespace ls::util {
+class JsonWriter;
+}
+
+namespace ls::sched {
+
+/// Index of an earlier event in Schedule::events.
+using EventId = std::size_t;
+
+enum class EventKind { kComm, kCompute };
+
+const char* to_string(EventKind kind);
+
+/// Which strategy a builder lowered. Purely descriptive — the executor
+/// treats every schedule identically; the tag survives into dumps/traces.
+enum class Strategy { kTraditional, kStructureLevel, kSparsified, kHybrid };
+
+const char* to_string(Strategy strategy);
+
+struct Event {
+  EventKind kind = EventKind::kCompute;
+  /// Consumer compute layer this event belongs to.
+  std::string layer_name;
+  /// Events that must complete first (always earlier in the list).
+  std::vector<EventId> deps;
+
+  // --- kComm payload ------------------------------------------------------
+  /// The layer-transition burst, in injection order (order matters to the
+  /// flit simulator and to the burst-cache key).
+  std::vector<noc::Message> messages;
+  std::size_t traffic_bytes = 0;
+  /// Overlap-ablation policy: hide this burst behind the previous layer's
+  /// compute (charged only where it exceeds it). Captured at build time so
+  /// policy is schedule data, not executor state.
+  bool overlap_with_prev_compute = false;
+
+  // --- kCompute payload ---------------------------------------------------
+  /// Per-core kernel partition work, indexed by core id (size = cores).
+  /// Cores with no share of the layer hold all-zero work.
+  std::vector<accel::LayerPartitionWork> per_core_work;
+  /// MACs removed from the dense partitioning by the sparsity discount
+  /// (feeds the `sparse.sim.macs_discounted` counter).
+  std::uint64_t macs_discounted = 0;
+};
+
+struct Schedule {
+  std::string net_name;
+  Strategy strategy = Strategy::kTraditional;
+  std::size_t cores = 0;
+  /// Topologically ordered: every event's deps precede it.
+  std::vector<Event> events;
+
+  std::size_t compute_event_count() const;
+  std::size_t comm_event_count() const;
+  /// Total bytes moved by all comm events.
+  std::size_t traffic_bytes() const;
+};
+
+/// Checked-build structural validation (see header comment for the
+/// invariant list). Compiles to nothing when LS_CHECKS is off; in checked
+/// builds a malformed schedule aborts with a diagnostic. The executor runs
+/// this before executing any schedule.
+void validate(const Schedule& schedule);
+
+/// Additionally checks the schedule against the architecture it claims to
+/// implement: one compute event per compute layer of `spec`, in order.
+void validate_against(const Schedule& schedule, const nn::NetSpec& spec);
+
+/// Serializes the schedule into `w` as one JSON object (events with kinds,
+/// deps, per-core work, and the full message list) — the
+/// `ls_experiment infer --schedule-dump` format, for inspection/diffing.
+void to_json(const Schedule& schedule, util::JsonWriter& w);
+
+/// Convenience: to_json rendered to a string.
+std::string to_json(const Schedule& schedule);
+
+}  // namespace ls::sched

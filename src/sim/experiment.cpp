@@ -5,6 +5,7 @@
 #include "core/sparsity_profile.hpp"
 #include "core/weight_groups.hpp"
 #include "nn/block_sparsity.hpp"
+#include "sched/builders.hpp"
 #include "util/log.hpp"
 
 namespace ls::sim {
@@ -36,15 +37,40 @@ data::Dataset dataset_for(const nn::NetSpec& spec, std::size_t samples,
 
 namespace {
 
+// Lowers the strategy's inputs through the matching Schedule-IR builder and
+// executes the schedule. This is where the per-strategy runners collapse:
+// they no longer own any simulation arithmetic, only the training recipe
+// and which (spec, traffic, profile) triple they hand the builder.
 StrategyOutcome simulate_with_traffic(
     const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
     const ExperimentConfig& cfg, const StrategyOutcome* baseline,
+    sched::Strategy strategy,
     const core::SparsityProfile* sparsity = nullptr) {
   SystemConfig sys = cfg.system;
   sys.cores = cfg.cores;
   CmpSystem system(sys);
+  sched::BuildOptions opts;
+  opts.cores = sys.cores;
+  opts.bytes_per_value = sys.bytes_per_value;
+  opts.overlap_comm = sys.overlap_comm;
+  opts.sparse_cycle_model = sys.sparse_cycle_model;
+  sched::Schedule schedule;
+  switch (strategy) {
+    case sched::Strategy::kTraditional:
+      schedule = sched::build_traditional(spec, traffic, opts);
+      break;
+    case sched::Strategy::kStructureLevel:
+      schedule = sched::build_structure_level(spec, traffic, opts);
+      break;
+    case sched::Strategy::kSparsified:
+      schedule = sched::build_sparsified(spec, traffic, opts, sparsity);
+      break;
+    case sched::Strategy::kHybrid:
+      schedule = sched::build_hybrid(spec, traffic, opts, sparsity);
+      break;
+  }
   StrategyOutcome out;
-  out.result = system.run_inference(spec, traffic, sparsity);
+  out.result = system.execute(schedule);
   const std::size_t bytes = traffic.total_bytes();
   out.mean_traffic_hops =
       bytes ? static_cast<double>(traffic.total_byte_hops()) /
@@ -80,7 +106,8 @@ std::vector<StrategyOutcome> run_sparsified_experiment(
         train::train_classifier(net, train_set, test_set, cfg.train);
     const auto traffic =
         core::traffic_dense(spec, topo, cfg.system.bytes_per_value);
-    StrategyOutcome out = simulate_with_traffic(spec, traffic, cfg, nullptr);
+    StrategyOutcome out = simulate_with_traffic(
+        spec, traffic, cfg, nullptr, sched::Strategy::kTraditional);
     out.scheme = "Baseline";
     out.accuracy = report.test_accuracy;
     out.weight_sparsity = report.weight_sparsity;
@@ -122,7 +149,8 @@ std::vector<StrategyOutcome> run_sparsified_experiment(
     const core::SparsityProfile profile =
         core::profile_from_groups(reg.groups());
     StrategyOutcome out =
-        simulate_with_traffic(spec, traffic, cfg, &baseline, &profile);
+        simulate_with_traffic(spec, traffic, cfg, &baseline,
+                              sched::Strategy::kSparsified, &profile);
     out.scheme = scheme.name;
     out.accuracy = report.test_accuracy;
     out.weight_sparsity = report.weight_sparsity;
@@ -163,7 +191,8 @@ StrategyOutcome run_hybrid_variant(const nn::NetSpec& grouped_spec,
   const core::SparsityProfile profile =
       core::profile_from_groups(reg.groups());
   StrategyOutcome out =
-      simulate_with_traffic(grouped_spec, traffic, cfg, baseline, &profile);
+      simulate_with_traffic(grouped_spec, traffic, cfg, baseline,
+                            sched::Strategy::kHybrid, &profile);
   out.scheme = "Hybrid(" + grouped_spec.name + ")";
   out.accuracy = report.test_accuracy;
   out.weight_sparsity = report.weight_sparsity;
@@ -188,8 +217,8 @@ StrategyOutcome run_structure_level_variant(
       train::train_classifier(net, train_set, test_set, cfg.train);
   const auto traffic =
       core::traffic_dense(grouped_spec, topo, cfg.system.bytes_per_value);
-  StrategyOutcome out =
-      simulate_with_traffic(grouped_spec, traffic, cfg, baseline);
+  StrategyOutcome out = simulate_with_traffic(
+      grouped_spec, traffic, cfg, baseline, sched::Strategy::kStructureLevel);
   out.scheme = grouped_spec.name;
   out.accuracy = report.test_accuracy;
   return out;

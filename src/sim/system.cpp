@@ -1,7 +1,8 @@
 #include "sim/system.hpp"
 
+#include <algorithm>
 #include <cstdio>
-#include <stdexcept>
+#include <limits>
 #include <unordered_map>
 
 #include "check/check.hpp"
@@ -9,6 +10,8 @@
 #include "noc/sim_cache.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/builders.hpp"
+#include "util/log.hpp"
 #include "util/parallel.hpp"
 
 namespace ls::sim {
@@ -51,6 +54,14 @@ void record_layer_metrics(const LayerTimeline& tl) {
   reg.counter(prefix + ".traffic_bytes").inc(tl.traffic_bytes);
 }
 
+void name_sim_tracks(std::size_t P) {
+  obs::Tracer& tr = obs::Tracer::instance();
+  for (std::size_t c = 0; c < P; ++c) {
+    tr.set_virtual_thread_name(obs::kSimPid, c, "core-" + std::to_string(c));
+  }
+  tr.set_virtual_thread_name(obs::kSimPid, P, "noc");
+}
+
 }  // namespace
 
 CmpSystem::CmpSystem(const SystemConfig& cfg)
@@ -62,27 +73,42 @@ CmpSystem::CmpSystem(const SystemConfig& cfg)
   core_model_ = accel::CoreModel(per_core);
 }
 
+sched::Schedule CmpSystem::build_schedule(
+    const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+    const core::SparsityProfile* sparsity) const {
+  sched::BuildOptions opts;
+  opts.cores = cfg_.cores;
+  opts.bytes_per_value = cfg_.bytes_per_value;
+  opts.overlap_comm = cfg_.overlap_comm;
+  opts.sparse_cycle_model = cfg_.sparse_cycle_model;
+  return sched::lower(spec, traffic, opts, sparsity,
+                      sparsity != nullptr ? sched::Strategy::kSparsified
+                                          : sched::Strategy::kTraditional);
+}
+
 InferenceResult CmpSystem::run_inference(
     const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
     const core::SparsityProfile* sparsity) const {
-  const auto analysis = nn::analyze(spec);
+  const sched::Schedule schedule = build_schedule(spec, traffic, sparsity);
+  // The builder must have lowered every compute layer of the spec, in
+  // order — the IR detour cannot drop work.
+  sched::validate_against(schedule, spec);
+  return execute(schedule);
+}
+
+InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
+                                   std::uint64_t stream_epoch) const {
+  sched::validate(schedule);
+  LS_CHECK_MSG(schedule.cores == cfg_.cores,
+               "schedule '%s' targets %zu cores but this system has %zu",
+               schedule.net_name.c_str(), schedule.cores, cfg_.cores);
   const std::size_t P = cfg_.cores;
 
   const bool tracing = obs::trace_enabled();
   obs::Span run_span;
   if (tracing) {
-    run_span.begin("sim.run_inference(" + spec.name + ")", "sim");
-    obs::Tracer& tr = obs::Tracer::instance();
-    for (std::size_t c = 0; c < P; ++c) {
-      tr.set_virtual_thread_name(obs::kSimPid, c,
-                                 "core-" + std::to_string(c));
-    }
-    tr.set_virtual_thread_name(obs::kSimPid, P, "noc");
-  }
-
-  std::unordered_map<std::string, const core::TransitionTraffic*> by_layer;
-  for (const auto& t : traffic.transitions) {
-    by_layer.emplace(t.layer_name, &t);
+    run_span.begin("sim.execute(" + schedule.net_name + ")", "sim");
+    name_sim_tracks(P);
   }
 
   noc::MeshNocSimulator noc_sim(topo_, cfg_.noc);
@@ -92,136 +118,83 @@ InferenceResult CmpSystem::run_inference(
   // through the memoizing burst cache unless disabled), then assemble the
   // timeline serially — the overlap ablation needs the previous layer's
   // compute time.
-  struct LayerJob {
-    const nn::LayerAnalysis* a = nullptr;
-    const core::TransitionTraffic* traffic = nullptr;  // null: no burst
-    noc::NocStats stats{};
-  };
-  std::vector<LayerJob> jobs;
-  for (const nn::LayerAnalysis& a : analysis) {
-    if (!a.is_compute()) continue;
-    LayerJob job;
-    job.a = &a;
-    const auto it = by_layer.find(a.spec.name);
-    if (it != by_layer.end() && !it->second->messages.empty()) {
-      job.traffic = it->second;
-    }
-    jobs.push_back(job);
-  }
-  util::parallel_for(0, jobs.size(), [&](std::size_t i) {
-    if (jobs[i].traffic == nullptr) return;
-    jobs[i].stats =
+  std::vector<noc::NocStats> burst_stats(schedule.events.size());
+  util::parallel_for(0, schedule.events.size(), [&](std::size_t i) {
+    const sched::Event& e = schedule.events[i];
+    if (e.kind != sched::EventKind::kComm) return;
+    burst_stats[i] =
         cfg_.noc_result_cache
-            ? noc::NocRunCache::instance().run(noc_sim,
-                                               jobs[i].traffic->messages)
-            : noc_sim.run(jobs[i].traffic->messages);
+            ? noc::NocRunCache::instance().run(noc_sim, e.messages,
+                                               200'000'000ull, stream_epoch)
+            : noc_sim.run(e.messages);
   });
 
   InferenceResult result;
   std::uint64_t prev_compute = 0;
   std::uint64_t cursor = 0;  // serialized model time, for the trace
   std::vector<std::uint64_t> per_core_cycles(P, 0);
-  for (const LayerJob& job : jobs) {
-    const nn::LayerAnalysis& a = *job.a;
+  const sched::Event* pending_comm = nullptr;
+  const noc::NocStats* pending_stats = nullptr;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const sched::Event& e = schedule.events[i];
+    if (e.kind == sched::EventKind::kComm) {
+      pending_comm = &e;
+      pending_stats = &burst_stats[i];
+      continue;
+    }
 
     LayerTimeline tl;
-    tl.layer_name = a.spec.name;
+    tl.layer_name = e.layer_name;
 
     // --- Communication into this layer --------------------------------
-    if (job.traffic != nullptr) {
-      // The flit-level simulation and the analytic traffic model must
-      // account for the same burst: the simulator's flit count is exactly
-      // the packetization of the transition's messages, and the message
-      // bytes sum to the transition's total. Every downstream number
-      // (comm cycles, NoC energy, heatmaps) rides on this.
+    if (pending_comm != nullptr) {
+      // The flit-level simulation and the schedule's burst must account
+      // for the same traffic: the simulator's flit count is exactly the
+      // packetization of the comm event's messages (validate() already
+      // tied message bytes to the event's claimed total). Every downstream
+      // number (comm cycles, NoC energy, heatmaps) rides on this.
       if constexpr (check::kEnabled) {
         std::size_t expected_flits = 0;
-        std::size_t message_bytes = 0;
-        for (const noc::Message& m : job.traffic->messages) {
-          message_bytes += m.bytes;
+        for (const noc::Message& m : pending_comm->messages) {
           if (m.src != m.dst && m.bytes > 0) {
             expected_flits += noc_sim.flits_for_bytes(m.bytes);
           }
         }
-        LS_CHECK_MSG(message_bytes == job.traffic->total_bytes,
-                     "traffic accounting into '%s': messages carry %zu "
-                     "bytes but the transition claims %zu",
-                     a.spec.name.c_str(), message_bytes,
-                     job.traffic->total_bytes);
-        LS_CHECK_MSG(job.stats.total_flits == expected_flits,
+        LS_CHECK_MSG(pending_stats->total_flits == expected_flits,
                      "traffic accounting into '%s': simulator drained %llu "
-                     "flits but the traffic model injects %zu",
-                     a.spec.name.c_str(),
-                     static_cast<unsigned long long>(job.stats.total_flits),
+                     "flits but the schedule's burst packetizes to %zu",
+                     e.layer_name.c_str(),
+                     static_cast<unsigned long long>(
+                         pending_stats->total_flits),
                      expected_flits);
       }
-      tl.noc_stats = job.stats;
+      tl.noc_stats = *pending_stats;
       tl.comm_cycles = static_cast<std::uint64_t>(
           static_cast<double>(tl.noc_stats.completion_cycle) *
           cfg_.noc_clock_divider);
-      tl.traffic_bytes = job.traffic->total_bytes;
+      tl.traffic_bytes = pending_comm->traffic_bytes;
       tl.noc_energy_pj =
           noc::energy_from_stats(tl.noc_stats, cfg_.noc_energy, P).total_pj();
     }
     tl.blocking_comm_cycles = tl.comm_cycles;
-    if (cfg_.overlap_comm) {
+    if (pending_comm != nullptr && pending_comm->overlap_with_prev_compute) {
       tl.blocking_comm_cycles =
           tl.comm_cycles > prev_compute ? tl.comm_cycles - prev_compute : 0;
     }
+    pending_comm = nullptr;
+    pending_stats = nullptr;
 
     // --- Compute on the P cores ----------------------------------------
-    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
-                                      ? a.spec.out_channels
-                                      : a.spec.out_features;
-    const auto out_ranges = core::balanced_ranges(out_units, P);
-    const std::size_t weight_bytes_total =
-        a.weight_count * cfg_.bytes_per_value;
-    const std::size_t in_bytes = a.in.numel() * cfg_.bytes_per_value;
-    // Structured-sparsity discount: a sparsity-aware core executes only
-    // the MACs of its live weight blocks, and streams only live weights.
-    // Inputs/outputs are unaffected (activations stay dense), and so are
-    // comm cycles — live traffic is already modeled by traffic_live.
-    const core::LayerSparsity* layer_sparsity = nullptr;
-    if (cfg_.sparse_cycle_model && sparsity != nullptr) {
-      layer_sparsity = sparsity->find(a.spec.name);
-    }
-    std::uint64_t worst = 0;
-    std::uint64_t macs_discounted = 0;
-    per_core_cycles.assign(P, 0);
-    for (std::size_t c = 0; c < P; ++c) {
-      const double share = out_units
-                               ? static_cast<double>(out_ranges[c].count()) /
-                                     static_cast<double>(out_units)
-                               : 0.0;
-      if (share == 0.0) continue;
-      const double live = layer_sparsity != nullptr &&
-                                  c < layer_sparsity->live_fraction.size()
-                              ? layer_sparsity->live_fraction[c]
-                              : 1.0;
-      accel::LayerPartitionWork work;
-      const auto dense_macs = static_cast<std::uint64_t>(
-          static_cast<double>(a.macs) * share + 0.5);
-      work.macs = static_cast<std::uint64_t>(
-          static_cast<double>(a.macs) * share * live + 0.5);
-      macs_discounted += dense_macs - work.macs;
-      work.weight_bytes = static_cast<std::uint64_t>(
-          static_cast<double>(weight_bytes_total) * share * live + 0.5);
-      work.input_bytes = in_bytes;  // every core reads the full input
-      work.output_bytes = static_cast<std::uint64_t>(
-          static_cast<double>(a.out.numel() * cfg_.bytes_per_value) * share +
-          0.5);
-      const accel::LayerCoreCost cost = core_model_.layer_cost(work);
-      per_core_cycles[c] = cost.cycles();
-      worst = std::max(worst, cost.cycles());
-      tl.compute_energy_pj += cost.energy_pj;
-    }
-    if (macs_discounted > 0) {
+    const accel::PartitionCost cost =
+        core_model_.partition_cost(e.per_core_work, &per_core_cycles);
+    tl.compute_energy_pj = cost.energy_pj;
+    tl.compute_cycles = cost.worst_cycles;
+    prev_compute = cost.worst_cycles;
+    if (e.macs_discounted > 0) {
       static auto& discounted =
           obs::Registry::instance().counter("sparse.sim.macs_discounted");
-      discounted.inc(macs_discounted);
+      discounted.inc(e.macs_discounted);
     }
-    tl.compute_cycles = worst;
-    prev_compute = worst;
 
     if (tracing) trace_layer_timeline(tl, per_core_cycles, cursor, P);
     record_layer_metrics(tl);
@@ -245,23 +218,308 @@ InferenceResult CmpSystem::run_inference(
   return result;
 }
 
+StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
+                                   std::size_t requests,
+                                   std::uint64_t stream_epoch) const {
+  StreamResult out;
+  out.requests = requests;
+  out.single_pass = execute(schedule, stream_epoch);
+  if (requests == 0) return out;
+
+  const bool tracing = obs::trace_enabled();
+  obs::Span run_span;
+  if (tracing) {
+    run_span.begin("sim.run_stream(" + schedule.net_name + ")", "sim");
+    name_sim_tracks(cfg_.cores);
+  }
+
+  // Per-event durations, read off the single-pass timeline. A comm event is
+  // always immediately followed by its compute event (validate()), so the
+  // layer index advances on computes and a comm event reads the *next*
+  // layer's drain time. Streaming charges the full drain (comm_cycles, not
+  // the single-pass overlap-ablated blocking time): overlap here is
+  // structural, decided by the resource model below.
+  const std::size_t E = schedule.events.size();
+  std::vector<std::uint64_t> dur(E, 0);
+  std::vector<const sched::Event*> events(E);
+  {
+    std::size_t layer = 0;
+    for (std::size_t i = 0; i < E; ++i) {
+      const sched::Event& e = schedule.events[i];
+      events[i] = &e;
+      if (e.kind == sched::EventKind::kComm) {
+        dur[i] = out.single_pass.layers[layer].comm_cycles;
+      } else {
+        dur[i] = out.single_pass.layers[layer].compute_cycles;
+        ++layer;
+      }
+    }
+  }
+
+  // Two-resource list scheduling: the core gang runs one compute event at a
+  // time, the NoC one burst at a time. Work-conserving greedy: always start
+  // the pending event with the earliest feasible start (deps done and its
+  // resource free); lower request index breaks ties, so older requests
+  // drain first. Each request has exactly one pending event (its events
+  // chain), so the candidate set is tiny.
+  std::vector<std::vector<std::uint64_t>> end(
+      requests, std::vector<std::uint64_t>(E, 0));
+  std::vector<std::size_t> next(requests, 0);
+  std::uint64_t cores_free = 0;
+  std::uint64_t noc_free = 0;
+  std::uint64_t core_busy = 0;
+  std::uint64_t noc_busy = 0;
+  std::uint64_t makespan = 0;
+  // Per-core compute spans for the stream trace (recomputed once per
+  // event; the executor does not retain them).
+  std::vector<std::vector<std::uint64_t>> per_core_cycles;
+  if (tracing) {
+    per_core_cycles.resize(E);
+    for (std::size_t i = 0; i < E; ++i) {
+      if (events[i]->kind == sched::EventKind::kCompute) {
+        core_model_.partition_cost(events[i]->per_core_work,
+                                   &per_core_cycles[i]);
+      }
+    }
+  }
+  std::size_t remaining = requests * E;
+  while (remaining > 0) {
+    std::size_t best_r = requests;
+    std::uint64_t best_start = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t r = 0; r < requests; ++r) {
+      if (next[r] == E) continue;
+      const sched::Event& e = *events[next[r]];
+      std::uint64_t ready = 0;
+      for (const sched::EventId dep : e.deps) {
+        ready = std::max(ready, end[r][dep]);
+      }
+      const std::uint64_t res_free =
+          e.kind == sched::EventKind::kComm ? noc_free : cores_free;
+      const std::uint64_t start = std::max(ready, res_free);
+      if (start < best_start) {
+        best_start = start;
+        best_r = r;
+      }
+    }
+    const std::size_t id = next[best_r];
+    const sched::Event& e = *events[id];
+    const std::uint64_t finish = best_start + dur[id];
+    end[best_r][id] = finish;
+    if (e.kind == sched::EventKind::kComm) {
+      noc_free = finish;
+      noc_busy += dur[id];
+      if (tracing && dur[id] > 0) {
+        char args[64];
+        std::snprintf(args, sizeof(args), "{\"request\":%zu}", best_r);
+        obs::Tracer::instance().complete(
+            e.layer_name + " (burst r" + std::to_string(best_r) + ")",
+            "stream.burst", best_start, dur[id], obs::kSimPid, cfg_.cores,
+            args);
+      }
+    } else {
+      cores_free = finish;
+      core_busy += dur[id];
+      if (tracing) {
+        char args[64];
+        std::snprintf(args, sizeof(args), "{\"request\":%zu}", best_r);
+        for (std::size_t c = 0; c < per_core_cycles[id].size(); ++c) {
+          if (per_core_cycles[id][c] == 0) continue;
+          obs::Tracer::instance().complete(
+              e.layer_name + " r" + std::to_string(best_r), "stream.compute",
+              best_start, per_core_cycles[id][c], obs::kSimPid, c, args);
+        }
+      }
+    }
+    makespan = std::max(makespan, finish);
+    ++next[best_r];
+    --remaining;
+  }
+
+  out.makespan_cycles = makespan;
+  out.request_finish_cycle.resize(requests);
+  for (std::size_t r = 0; r < requests; ++r) {
+    out.request_finish_cycle[r] = E > 0 ? end[r][E - 1] : 0;
+  }
+  out.fill_cycles = out.request_finish_cycle.empty()
+                        ? 0
+                        : out.request_finish_cycle.front();
+  if (makespan > 0) {
+    out.throughput_per_mcycle =
+        static_cast<double>(requests) * 1e6 / static_cast<double>(makespan);
+    out.compute_occupancy =
+        static_cast<double>(core_busy) / static_cast<double>(makespan);
+    out.noc_occupancy =
+        static_cast<double>(noc_busy) / static_cast<double>(makespan);
+    // Back-to-back reference: n serialized non-overlapped passes (full
+    // drain charged per layer, which is what core_busy + noc_busy sum to
+    // for one request).
+    std::uint64_t one_pass = 0;
+    for (const LayerTimeline& tl : out.single_pass.layers) {
+      one_pass += tl.compute_cycles + tl.comm_cycles;
+    }
+    out.speedup_vs_back_to_back =
+        static_cast<double>(requests) * static_cast<double>(one_pass) /
+        static_cast<double>(makespan);
+  }
+
+  obs::Registry& reg = obs::Registry::instance();
+  reg.counter("stream.requests").inc(requests);
+  reg.counter("stream.makespan_cycles").inc(makespan);
+  reg.counter("stream.core_busy_cycles").inc(core_busy);
+  reg.counter("stream.noc_busy_cycles").inc(noc_busy);
+  reg.gauge("stream.throughput_per_mcycle").set(out.throughput_per_mcycle);
+  reg.gauge("stream.compute_occupancy").set(out.compute_occupancy);
+  reg.gauge("stream.noc_occupancy").set(out.noc_occupancy);
+  return out;
+}
+
 double speedup(const InferenceResult& baseline, const InferenceResult& v) {
-  if (v.total_cycles == 0) throw std::invalid_argument("zero-cycle variant");
+  if (v.total_cycles == 0) {
+    LS_LOG_WARN("speedup: variant ran for 0 cycles — returning 0");
+    return 0.0;
+  }
   return static_cast<double>(baseline.total_cycles) /
          static_cast<double>(v.total_cycles);
 }
 
 double comm_energy_reduction(const InferenceResult& baseline,
                              const InferenceResult& v) {
-  if (baseline.noc_energy_pj <= 0.0) return 0.0;
+  if (baseline.noc_energy_pj <= 0.0) {
+    LS_LOG_WARN("comm_energy_reduction: baseline NoC energy is 0 — "
+                "returning 0");
+    return 0.0;
+  }
   return 1.0 - v.noc_energy_pj / baseline.noc_energy_pj;
 }
 
 double traffic_rate(const InferenceResult& baseline,
                     const InferenceResult& v) {
-  if (baseline.traffic_bytes == 0) return 0.0;
+  if (baseline.traffic_bytes == 0) {
+    LS_LOG_WARN("traffic_rate: baseline moved 0 bytes — returning 0");
+    return 0.0;
+  }
   return static_cast<double>(v.traffic_bytes) /
          static_cast<double>(baseline.traffic_bytes);
 }
+
+namespace testing {
+
+InferenceResult reference_run_inference(const SystemConfig& cfg,
+                                        const nn::NetSpec& spec,
+                                        const core::InferenceTraffic& traffic,
+                                        const core::SparsityProfile* sparsity) {
+  const auto analysis = nn::analyze(spec);
+  const std::size_t P = cfg.cores;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(P);
+  accel::AccelConfig per_core = cfg.accel;
+  per_core.dram_bytes_per_cycle =
+      cfg.chip_dram_bytes_per_cycle / static_cast<double>(P);
+  const accel::CoreModel core_model(per_core);
+
+  std::unordered_map<std::string, const core::TransitionTraffic*> by_layer;
+  for (const auto& t : traffic.transitions) {
+    by_layer.emplace(t.layer_name, &t);
+  }
+
+  noc::MeshNocSimulator noc_sim(topo, cfg.noc);
+
+  struct LayerJob {
+    const nn::LayerAnalysis* a = nullptr;
+    const core::TransitionTraffic* traffic = nullptr;  // null: no burst
+    noc::NocStats stats{};
+  };
+  std::vector<LayerJob> jobs;
+  for (const nn::LayerAnalysis& a : analysis) {
+    if (!a.is_compute()) continue;
+    LayerJob job;
+    job.a = &a;
+    const auto it = by_layer.find(a.spec.name);
+    if (it != by_layer.end() && !it->second->messages.empty()) {
+      job.traffic = it->second;
+    }
+    jobs.push_back(job);
+  }
+  util::parallel_for(0, jobs.size(), [&](std::size_t i) {
+    if (jobs[i].traffic == nullptr) return;
+    jobs[i].stats =
+        cfg.noc_result_cache
+            ? noc::NocRunCache::instance().run(noc_sim,
+                                               jobs[i].traffic->messages)
+            : noc_sim.run(jobs[i].traffic->messages);
+  });
+
+  InferenceResult result;
+  std::uint64_t prev_compute = 0;
+  for (const LayerJob& job : jobs) {
+    const nn::LayerAnalysis& a = *job.a;
+
+    LayerTimeline tl;
+    tl.layer_name = a.spec.name;
+
+    if (job.traffic != nullptr) {
+      tl.noc_stats = job.stats;
+      tl.comm_cycles = static_cast<std::uint64_t>(
+          static_cast<double>(tl.noc_stats.completion_cycle) *
+          cfg.noc_clock_divider);
+      tl.traffic_bytes = job.traffic->total_bytes;
+      tl.noc_energy_pj =
+          noc::energy_from_stats(tl.noc_stats, cfg.noc_energy, P).total_pj();
+    }
+    tl.blocking_comm_cycles = tl.comm_cycles;
+    if (cfg.overlap_comm) {
+      tl.blocking_comm_cycles =
+          tl.comm_cycles > prev_compute ? tl.comm_cycles - prev_compute : 0;
+    }
+
+    const std::size_t out_units = a.spec.kind == nn::LayerKind::kConv
+                                      ? a.spec.out_channels
+                                      : a.spec.out_features;
+    const auto out_ranges = core::balanced_ranges(out_units, P);
+    const std::size_t weight_bytes_total =
+        a.weight_count * cfg.bytes_per_value;
+    const std::size_t in_bytes = a.in.numel() * cfg.bytes_per_value;
+    const core::LayerSparsity* layer_sparsity = nullptr;
+    if (cfg.sparse_cycle_model && sparsity != nullptr) {
+      layer_sparsity = sparsity->find(a.spec.name);
+    }
+    std::uint64_t worst = 0;
+    for (std::size_t c = 0; c < P; ++c) {
+      const double share = out_units
+                               ? static_cast<double>(out_ranges[c].count()) /
+                                     static_cast<double>(out_units)
+                               : 0.0;
+      if (share == 0.0) continue;
+      const double live = layer_sparsity != nullptr &&
+                                  c < layer_sparsity->live_fraction.size()
+                              ? layer_sparsity->live_fraction[c]
+                              : 1.0;
+      accel::LayerPartitionWork work;
+      work.macs = static_cast<std::uint64_t>(
+          static_cast<double>(a.macs) * share * live + 0.5);
+      work.weight_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(weight_bytes_total) * share * live + 0.5);
+      work.input_bytes = in_bytes;  // every core reads the full input
+      work.output_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(a.out.numel() * cfg.bytes_per_value) * share +
+          0.5);
+      const accel::LayerCoreCost cost = core_model.layer_cost(work);
+      worst = std::max(worst, cost.cycles());
+      tl.compute_energy_pj += cost.energy_pj;
+    }
+    tl.compute_cycles = worst;
+    prev_compute = worst;
+
+    result.compute_cycles += tl.compute_cycles;
+    result.comm_cycles += tl.blocking_comm_cycles;
+    result.compute_energy_pj += tl.compute_energy_pj;
+    result.noc_energy_pj += tl.noc_energy_pj;
+    result.traffic_bytes += tl.traffic_bytes;
+    result.layers.push_back(std::move(tl));
+  }
+  result.total_cycles = result.compute_cycles + result.comm_cycles;
+  return result;
+}
+
+}  // namespace testing
 
 }  // namespace ls::sim

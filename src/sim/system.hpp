@@ -1,16 +1,27 @@
 #pragma once
-// CMP system model: P accelerator cores on a 2D-mesh NoC running one
-// partitioned single-pass inference (paper Fig. 2).
+// CMP system model: P accelerator cores on a 2D-mesh NoC executing
+// Schedule-IR plans (paper Fig. 2; DESIGN.md §4f).
 //
-// Per compute layer the model charges
+// CmpSystem is an *executor over schedules* (src/sched): run_inference is a
+// thin build-then-execute wrapper that lowers the spec + traffic into the
+// IR and charges, per compute layer,
 //   * compute cycles — max over cores of the DianNao core model on that
 //     core's kernel partition (cores run in parallel, the slowest gates),
 //   * communication cycles — the flit-level NoC simulation of the
 //     synchronization burst into that layer ("computation-blocking
 //     communication", the paper's §V.A.1 metric), charged before the layer
 //     starts. The overlap ablation hides communication behind the
-//     *previous* layer's compute instead.
+//     *previous* layer's compute instead (policy is schedule data).
 // Energies come from the accelerator model and the DSENT-style NoC model.
+//
+// run_stream executes the same schedule for many independent requests,
+// software-pipelined: request k+1's layer-transition bursts overlap
+// request k's compute. The cores are one gang resource (every compute
+// layer occupies all P cores), the NoC one burst resource; both are
+// work-conserving and serve the earliest-ready event (request index breaks
+// ties). Burst latencies still come from the flit model via the memoizing
+// burst cache; cross-request NoC contention is queueing on the burst
+// resource. Throughput is reported in inferences per 1e6 cycles.
 
 #include <cstdint>
 #include <string>
@@ -22,6 +33,7 @@
 #include "noc/energy.hpp"
 #include "noc/simulator.hpp"
 #include "nn/layer_spec.hpp"
+#include "sched/schedule.hpp"
 
 namespace ls::sim {
 
@@ -87,9 +99,34 @@ struct InferenceResult {
   }
 
   /// Exact equality — used by the obs determinism test (tracing/metrics
-  /// must not perturb results).
+  /// must not perturb results) and the schedule-path golden equivalence
+  /// suite (`ctest -L sched`).
   friend bool operator==(const InferenceResult&,
                          const InferenceResult&) = default;
+};
+
+/// Multi-request streaming outcome (run_stream). Requests are independent
+/// inferences of the same schedule, all released at cycle 0.
+struct StreamResult {
+  std::size_t requests = 0;
+  /// One request executed alone — identical to run_inference over the same
+  /// schedule (and bit-identical to it for n = 1 streams).
+  InferenceResult single_pass{};
+  /// Completion cycle of the whole stream.
+  std::uint64_t makespan_cycles = 0;
+  /// Completion cycle of request 0 — the pipeline-fill latency.
+  std::uint64_t fill_cycles = 0;
+  /// Per-request completion cycles (size = requests).
+  std::vector<std::uint64_t> request_finish_cycle;
+  /// Inferences per 1e6 cycles over the whole stream.
+  double throughput_per_mcycle = 0.0;
+  /// Busy fraction of the core gang / the NoC over the makespan — how full
+  /// the software pipeline keeps each resource.
+  double compute_occupancy = 0.0;
+  double noc_occupancy = 0.0;
+  /// makespan of n back-to-back non-overlapped single passes divided by
+  /// the streamed makespan (>1 means pipelining won).
+  double speedup_vs_back_to_back = 0.0;
 };
 
 class CmpSystem {
@@ -101,10 +138,32 @@ class CmpSystem {
   /// the same spec). When `sparsity` is non-null (and
   /// SystemConfig::sparse_cycle_model is on), per-core compute work is
   /// discounted by the profile's live-MAC fractions; unprofiled layers
-  /// stay dense.
+  /// stay dense. Thin wrapper: lowers to the Schedule IR via
+  /// build_schedule and executes it.
   InferenceResult run_inference(
       const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
       const core::SparsityProfile* sparsity = nullptr) const;
+
+  /// Lowers spec + traffic (+ profile) into a Schedule using this system's
+  /// configuration (cores, bytes/value, overlap policy, sparse model).
+  sched::Schedule build_schedule(
+      const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+      const core::SparsityProfile* sparsity = nullptr) const;
+
+  /// Executes any well-formed schedule (checked-build validated). Burst
+  /// simulations go through the memoizing cache under `stream_epoch`
+  /// (see noc::NocRunCache::run; 0 = the shared single-pass memo space).
+  InferenceResult execute(const sched::Schedule& schedule,
+                          std::uint64_t stream_epoch = 0) const;
+
+  /// Software-pipelined execution of `requests` independent inferences of
+  /// `schedule` (see the header comment for the resource model). The
+  /// overlap ablation flag on comm events is ignored here: streaming
+  /// overlap is structural — a burst runs whenever the NoC is free and its
+  /// producer layer finished, typically under another request's compute.
+  StreamResult run_stream(const sched::Schedule& schedule,
+                          std::size_t requests,
+                          std::uint64_t stream_epoch = 0) const;
 
   const SystemConfig& config() const { return cfg_; }
   const noc::MeshTopology& topology() const { return topo_; }
@@ -115,15 +174,29 @@ class CmpSystem {
   accel::CoreModel core_model_;
 };
 
-/// baseline cycles / variant cycles.
+/// baseline cycles / variant cycles. A zero-cycle variant (degenerate
+/// reference) logs a warning and yields 0 instead of inf.
 double speedup(const InferenceResult& baseline, const InferenceResult& v);
 
-/// 1 - variant NoC energy / baseline NoC energy.
+/// 1 - variant NoC energy / baseline NoC energy. A zero-energy baseline
+/// logs a warning and yields 0 instead of NaN/-inf.
 double comm_energy_reduction(const InferenceResult& baseline,
                              const InferenceResult& v);
 
-/// variant traffic bytes / baseline traffic bytes.
+/// variant traffic bytes / baseline traffic bytes. A zero-traffic baseline
+/// logs a warning and yields 0 instead of inf/NaN.
 double traffic_rate(const InferenceResult& baseline,
                     const InferenceResult& v);
+
+namespace testing {
+/// The pre-Schedule-IR per-layer loop, kept verbatim as the golden
+/// reference for the schedule-path equivalence suite (`ctest -L sched`).
+/// Numerics only: no tracing, no metrics side effects — observability
+/// independence is pinned separately by the obs determinism test.
+InferenceResult reference_run_inference(
+    const SystemConfig& cfg, const nn::NetSpec& spec,
+    const core::InferenceTraffic& traffic,
+    const core::SparsityProfile* sparsity = nullptr);
+}  // namespace testing
 
 }  // namespace ls::sim

@@ -9,6 +9,7 @@
 //   5. Param::version monotonicity        (nn::BlockSparsity::map)
 //   6. thread-pool misuse                 (util::ThreadPool::set_num_threads)
 //   7. placement bijectivity              (core::placement_cost)
+//   8. schedule well-formedness           (sched::validate / validate_against)
 //
 // This file is only compiled into checked builds (tests/CMakeLists.txt
 // gates it on LS_CHECKS); in unchecked builds the macros are no-ops and
@@ -27,8 +28,11 @@
 #include "nn/fc.hpp"
 #include "nn/layer.hpp"
 #include "nn/network.hpp"
+#include "nn/model_zoo.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
+#include "sched/builders.hpp"
+#include "sched/schedule.hpp"
 #include "tensor/tensor.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -180,6 +184,82 @@ TEST_F(CheckDeath, NonBijectivePlacementDies) {
   const core::InferenceTraffic traffic;
   EXPECT_DEATH(core::placement_cost(traffic, p, topo),
                "non-bijective placement");
+}
+
+// --- 8. schedule well-formedness ---------------------------------------------
+
+// A valid lowered schedule, mutated one invariant at a time.
+sched::Schedule lowered_convnet() {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sched::BuildOptions opts;
+  opts.cores = 16;
+  return sched::build_traditional(
+      spec,
+      core::traffic_dense(spec, noc::MeshTopology::for_cores(opts.cores), 2),
+      opts);
+}
+
+TEST_F(CheckDeath, ScheduleForwardDependencyDies) {
+  sched::Schedule s = lowered_convnet();
+  s.events[0].deps.push_back(s.events.size() - 1);  // dep points forward
+  EXPECT_DEATH(sched::validate(s), "deps must point backwards");
+}
+
+TEST_F(CheckDeath, ScheduleCommByteMismatchDies) {
+  sched::Schedule s = lowered_convnet();
+  for (sched::Event& e : s.events) {
+    if (e.kind != sched::EventKind::kComm) continue;
+    e.traffic_bytes += 1;  // claims one byte its messages do not carry
+    break;
+  }
+  EXPECT_DEATH(sched::validate(s), "but its messages carry");
+}
+
+TEST_F(CheckDeath, ScheduleOrphanCommEventDies) {
+  sched::Schedule s = lowered_convnet();
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    if (s.events[i].kind != sched::EventKind::kComm) continue;
+    s.events[i + 1].layer_name = "someone_else";  // breaks the pairing
+    break;
+  }
+  EXPECT_DEATH(sched::validate(s),
+               "not immediately followed by its compute event");
+}
+
+TEST_F(CheckDeath, ScheduleWrongCoreCountWorkDies) {
+  sched::Schedule s = lowered_convnet();
+  for (sched::Event& e : s.events) {
+    if (e.kind != sched::EventKind::kCompute) continue;
+    e.per_core_work.pop_back();  // work vector no longer covers the machine
+    break;
+  }
+  EXPECT_DEATH(sched::validate(s), "carries work for");
+}
+
+TEST_F(CheckDeath, ScheduleMessageOutsideMachineDies) {
+  sched::Schedule s = lowered_convnet();
+  for (sched::Event& e : s.events) {
+    if (e.kind != sched::EventKind::kComm) continue;
+    e.messages.front().dst = s.cores + 7;
+    e.traffic_bytes = 0;
+    for (const noc::Message& m : e.messages) e.traffic_bytes += m.bytes;
+    break;
+  }
+  EXPECT_DEATH(sched::validate(s), "outside the");
+}
+
+TEST_F(CheckDeath, ScheduleMissingLayerCoverageDies) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sched::Schedule s = lowered_convnet();
+  // Drop the last layer (compute event plus its burst, keeping the
+  // remainder structurally valid): the schedule no longer covers the net.
+  ASSERT_EQ(s.events.back().kind, sched::EventKind::kCompute);
+  s.events.pop_back();
+  if (!s.events.empty() &&
+      s.events.back().kind == sched::EventKind::kComm) {
+    s.events.pop_back();
+  }
+  EXPECT_DEATH(sched::validate_against(s, spec), "compute layers but");
 }
 
 }  // namespace

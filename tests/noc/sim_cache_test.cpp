@@ -53,6 +53,28 @@ TEST(NocRunCache, DistinctBurstsDoNotCollide) {
   EXPECT_EQ(b, sim.run(burst_b()));
 }
 
+TEST(NocRunCache, StreamEpochPartitionsMemoSpace) {
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+
+  // Same burst under two epochs: separate memo entries (a stream-context-
+  // dependent refinement of burst stats must never be served a single-pass
+  // memo), but today identical stats.
+  const NocStats epoch0 = cache.run(sim, burst_a(), 200'000'000ull, 0);
+  const NocStats epoch1 = cache.run(sim, burst_a(), 200'000'000ull, 1);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(epoch0, epoch1);
+
+  // Re-querying each epoch hits its own entry.
+  cache.run(sim, burst_a(), 200'000'000ull, 1);
+  cache.run(sim, burst_a(), 200'000'000ull, 0);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(NocRunCache, KeyIncludesTopologyAndConfig) {
   NocRunCache& cache = NocRunCache::instance();
   cache.clear();

@@ -125,8 +125,25 @@ TEST(CmpSystem, MetricsHelpers) {
   EXPECT_DOUBLE_EQ(speedup(base, v), 2.0);
   EXPECT_DOUBLE_EQ(traffic_rate(base, v), 0.2);
   EXPECT_DOUBLE_EQ(comm_energy_reduction(base, v), 0.75);
-  v.total_cycles = 0;
-  EXPECT_THROW(speedup(base, v), std::invalid_argument);
+}
+
+// Degenerate baselines/variants must not poison downstream tables with
+// inf/NaN: each helper logs a warning and yields 0 instead.
+TEST(CmpSystem, ZeroBaselineGuardsReturnZero) {
+  InferenceResult base;
+  base.total_cycles = 1000;
+  base.traffic_bytes = 500;
+  base.noc_energy_pj = 80.0;
+  InferenceResult zero;  // all-zero result
+  EXPECT_DOUBLE_EQ(speedup(base, zero), 0.0);       // variant ran 0 cycles
+  EXPECT_DOUBLE_EQ(traffic_rate(zero, base), 0.0);  // baseline moved 0 bytes
+  EXPECT_DOUBLE_EQ(comm_energy_reduction(zero, base), 0.0);  // 0 pJ baseline
+  // Sane inputs stay exact.
+  InferenceResult v;
+  v.total_cycles = 500;
+  v.traffic_bytes = 100;
+  v.noc_energy_pj = 20.0;
+  EXPECT_DOUBLE_EQ(speedup(base, v), 2.0);
 }
 
 TEST(CmpSystem, EnergySplitsComputeAndNoc) {

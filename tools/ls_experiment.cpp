@@ -8,6 +8,8 @@
 //   ls_experiment traffic --net alexnet --cores 16
 //   ls_experiment pipeline --net alexnet --cores 16
 //   ls_experiment infer --net alexnet --cores 16 [--overlap] [--no-cache]
+//       [--schedule-dump plan.json]
+//   ls_experiment stream --net convnet --cores 16 --requests 8
 //
 // Observability: `--trace out.json` writes a Chrome-trace/Perfetto timeline
 // and `--metrics out.json` dumps the process metrics registry (counters,
@@ -25,6 +27,7 @@
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/schedule.hpp"
 #include "sim/experiment.hpp"
 #include "sim/pipeline_model.hpp"
 #include "sim/system.hpp"
@@ -197,7 +200,24 @@ int cmd_infer(const Args& args) {
   const sim::CmpSystem system(cfg);
   const auto traffic =
       core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
-  const sim::InferenceResult r = system.run_inference(spec, traffic);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  const std::string dump_path = args.str("schedule-dump", "");
+  if (!dump_path.empty()) {
+    std::FILE* f = std::fopen(dump_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   dump_path.c_str());
+      return 1;
+    }
+    const std::string json = sched::to_json(schedule);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("schedule (%zu events, %s) dumped to %s\n",
+                schedule.events.size(), sched::to_string(schedule.strategy),
+                dump_path.c_str());
+  }
+  const sim::InferenceResult r = system.execute(schedule);
 
   util::Table t(spec.name + " inference on " + std::to_string(cfg.cores) +
                 " cores");
@@ -236,6 +256,35 @@ int cmd_infer(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  const auto requests = static_cast<std::size_t>(args.num("requests", 8));
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  const sim::StreamResult s = system.run_stream(schedule, requests);
+
+  util::Table t(spec.name + " stream of " + std::to_string(requests) +
+                " requests on " + std::to_string(cfg.cores) + " cores");
+  t.set_header({"metric", "value"});
+  t.add_row({"single-pass latency",
+             std::to_string(s.single_pass.total_cycles) + " cyc"});
+  t.add_row({"pipeline fill", std::to_string(s.fill_cycles) + " cyc"});
+  t.add_row({"makespan", std::to_string(s.makespan_cycles) + " cyc"});
+  t.add_row({"throughput", util::fmt_double(s.throughput_per_mcycle, 2) +
+                               " inf/Mcyc"});
+  t.add_row({"core occupancy", util::fmt_percent(s.compute_occupancy)});
+  t.add_row({"NoC occupancy", util::fmt_percent(s.noc_occupancy)});
+  t.add_row({"speedup vs back-to-back",
+             util::fmt_speedup(s.speedup_vs_back_to_back)});
+  t.print();
+  return 0;
+}
+
 void usage() {
   std::puts(
       "usage: ls_experiment <command> [--key value ...]\n"
@@ -246,7 +295,9 @@ void usage() {
       "  traffic    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "  pipeline   --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "  infer      --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "             [--overlap] [--no-cache]\n"
+      "             [--overlap] [--no-cache] [--schedule-dump out.json]\n"
+      "  stream     --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
+      "             [--requests N] [--no-cache]\n"
       "global observability flags (any command):\n"
       "  --trace out.json    write a Perfetto/chrome-trace timeline\n"
       "  --metrics out.json  dump the metrics registry (counters, heatmap)\n"
@@ -281,6 +332,8 @@ int main(int argc, char** argv) {
       rc = cmd_pipeline(args);
     } else if (cmd == "infer") {
       rc = cmd_infer(args);
+    } else if (cmd == "stream") {
+      rc = cmd_stream(args);
     } else {
       usage();
     }

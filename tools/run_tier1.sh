@@ -45,6 +45,16 @@ fi
 "$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json" \
   --sparse-json "$repo_root/BENCH_sparse.json"
 
+# Streaming engine bench (model cycles, deterministic): BENCH_stream.json
+# must show the software pipeline beating back-to-back execution on the
+# headline 16-core ConvNet config.
+"$build_dir/bench/bench_stream_throughput" --requests 16 \
+  --json "$repo_root/BENCH_stream.json"
+[ -s "$repo_root/BENCH_stream.json" ] || {
+  echo "stream bench: missing BENCH_stream.json" >&2; exit 1; }
+grep -q '"stream_throughput"' "$repo_root/BENCH_stream.json"
+grep -q '"speedup_vs_back_to_back"' "$repo_root/BENCH_stream.json"
+
 # Sparse bench smoke: the block-sparse dump must exist and contain the
 # swept sparsity levels.
 [ -s "$repo_root/BENCH_sparse.json" ] || {
@@ -67,4 +77,4 @@ done
 grep -q '"traceEvents"' "$obs_dir/trace.json"
 grep -q '"noc_link_heatmap"' "$obs_dir/metrics.json"
 
-echo "tier1 OK — kernel bench results in BENCH_kernels.json, obs smoke in $obs_dir"
+echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json, obs smoke in $obs_dir"
