@@ -1,0 +1,124 @@
+// Schedule-autotuner bench (DESIGN.md §4g): for each (net, cores) point,
+// run the analytic-model search over per-layer partition dims x core
+// placement x overlap and report the tuned schedule against the kernel-wise
+// baseline — both flit-level validated, so the headline speedup is a real
+// simulator number, not the analytic score. Deterministic: fixed seed,
+// fixed budget, no wall-clock timing.
+//
+//   bench_tune [--budget N] [--json PATH]
+//
+// `--json` writes the tier-1 artifact (BENCH_tune.json): one row per
+// point with analytic and flit-level cycles for baseline and tuned, the
+// validated speedup the acceptance gate reads, and the winning dims.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "tune/tuner.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ls;
+
+struct Row {
+  std::string net;
+  std::size_t cores = 0;
+  tune::TuneOutcome out{};
+};
+
+Row run_point(const nn::NetSpec& spec, std::size_t cores,
+              std::uint64_t budget) {
+  sim::SystemConfig cfg;
+  cfg.cores = cores;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  tune::TunerConfig tcfg;
+  tcfg.budget = budget;
+  Row row;
+  row.net = spec.name;
+  row.cores = cores;
+  row.out = tune::tune(spec, traffic, cfg, tcfg);
+  return row;
+}
+
+std::string dims_string(const tune::Candidate& c) {
+  std::string dims;
+  for (const sched::PartitionDim d : c.layer_dims) {
+    dims += dims.empty() ? "" : ",";
+    dims += sched::to_string(d);
+  }
+  return dims;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("tune");
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("net").value(r.net);
+    w.key("cores").value(static_cast<std::uint64_t>(r.cores));
+    w.key("baseline_est_cycles").value(r.out.baseline_est_cycles);
+    w.key("baseline_sim_cycles").value(r.out.baseline_sim_cycles);
+    w.key("tuned_est_cycles").value(r.out.best_est_cycles);
+    w.key("tuned_sim_cycles").value(r.out.best_sim_cycles);
+    w.key("speedup_sim").value(r.out.speedup_sim());
+    w.key("dims").value(dims_string(r.out.best));
+    w.key("overlap").value(r.out.best.overlap_comm);
+    w.key("evals").value(r.out.evals);
+    w.key("validated").value(static_cast<std::uint64_t>(r.out.validated));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.write_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t budget = 2000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget") == 0 && i + 1 < argc) {
+      budget = static_cast<std::uint64_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (budget == 0) budget = 1;
+
+  std::vector<Row> rows;
+  for (const std::size_t cores : {std::size_t{16}, std::size_t{64}}) {
+    rows.push_back(run_point(nn::convnet_spec(), cores, budget));
+    rows.push_back(run_point(nn::alexnet_spec(), cores, budget));
+  }
+
+  util::Table t("schedule autotuner vs kernel-wise baseline (flit-validated)");
+  t.set_header({"net", "cores", "base sim-cyc", "tuned sim-cyc", "speedup",
+                "overlap", "dims"});
+  for (const Row& r : rows) {
+    t.add_row({r.net, std::to_string(r.cores),
+               std::to_string(r.out.baseline_sim_cycles),
+               std::to_string(r.out.best_sim_cycles),
+               util::fmt_speedup(r.out.speedup_sim()),
+               r.out.best.overlap_comm ? "on" : "off",
+               dims_string(r.out.best)});
+  }
+  t.print();
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

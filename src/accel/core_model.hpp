@@ -55,6 +55,9 @@ struct LayerPartitionWork {
   std::uint64_t weight_bytes = 0;  ///< weights this core must hold/stream
   std::uint64_t input_bytes = 0;   ///< activation bytes read
   std::uint64_t output_bytes = 0;  ///< activation bytes produced
+
+  friend bool operator==(const LayerPartitionWork&,
+                         const LayerPartitionWork&) = default;
 };
 
 struct LayerCoreCost {

@@ -41,7 +41,28 @@ struct BuildOptions {
   /// Apply SparsityProfile discounts to per-core work (mirrors
   /// SystemConfig::sparse_cycle_model).
   bool sparse_cycle_model = true;
+  /// Per-compute-layer parallelization dimension, in layer order (empty =
+  /// kernel-wise everywhere, the historical default). The size must match
+  /// the spec's compute-layer count and every dim must be compatible with
+  /// its layer's shape (invariant class 9; see dim_compatible()):
+  /// height/width need an ungrouped conv with a splittable spatial axis,
+  /// channel needs >= 2 input units, is kernel-only on grouped convs, and
+  /// cannot sit on the last compute layer (its reduce-scatter rides on the
+  /// next layer transition). Non-kernel dims also require a null
+  /// SparsityProfile — liveness discounts are defined on the kernel split.
+  std::vector<PartitionDim> layer_dims;
+  /// Partition index -> physical mesh core permutation (empty = identity).
+  /// Remaps every message endpoint and the per-core work vector; with
+  /// kernel dims and an identity placement the lowering is bit-exact with
+  /// the historical path.
+  std::vector<std::size_t> placement;
 };
+
+/// Whether `dim` is a legal choice for compute layer `layer_index` (index
+/// into the spec's compute layers, in order) — the tuner's move filter and
+/// the lowering's invariant-class-9 precondition.
+bool dim_compatible(const nn::NetSpec& spec, std::size_t layer_index,
+                    PartitionDim dim);
 
 /// The shared lowering: one compute event per compute layer of `spec`
 /// (per-core work split by core::balanced_ranges, discounted by `sparsity`

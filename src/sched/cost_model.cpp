@@ -1,0 +1,131 @@
+#include "sched/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/check.hpp"
+#include "noc/topology.hpp"
+
+namespace ls::sched {
+
+namespace {
+
+// Directed-link load accumulator for one burst. Links are indexed as
+// (router, direction) with 4 mesh directions per router; the local
+// injection/ejection ports are tracked separately per core (they are
+// single-channel — phys_channels multiplies mesh links only).
+class LinkLoads {
+ public:
+  explicit LinkLoads(std::size_t cores)
+      : link_(cores * 4, 0), inject_(cores, 0), eject_(cores, 0) {}
+
+  void route(const noc::MeshTopology& topo, const noc::NocConfig& cfg,
+             std::size_t src, std::size_t dst, std::uint64_t flits) {
+    inject_[src] += flits;
+    eject_[dst] += flits;
+    noc::Coord at = topo.coord(src);
+    const noc::Coord to = topo.coord(dst);
+    const bool x_first = cfg.routing == noc::Routing::kXY;
+    for (int phase = 0; phase < 2; ++phase) {
+      const bool x_phase = (phase == 0) == x_first;
+      while (x_phase ? at.x != to.x : at.y != to.y) {
+        std::size_t dir;  // 0=east 1=west 2=south 3=north
+        noc::Coord next = at;
+        if (x_phase) {
+          dir = to.x > at.x ? 0 : 1;
+          next.x = to.x > at.x ? at.x + 1 : at.x - 1;
+        } else {
+          dir = to.y > at.y ? 2 : 3;
+          next.y = to.y > at.y ? at.y + 1 : at.y - 1;
+        }
+        link_[topo.core_at(at) * 4 + dir] += flits;
+        at = next;
+      }
+    }
+  }
+
+  /// Cycles the most contended resource needs to pass its flits.
+  std::uint64_t bottleneck_cycles(std::size_t phys_channels) const {
+    std::uint64_t worst = 0;
+    for (const std::uint64_t load : link_) {
+      worst = std::max(worst, (load + phys_channels - 1) / phys_channels);
+    }
+    for (const std::uint64_t load : inject_) worst = std::max(worst, load);
+    for (const std::uint64_t load : eject_) worst = std::max(worst, load);
+    return worst;
+  }
+
+ private:
+  std::vector<std::uint64_t> link_;
+  std::vector<std::uint64_t> inject_;
+  std::vector<std::uint64_t> eject_;
+};
+
+std::uint64_t estimate_burst(const noc::MeshNocSimulator& sim,
+                             const std::vector<noc::Message>& messages) {
+  const noc::MeshTopology& topo = sim.topology();
+  const noc::NocConfig& cfg = sim.config();
+  LinkLoads loads(topo.num_cores());
+  std::uint64_t max_zero_load = 0;
+  for (const noc::Message& m : messages) {
+    if (m.src == m.dst || m.bytes == 0) continue;
+    loads.route(topo, cfg, m.src, m.dst,
+                static_cast<std::uint64_t>(sim.flits_for_bytes(m.bytes)));
+    max_zero_load = std::max(max_zero_load, sim.zero_load_latency(m));
+  }
+  // Serialization-bound bursts drain at the bottleneck resource's rate
+  // (plus the head-flit pipeline of the last packet through it);
+  // latency-bound bursts finish with their slowest lone message.
+  return std::max(max_zero_load,
+                  loads.bottleneck_cycles(cfg.phys_channels) +
+                      cfg.router_latency);
+}
+
+}  // namespace
+
+CycleEstimate estimate_cycles(const Schedule& schedule,
+                              const CostModelConfig& cfg) {
+  LS_CHECK_MSG(schedule.cores > 0, "estimate_cycles: schedule '%s' has no "
+               "cores", schedule.net_name.c_str());
+  const noc::MeshTopology topo =
+      noc::MeshTopology::for_cores(schedule.cores);
+  const noc::MeshNocSimulator sim(topo, cfg.noc);
+  // Same per-core DRAM-share construction as CmpSystem: the compute half
+  // of the estimate is bit-identical to the executor's numbers.
+  accel::AccelConfig per_core = cfg.accel;
+  per_core.dram_bytes_per_cycle =
+      cfg.chip_dram_bytes_per_cycle / static_cast<double>(schedule.cores);
+  const accel::CoreModel core_model(per_core);
+
+  CycleEstimate est;
+  est.events.resize(schedule.events.size());
+  std::uint64_t prev_compute = 0;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const Event& e = schedule.events[i];
+    if (e.kind == EventKind::kComm) {
+      // prev_compute still holds the *previous* layer's compute here — the
+      // consumer compute event that follows is what updates it — so the
+      // overlap arithmetic matches CmpSystem::execute exactly.
+      const std::uint64_t raw = static_cast<std::uint64_t>(
+          static_cast<double>(estimate_burst(sim, e.messages)) *
+          cfg.noc_clock_divider);
+      std::uint64_t blocking = raw;
+      if (e.overlap_with_prev_compute) {
+        blocking = raw > prev_compute ? raw - prev_compute : 0;
+      }
+      est.events[i].raw_comm_cycles = raw;
+      est.events[i].cycles = blocking;
+      est.comm_cycles += blocking;
+      continue;
+    }
+    const accel::PartitionCost cost =
+        core_model.partition_cost(e.per_core_work);
+    est.events[i].cycles = cost.worst_cycles;
+    est.compute_cycles += cost.worst_cycles;
+    prev_compute = cost.worst_cycles;
+  }
+  est.total_cycles = est.compute_cycles + est.comm_cycles;
+  return est;
+}
+
+}  // namespace ls::sched

@@ -1,6 +1,7 @@
 #include "sched/schedule.hpp"
 
 #include "check/check.hpp"
+#include "sched/cost_model.hpp"
 #include "util/json.hpp"
 
 namespace ls::sched {
@@ -29,6 +30,34 @@ const char* to_string(Strategy strategy) {
   return "?";
 }
 
+const char* to_string(PartitionDim dim) {
+  switch (dim) {
+    case PartitionDim::kKernel:
+      return "kernel";
+    case PartitionDim::kBatch:
+      return "batch";
+    case PartitionDim::kHeight:
+      return "height";
+    case PartitionDim::kWidth:
+      return "width";
+    case PartitionDim::kChannel:
+      return "channel";
+  }
+  return "?";
+}
+
+bool parse_partition_dim(const std::string& name, PartitionDim* out) {
+  for (const PartitionDim dim :
+       {PartitionDim::kKernel, PartitionDim::kBatch, PartitionDim::kHeight,
+        PartitionDim::kWidth, PartitionDim::kChannel}) {
+    if (name == to_string(dim)) {
+      *out = dim;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::size_t Schedule::compute_event_count() const {
   std::size_t n = 0;
   for (const Event& e : events) n += e.kind == EventKind::kCompute ? 1 : 0;
@@ -51,6 +80,23 @@ void validate(const Schedule& schedule) {
   if constexpr (check::kEnabled) {
     LS_CHECK_MSG(schedule.cores > 0, "schedule '%s' has zero cores",
                  schedule.net_name.c_str());
+    if (!schedule.placement.empty()) {
+      // Invariant class 9: a recorded placement must be a bijection of
+      // 0..cores-1 — anything else silently drops or duplicates partitions.
+      LS_CHECK_MSG(schedule.placement.size() == schedule.cores,
+                   "schedule '%s': placement maps %zu partitions on a "
+                   "%zu-core machine",
+                   schedule.net_name.c_str(), schedule.placement.size(),
+                   schedule.cores);
+      std::vector<bool> seen(schedule.cores, false);
+      for (const std::size_t core : schedule.placement) {
+        LS_CHECK_MSG(core < schedule.cores && !seen[core],
+                     "schedule '%s': placement is not a bijective "
+                     "permutation (core %zu out of range or repeated)",
+                     schedule.net_name.c_str(), core);
+        seen[core] = true;
+      }
+    }
     for (std::size_t id = 0; id < schedule.events.size(); ++id) {
       const Event& e = schedule.events[id];
       LS_CHECK_MSG(!e.layer_name.empty(),
@@ -133,13 +179,27 @@ void validate_against(const Schedule& schedule, const nn::NetSpec& spec) {
   }
 }
 
-void to_json(const Schedule& schedule, util::JsonWriter& w) {
+void to_json(const Schedule& schedule, util::JsonWriter& w,
+             const CycleEstimate* estimate) {
   w.begin_object();
   w.key("net").value(schedule.net_name);
   w.key("strategy").value(to_string(schedule.strategy));
   w.key("cores").value(static_cast<std::uint64_t>(schedule.cores));
+  if (!schedule.placement.empty()) {
+    w.key("placement");
+    w.begin_array();
+    for (const std::size_t core : schedule.placement) {
+      w.value(static_cast<std::uint64_t>(core));
+    }
+    w.end_array();
+  }
   w.key("traffic_bytes")
       .value(static_cast<std::uint64_t>(schedule.traffic_bytes()));
+  if (estimate != nullptr) {
+    w.key("est_total_cycles").value(estimate->total_cycles);
+    w.key("est_compute_cycles").value(estimate->compute_cycles);
+    w.key("est_comm_cycles").value(estimate->comm_cycles);
+  }
   w.key("events");
   w.begin_array();
   for (std::size_t id = 0; id < schedule.events.size(); ++id) {
@@ -148,6 +208,16 @@ void to_json(const Schedule& schedule, util::JsonWriter& w) {
     w.key("id").value(static_cast<std::uint64_t>(id));
     w.key("kind").value(to_string(e.kind));
     w.key("layer").value(e.layer_name);
+    if (estimate != nullptr && id < estimate->events.size()) {
+      // The analytic scorer's view of this event: what it contributes to
+      // the serial timeline (after overlap) and, for comm events, the
+      // estimated raw drain before overlap.
+      w.key("est_cycles").value(estimate->events[id].cycles);
+      if (e.kind == EventKind::kComm) {
+        w.key("est_raw_comm_cycles")
+            .value(estimate->events[id].raw_comm_cycles);
+      }
+    }
     w.key("deps");
     w.begin_array();
     for (const EventId dep : e.deps) {
@@ -168,6 +238,7 @@ void to_json(const Schedule& schedule, util::JsonWriter& w) {
       }
       w.end_array();
     } else {
+      w.key("dim").value(to_string(e.partition_dim));
       w.key("macs_discounted").value(e.macs_discounted);
       w.key("per_core");
       w.begin_array();
@@ -193,9 +264,9 @@ void to_json(const Schedule& schedule, util::JsonWriter& w) {
   w.end_object();
 }
 
-std::string to_json(const Schedule& schedule) {
+std::string to_json(const Schedule& schedule, const CycleEstimate* estimate) {
   util::JsonWriter w;
-  to_json(schedule, w);
+  to_json(schedule, w, estimate);
   return w.str();
 }
 

@@ -54,6 +54,29 @@ enum class Strategy { kTraditional, kStructureLevel, kSparsified, kHybrid };
 
 const char* to_string(Strategy strategy);
 
+/// Per-layer parallelization dimension (Jia et al., "Exploring Hidden
+/// Dimensions"): which axis of the layer's work is split across the P
+/// cores. The choice changes both the per-core kernel partitions and the
+/// layer-transition synchronization burst the lowering emits:
+///   * kKernel  — split output channels / neurons (the paper's scheme and
+///     the historical default; every consumer gathers the full input),
+///   * kBatch   — no intra-layer split: with the simulator's batch of one,
+///     partition 0 executes the whole layer and gathers the full input,
+///   * kHeight  — split output rows; consumers exchange only kernel-halo
+///     input rows with spatial neighbours (conv only),
+///   * kWidth   — split output columns, halo exchange on the column axis,
+///   * kChannel — split *input* channels; each core computes partial sums
+///     for the whole output volume, and a reduce-scatter back to the
+///     kernel-wise layout rides on the next layer transition (hence not
+///     allowed on the last compute layer).
+enum class PartitionDim { kKernel, kBatch, kHeight, kWidth, kChannel };
+
+const char* to_string(PartitionDim dim);
+
+/// Parses the to_string form back ("kernel" -> kKernel, ...). Returns
+/// false on an unknown name (used by the tuned-schedule cache loader).
+bool parse_partition_dim(const std::string& name, PartitionDim* out);
+
 struct Event {
   EventKind kind = EventKind::kCompute;
   /// Consumer compute layer this event belongs to.
@@ -72,18 +95,26 @@ struct Event {
   bool overlap_with_prev_compute = false;
 
   // --- kCompute payload ---------------------------------------------------
-  /// Per-core kernel partition work, indexed by core id (size = cores).
-  /// Cores with no share of the layer hold all-zero work.
+  /// Per-core kernel partition work, indexed by *physical* core id
+  /// (size = cores; the build-time placement permutation is already
+  /// applied). Cores with no share of the layer hold all-zero work.
   std::vector<accel::LayerPartitionWork> per_core_work;
   /// MACs removed from the dense partitioning by the sparsity discount
   /// (feeds the `sparse.sim.macs_discounted` counter).
   std::uint64_t macs_discounted = 0;
+  /// Which axis the layer was split on (descriptive: the per_core_work and
+  /// the surrounding comm events already encode the consequences).
+  PartitionDim partition_dim = PartitionDim::kKernel;
 };
 
 struct Schedule {
   std::string net_name;
   Strategy strategy = Strategy::kTraditional;
   std::size_t cores = 0;
+  /// Partition -> physical-core permutation the lowering applied (empty =
+  /// identity). Events already carry physical core ids; this records the
+  /// mapping for dumps and for invariant class 9 (bijectivity).
+  std::vector<std::size_t> placement;
   /// Topologically ordered: every event's deps precede it.
   std::vector<Event> events;
 
@@ -103,12 +134,19 @@ void validate(const Schedule& schedule);
 /// implement: one compute event per compute layer of `spec`, in order.
 void validate_against(const Schedule& schedule, const nn::NetSpec& spec);
 
+struct CycleEstimate;  // cost_model.hpp
+
 /// Serializes the schedule into `w` as one JSON object (events with kinds,
 /// deps, per-core work, and the full message list) — the
 /// `ls_experiment infer --schedule-dump` format, for inspection/diffing.
-void to_json(const Schedule& schedule, util::JsonWriter& w);
+/// When `estimate` is non-null (sched::estimate_cycles over this same
+/// schedule), every event additionally carries its analytic cycle estimate
+/// so tuner decisions are inspectable from the dump alone.
+void to_json(const Schedule& schedule, util::JsonWriter& w,
+             const CycleEstimate* estimate = nullptr);
 
 /// Convenience: to_json rendered to a string.
-std::string to_json(const Schedule& schedule);
+std::string to_json(const Schedule& schedule,
+                    const CycleEstimate* estimate = nullptr);
 
 }  // namespace ls::sched

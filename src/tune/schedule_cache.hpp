@@ -1,0 +1,77 @@
+#pragma once
+// Best-schedule cache store for the autotuner (DESIGN.md §4g).
+//
+// A tuned schedule is worth persisting: the search costs seconds, the
+// answer is a few dozen bytes, and it is valid for exactly one
+// (net, cores, strategy, NoC configuration) point — that tuple is the
+// cache key. `ls_experiment tune` writes entries; `ls_experiment infer` /
+// `stream` look their configuration up and transparently execute the tuned
+// schedule on a hit, falling back bit-exactly to the untuned kernel-wise
+// path on a miss.
+//
+// The store is one JSON document. Serialization is canonical — entries in
+// sorted key order, fixed field order, integer cycle counts — so saving
+// the same logical contents always produces byte-identical files (the
+// tuner determinism test asserts this end-to-end: same seed + budget ->
+// same bytes).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "noc/simulator.hpp"
+#include "tune/tuner.hpp"
+
+namespace ls::tune {
+
+/// The configuration point a tuned schedule is valid for. Every field
+/// participates in the canonical key string — a tuned placement for one
+/// NoC configuration must never be served for another.
+struct CacheKey {
+  std::string net;
+  std::size_t cores = 0;
+  sched::Strategy strategy = sched::Strategy::kTraditional;
+  noc::NocConfig noc{};
+  double noc_clock_divider = 1.0;
+};
+
+/// Canonical key string, e.g.
+/// "alexnet|cores=64|traditional|noc=fb64,mp20,vc3,vd4,rl3,pc2,xy|div=1".
+std::string cache_key_string(const CacheKey& key);
+
+struct CacheEntry {
+  Candidate candidate;
+  std::uint64_t est_cycles = 0;       ///< analytic score of the winner
+  std::uint64_t sim_cycles = 0;       ///< flit-level validation
+  std::uint64_t baseline_sim_cycles = 0;
+  std::uint64_t seed = 0;             ///< search provenance
+  std::uint64_t budget = 0;
+
+  friend bool operator==(const CacheEntry&, const CacheEntry&) = default;
+};
+
+class ScheduleCache {
+ public:
+  /// Nullptr when absent.
+  const CacheEntry* find(const CacheKey& key) const;
+  void put(const CacheKey& key, CacheEntry entry);
+  std::size_t size() const { return entries_.size(); }
+
+  /// Canonical document (see file comment).
+  std::string to_json() const;
+  /// Replaces the contents. False (with *error set when non-null) on
+  /// malformed JSON, unknown version, or invalid entry fields.
+  bool from_json(std::string_view text, std::string* error = nullptr);
+
+  /// Loads `path`; a missing file yields an empty cache and returns true
+  /// (an unpopulated store is the normal cold-start state). Parse errors
+  /// return false.
+  bool load_file(const std::string& path, std::string* error = nullptr);
+  bool save_file(const std::string& path) const;
+
+ private:
+  std::map<std::string, CacheEntry> entries_;  ///< canonical key -> entry
+};
+
+}  // namespace ls::tune

@@ -1,0 +1,237 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "check/check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace ls::tune {
+
+namespace {
+
+constexpr sched::PartitionDim kAllDims[] = {
+    sched::PartitionDim::kKernel, sched::PartitionDim::kBatch,
+    sched::PartitionDim::kHeight, sched::PartitionDim::kWidth,
+    sched::PartitionDim::kChannel};
+
+std::vector<std::size_t> identity(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = i;
+  return p;
+}
+
+/// Search state shared by the restarts: the scorer, the per-layer legal
+/// moves, and the budget ledger.
+class Search {
+ public:
+  Search(const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
+         const sim::SystemConfig& system, const TunerConfig& cfg,
+         sched::Strategy strategy)
+      : spec_(spec),
+        traffic_(traffic),
+        system_(system),
+        cfg_(cfg),
+        strategy_(strategy),
+        cost_(cost_model_for(system)),
+        rng_(cfg.seed) {
+    std::size_t layers = 0;
+    for (const nn::LayerAnalysis& a : nn::analyze(spec)) {
+      layers += a.is_compute() ? 1 : 0;
+    }
+    legal_dims_.resize(layers);
+    for (std::size_t li = 0; li < layers; ++li) {
+      for (const sched::PartitionDim d : kAllDims) {
+        if (sched::dim_compatible(spec, li, d)) legal_dims_[li].push_back(d);
+      }
+    }
+  }
+
+  std::size_t layers() const { return legal_dims_.size(); }
+  std::uint64_t evals() const { return evals_; }
+  util::Rng& rng() { return rng_; }
+
+  std::uint64_t score(const Candidate& c) {
+    ++evals_;
+    return sched::estimate_cycles(
+               lower_candidate(spec_, traffic_, system_, c, strategy_), cost_)
+        .total_cycles;
+  }
+
+  Candidate baseline() const {
+    Candidate c;
+    c.layer_dims.assign(layers(), sched::PartitionDim::kKernel);
+    c.placement = identity(system_.cores);
+    c.overlap_comm = system_.overlap_comm;
+    return c;
+  }
+
+  Candidate random_start() {
+    Candidate c = baseline();
+    for (std::size_t li = 0; li < layers(); ++li) {
+      const auto& legal = legal_dims_[li];
+      c.layer_dims[li] = legal[rng_.uniform_index(legal.size())];
+    }
+    // Fisher-Yates with the search rng — deterministic under the seed.
+    for (std::size_t i = c.placement.size(); i > 1; --i) {
+      std::swap(c.placement[i - 1], c.placement[rng_.uniform_index(i)]);
+    }
+    if (cfg_.search_overlap) c.overlap_comm = rng_.bernoulli(0.5);
+    return c;
+  }
+
+  /// One single-knob mutation of `c`.
+  Candidate mutate(const Candidate& c) {
+    Candidate m = c;
+    // Move mix: dims are the high-value knob, placement swaps explore the
+    // mesh mapping, the overlap flip is one bit (when searchable).
+    const std::uint64_t move =
+        rng_.uniform_index(cfg_.search_overlap ? 6 : 5);
+    if (move < 3) {
+      const std::size_t li = rng_.uniform_index(layers());
+      const auto& legal = legal_dims_[li];
+      m.layer_dims[li] = legal[rng_.uniform_index(legal.size())];
+    } else if (move < 5) {
+      const std::size_t a = rng_.uniform_index(m.placement.size());
+      const std::size_t b = rng_.uniform_index(m.placement.size());
+      std::swap(m.placement[a], m.placement[b]);
+    } else {
+      m.overlap_comm = !m.overlap_comm;
+    }
+    return m;
+  }
+
+ private:
+  const nn::NetSpec& spec_;
+  const core::InferenceTraffic& traffic_;
+  const sim::SystemConfig& system_;
+  const TunerConfig& cfg_;
+  sched::Strategy strategy_;
+  sched::CostModelConfig cost_;
+  util::Rng rng_;
+  std::vector<std::vector<sched::PartitionDim>> legal_dims_;
+  std::uint64_t evals_ = 0;
+};
+
+}  // namespace
+
+sched::CostModelConfig cost_model_for(const sim::SystemConfig& system) {
+  sched::CostModelConfig cost;
+  cost.accel = system.accel;
+  cost.chip_dram_bytes_per_cycle = system.chip_dram_bytes_per_cycle;
+  cost.noc = system.noc;
+  cost.noc_clock_divider = system.noc_clock_divider;
+  return cost;
+}
+
+sched::Schedule lower_candidate(const nn::NetSpec& spec,
+                                const core::InferenceTraffic& traffic,
+                                const sim::SystemConfig& system,
+                                const Candidate& candidate,
+                                sched::Strategy strategy) {
+  sched::BuildOptions opts;
+  opts.cores = system.cores;
+  opts.bytes_per_value = system.bytes_per_value;
+  opts.overlap_comm = candidate.overlap_comm;
+  opts.sparse_cycle_model = false;
+  opts.layer_dims = candidate.layer_dims;
+  opts.placement = candidate.placement;
+  return sched::lower(spec, traffic, opts, nullptr, strategy);
+}
+
+TuneOutcome tune(const nn::NetSpec& spec,
+                 const core::InferenceTraffic& traffic,
+                 const sim::SystemConfig& system, const TunerConfig& cfg,
+                 sched::Strategy strategy) {
+  LS_CHECK_MSG(cfg.budget > 0 && cfg.restarts > 0 && cfg.top_k > 0,
+               "tune('%s'): budget, restarts and top_k must be positive",
+               spec.name.c_str());
+  static obs::Counter& evals_ctr =
+      obs::Registry::instance().counter("tune.evals");
+  static obs::Counter& validated_ctr =
+      obs::Registry::instance().counter("tune.validated");
+
+  Search search(spec, traffic, system, cfg, strategy);
+  TuneOutcome out;
+
+  // Baseline: what ls_experiment executes untuned. Scored outside the
+  // budget (it is the yardstick, not a candidate).
+  const Candidate base = search.baseline();
+
+  // Greedy hill-climbing with restarts; collect each restart's local
+  // optimum as a validation candidate.
+  std::vector<std::pair<std::uint64_t, Candidate>> optima;
+  {
+    obs::Span span("tune.search", "tune");
+    const std::uint64_t per_restart =
+        std::max<std::uint64_t>(1, cfg.budget / cfg.restarts);
+    for (std::size_t r = 0;
+         r < cfg.restarts && search.evals() < cfg.budget; ++r) {
+      Candidate cur = r == 0 ? base : search.random_start();
+      std::uint64_t cur_cost = search.score(cur);
+      const std::uint64_t stop =
+          std::min<std::uint64_t>(cfg.budget, (r + 1) * per_restart);
+      while (search.evals() < stop) {
+        const Candidate next = search.mutate(cur);
+        const std::uint64_t next_cost = search.score(next);
+        if (next_cost < cur_cost) {
+          cur = next;
+          cur_cost = next_cost;
+        }
+      }
+      optima.emplace_back(cur_cost, std::move(cur));
+    }
+  }
+  out.evals = search.evals();
+  evals_ctr.inc(out.evals);
+
+  // Deduplicate and keep the top-k analytic winners for flit validation.
+  std::stable_sort(optima.begin(), optima.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<std::pair<std::uint64_t, Candidate>> finalists;
+  for (auto& [est, cand] : optima) {
+    if (finalists.size() >= cfg.top_k) break;
+    bool dup = false;
+    for (const auto& f : finalists) dup = dup || f.second == cand;
+    if (!dup) finalists.emplace_back(est, std::move(cand));
+  }
+  LS_CHECK_MSG(!finalists.empty(), "tune('%s'): search produced no optima",
+               spec.name.c_str());
+
+  // Flit-level validation: the analytic model picks the shortlist, the
+  // real simulator picks the winner (and prices the baseline for the
+  // reported speedup).
+  {
+    obs::Span span("tune.validate", "tune");
+    const sim::CmpSystem sys(system);
+    out.baseline_sim_cycles =
+        sys.execute(lower_candidate(spec, traffic, system, base, strategy))
+            .total_cycles;
+    out.baseline_est_cycles =
+        sched::estimate_cycles(
+            lower_candidate(spec, traffic, system, base, strategy),
+            cost_model_for(system))
+            .total_cycles;
+    bool have_best = false;
+    for (const auto& [est, cand] : finalists) {
+      const std::uint64_t sim_cycles =
+          sys.execute(lower_candidate(spec, traffic, system, cand, strategy))
+              .total_cycles;
+      ++out.validated;
+      if (!have_best || sim_cycles < out.best_sim_cycles) {
+        have_best = true;
+        out.best = cand;
+        out.best_est_cycles = est;
+        out.best_sim_cycles = sim_cycles;
+      }
+    }
+  }
+  validated_ctr.inc(out.validated);
+  return out;
+}
+
+}  // namespace ls::tune

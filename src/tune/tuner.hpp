@@ -1,0 +1,94 @@
+#pragma once
+// Schedule autotuner (DESIGN.md §4g "Schedule autotuning").
+//
+// Searches the cross-product of
+//   * per-layer parallelization dimension (sched::PartitionDim),
+//   * partition -> physical-core placement permutation,
+//   * comm/compute overlap policy
+// for the schedule with the lowest end-to-end cycle count. Candidates are
+// scored with the analytic model (sched::estimate_cycles — thousands of
+// evaluations per search), and only the top-k analytic winners are
+// validated with the flit-level NoC simulation (CmpSystem::execute) before
+// one is declared best. The search is greedy hill-climbing with random
+// restarts over single-knob moves (one layer's dim, one placement swap,
+// the overlap flag), driven by a seeded util::Rng: the same seed and
+// budget always visit the same candidates and return the same winner.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/layer_spec.hpp"
+#include "sched/builders.hpp"
+#include "sched/cost_model.hpp"
+#include "sim/system.hpp"
+
+namespace ls::tune {
+
+/// One point in the search space. Defaults describe the historical
+/// kernel-wise schedule (identity placement, no overlap).
+struct Candidate {
+  std::vector<sched::PartitionDim> layer_dims;  ///< per compute layer
+  std::vector<std::size_t> placement;           ///< empty = identity
+  bool overlap_comm = false;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+struct TunerConfig {
+  /// Analytic-model evaluations across all restarts (the search's only
+  /// cost knob; flit validation adds top_k + 1 simulations on top).
+  std::uint64_t budget = 2000;
+  std::size_t restarts = 4;
+  /// Analytic winners to validate flit-level before declaring best.
+  std::size_t top_k = 3;
+  std::uint64_t seed = 0x4c535343;  ///< "LSSC"; any value is deterministic
+
+  /// Tuning happens under a fixed overlap policy when false — the comm/
+  /// compute overlap ablation knob stays at SystemConfig::overlap_comm and
+  /// the search only moves dims and placement.
+  bool search_overlap = true;
+};
+
+struct TuneOutcome {
+  Candidate best;
+  /// Analytic score of `best`.
+  std::uint64_t best_est_cycles = 0;
+  /// Flit-level validation of `best` (the declared metric).
+  std::uint64_t best_sim_cycles = 0;
+  /// The kernel-wise / identity-placement schedule under the system's own
+  /// overlap flag — exactly what ls_experiment runs untuned.
+  std::uint64_t baseline_est_cycles = 0;
+  std::uint64_t baseline_sim_cycles = 0;
+  std::uint64_t evals = 0;           ///< analytic evaluations spent
+  std::size_t validated = 0;         ///< flit-level validations run
+
+  double speedup_sim() const {
+    return best_sim_cycles ? static_cast<double>(baseline_sim_cycles) /
+                                 static_cast<double>(best_sim_cycles)
+                           : 0.0;
+  }
+};
+
+/// The scorer configuration implied by a system configuration — the same
+/// accel/NoC/DRAM parameters CmpSystem would execute with.
+sched::CostModelConfig cost_model_for(const sim::SystemConfig& system);
+
+/// Lowers `candidate` against spec + traffic with the system's parameters
+/// (always sparsity-free: non-kernel dims are undefined under liveness
+/// discounts). An empty/default candidate reproduces the untuned schedule
+/// except for the overlap flag, which comes from the candidate.
+sched::Schedule lower_candidate(const nn::NetSpec& spec,
+                                const core::InferenceTraffic& traffic,
+                                const sim::SystemConfig& system,
+                                const Candidate& candidate,
+                                sched::Strategy strategy);
+
+/// Runs the search (see file comment). `traffic` must be the transition
+/// traffic for `spec` on the system's core count.
+TuneOutcome tune(const nn::NetSpec& spec,
+                 const core::InferenceTraffic& traffic,
+                 const sim::SystemConfig& system, const TunerConfig& cfg,
+                 sched::Strategy strategy = sched::Strategy::kTraditional);
+
+}  // namespace ls::tune

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal recursive-descent JSON parser — the read-side counterpart of
+// json.hpp's JsonWriter. Exists for the tuner's best-schedule cache store
+// (tune/schedule_cache), which must round-trip the documents JsonWriter
+// emits; it is a full JSON reader, not a schema-aware one. Numbers are
+// kept as double (exact for the integers the repo writes, which all fit
+// in 2^53) plus an is_integer flag so callers can recover uint64 counts.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ls::util {
+
+/// One parsed JSON value. Object keys keep a stable sorted order
+/// (std::map) so re-serializing a parsed document is deterministic.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool() const;
+  double as_double() const;
+  /// Numbers only; the parse must have been integral and in uint64 range.
+  std::uint64_t as_u64() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d, bool is_integer);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  bool is_integer_ = false;
+  std::string str_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one JSON document. Returns false (with a position-annotated
+/// message in *error when non-null) on malformed input or trailing
+/// garbage; *out is unspecified on failure.
+bool parse_json(std::string_view text, JsonValue* out,
+                std::string* error = nullptr);
+
+/// File convenience wrapper: false on I/O failure or parse failure.
+bool parse_json_file(const std::string& path, JsonValue* out,
+                     std::string* error = nullptr);
+
+}  // namespace ls::util

@@ -10,6 +10,8 @@
 //   6. thread-pool misuse                 (util::ThreadPool::set_num_threads)
 //   7. placement bijectivity              (core::placement_cost)
 //   8. schedule well-formedness           (sched::validate / validate_against)
+//   9. tuning-knob preconditions          (sched::lower: placement
+//      bijectivity, per-layer dim compatibility, dims/sparsity exclusion)
 //
 // This file is only compiled into checked builds (tests/CMakeLists.txt
 // gates it on LS_CHECKS); in unchecked builds the macros are no-ops and
@@ -260,6 +262,69 @@ TEST_F(CheckDeath, ScheduleMissingLayerCoverageDies) {
     s.events.pop_back();
   }
   EXPECT_DEATH(sched::validate_against(s, spec), "compute layers but");
+}
+
+// --- 9. tuning-knob preconditions --------------------------------------------
+
+// Lowers ConvNet with one tuning knob deliberately malformed.
+sched::Schedule lower_with(std::vector<sched::PartitionDim> dims,
+                           std::vector<std::size_t> placement) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sched::BuildOptions opts;
+  opts.cores = 16;
+  opts.layer_dims = std::move(dims);
+  opts.placement = std::move(placement);
+  return sched::build_traditional(
+      spec,
+      core::traffic_dense(spec, noc::MeshTopology::for_cores(opts.cores), 2),
+      opts);
+}
+
+TEST_F(CheckDeath, NonBijectiveSchedulePlacementDies) {
+  std::vector<std::size_t> placement(16);
+  for (std::size_t i = 0; i < 16; ++i) placement[i] = i;
+  placement[3] = 5;  // core 5 duplicated, core 3 missing
+  EXPECT_DEATH(lower_with({}, placement), "not a bijective permutation");
+}
+
+TEST_F(CheckDeath, WrongLengthSchedulePlacementDies) {
+  EXPECT_DEATH(lower_with({}, {0, 1, 2, 3}),  // 4 entries on 16 cores
+               "placement maps");
+}
+
+TEST_F(CheckDeath, LayerDimsCountMismatchDies) {
+  EXPECT_DEATH(lower_with({sched::PartitionDim::kKernel}, {}),
+               "layer dims for");
+}
+
+TEST_F(CheckDeath, SpatialDimOnFcLayerDies) {
+  // ConvNet computes: conv1..conv3, ip1, ip2 — height cannot split an FC.
+  std::vector<sched::PartitionDim> dims(5, sched::PartitionDim::kKernel);
+  dims[3] = sched::PartitionDim::kHeight;
+  EXPECT_DEATH(lower_with(dims, {}), "incompatible with compute layer");
+}
+
+TEST_F(CheckDeath, ChannelDimOnLastLayerDies) {
+  // Channel's reduce-scatter rides the next transition; ip2 has none.
+  std::vector<sched::PartitionDim> dims(5, sched::PartitionDim::kKernel);
+  dims[4] = sched::PartitionDim::kChannel;
+  EXPECT_DEATH(lower_with(dims, {}), "incompatible with compute layer");
+}
+
+TEST_F(CheckDeath, NonKernelDimUnderSparsityProfileDies) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sched::BuildOptions opts;
+  opts.cores = 16;
+  opts.layer_dims.assign(5, sched::PartitionDim::kKernel);
+  opts.layer_dims[0] = sched::PartitionDim::kHeight;
+  const core::SparsityProfile profile;  // liveness is kernel-split-defined
+  EXPECT_DEATH(
+      sched::build_sparsified(
+          spec,
+          core::traffic_dense(spec, noc::MeshTopology::for_cores(opts.cores),
+                              2),
+          opts, &profile),
+      "defined on the kernel");
 }
 
 }  // namespace

@@ -93,6 +93,37 @@ TEST(NocRunCache, KeyIncludesTopologyAndConfig) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST(NocRunCache, PlacementPermutedBurstsKeySeparately) {
+  // Tuned schedules permute message endpoints through a core placement;
+  // the cache key covers the ordered (src, dst, bytes) sequence, so a
+  // permuted burst must never be served the identity burst's entry (the
+  // stats differ — hop counts change with the placement).
+  MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
+  NocRunCache& cache = NocRunCache::instance();
+  cache.clear();
+  cache.set_enabled(true);
+
+  const std::vector<Message> identity = burst_a();
+  std::vector<Message> permuted = identity;
+  for (Message& m : permuted) {  // placement: core i -> core 15 - i
+    m.src = 15 - m.src;
+    m.dst = 15 - m.dst;
+  }
+
+  const NocStats a = cache.run(sim, identity);
+  const NocStats b = cache.run(sim, permuted);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(a, sim.run(identity));
+  EXPECT_EQ(b, sim.run(permuted));
+
+  // Re-querying each burst hits its own entry and stays byte-identical.
+  EXPECT_EQ(cache.run(sim, identity), a);
+  EXPECT_EQ(cache.run(sim, permuted), b);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST(NocRunCache, DisabledBypassesEntirely) {
   MeshNocSimulator sim(MeshTopology::for_cores(16), NocConfig{});
   NocRunCache& cache = NocRunCache::instance();

@@ -1,0 +1,199 @@
+// Autotuner suite (`ctest -L tune`): search determinism (same seed +
+// budget -> identical winner and byte-identical cache files), the
+// tuned-beats-baseline guarantee the bench gate reads, and the schedule
+// cache store's round-trip / key-isolation contract.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "tune/schedule_cache.hpp"
+#include "tune/tuner.hpp"
+
+namespace ls {
+namespace {
+
+struct TunePoint {
+  nn::NetSpec spec;
+  sim::SystemConfig cfg;
+  core::InferenceTraffic traffic;
+};
+
+TunePoint convnet16() {
+  TunePoint p;
+  p.spec = nn::convnet_spec();
+  p.cfg.cores = 16;
+  p.traffic = core::traffic_dense(
+      p.spec, noc::MeshTopology::for_cores(p.cfg.cores),
+      p.cfg.bytes_per_value);
+  return p;
+}
+
+tune::TunerConfig small_search() {
+  tune::TunerConfig tcfg;
+  tcfg.budget = 300;
+  tcfg.restarts = 3;
+  tcfg.seed = 17;
+  return tcfg;
+}
+
+tune::CacheKey key_for(const TunePoint& p) {
+  tune::CacheKey key;
+  key.net = p.spec.name;
+  key.cores = p.cfg.cores;
+  key.noc = p.cfg.noc;
+  key.noc_clock_divider = p.cfg.noc_clock_divider;
+  return key;
+}
+
+tune::CacheEntry entry_for(const tune::TuneOutcome& out,
+                           const tune::TunerConfig& tcfg) {
+  tune::CacheEntry e;
+  e.candidate = out.best;
+  e.est_cycles = out.best_est_cycles;
+  e.sim_cycles = out.best_sim_cycles;
+  e.baseline_sim_cycles = out.baseline_sim_cycles;
+  e.seed = tcfg.seed;
+  e.budget = tcfg.budget;
+  return e;
+}
+
+TEST(Tuner, DeterministicAndByteIdenticalCache) {
+  const TunePoint p = convnet16();
+  const tune::TunerConfig tcfg = small_search();
+  const tune::TuneOutcome a = tune::tune(p.spec, p.traffic, p.cfg, tcfg);
+  const tune::TuneOutcome b = tune::tune(p.spec, p.traffic, p.cfg, tcfg);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_est_cycles, b.best_est_cycles);
+  EXPECT_EQ(a.best_sim_cycles, b.best_sim_cycles);
+  EXPECT_EQ(a.evals, b.evals);
+
+  // End to end: two independently produced stores serialize to the same
+  // bytes — on disk too, not just in memory.
+  tune::ScheduleCache cache_a, cache_b;
+  cache_a.put(key_for(p), entry_for(a, tcfg));
+  cache_b.put(key_for(p), entry_for(b, tcfg));
+  EXPECT_EQ(cache_a.to_json(), cache_b.to_json());
+
+  const std::string path_a = ::testing::TempDir() + "tuner_det_a.json";
+  const std::string path_b = ::testing::TempDir() + "tuner_det_b.json";
+  ASSERT_TRUE(cache_a.save_file(path_a));
+  ASSERT_TRUE(cache_b.save_file(path_b));
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  EXPECT_EQ(slurp(path_a), slurp(path_b));
+  EXPECT_FALSE(slurp(path_a).empty());
+}
+
+TEST(Tuner, TunedBeatsKernelWiseBaseline) {
+  const TunePoint p = convnet16();
+  const tune::TuneOutcome out =
+      tune::tune(p.spec, p.traffic, p.cfg, small_search());
+  EXPECT_GT(out.evals, 0u);
+  EXPECT_GT(out.validated, 0u);
+  // The search space contains the baseline itself (restart 0 starts
+  // there), so the flit-validated winner can never lose to it — and with
+  // overlap in the space it strictly wins on this config.
+  EXPECT_LT(out.best_sim_cycles, out.baseline_sim_cycles);
+  EXPECT_GT(out.speedup_sim(), 1.0);
+}
+
+TEST(Tuner, ValidatedWinnerExecutesToItsReportedCycles) {
+  const TunePoint p = convnet16();
+  const tune::TuneOutcome out =
+      tune::tune(p.spec, p.traffic, p.cfg, small_search());
+  const sim::CmpSystem system(p.cfg);
+  const sched::Schedule best = tune::lower_candidate(
+      p.spec, p.traffic, p.cfg, out.best, sched::Strategy::kTraditional);
+  EXPECT_EQ(system.execute(best).total_cycles, out.best_sim_cycles);
+}
+
+TEST(ScheduleCache, RoundTripPreservesEntries) {
+  const TunePoint p = convnet16();
+  tune::Candidate cand;
+  cand.layer_dims = {sched::PartitionDim::kHeight,
+                     sched::PartitionDim::kKernel,
+                     sched::PartitionDim::kChannel,
+                     sched::PartitionDim::kKernel,
+                     sched::PartitionDim::kBatch};
+  cand.placement = {5, 4, 3, 2, 1, 0, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15};
+  cand.overlap_comm = true;
+  tune::CacheEntry e;
+  e.candidate = cand;
+  e.est_cycles = 1234;
+  e.sim_cycles = 1300;
+  e.baseline_sim_cycles = 2000;
+  e.seed = 7;
+  e.budget = 500;
+
+  tune::ScheduleCache cache;
+  cache.put(key_for(p), e);
+  tune::ScheduleCache reloaded;
+  std::string error;
+  ASSERT_TRUE(reloaded.from_json(cache.to_json(), &error)) << error;
+  const tune::CacheEntry* found = reloaded.find(key_for(p));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, e);
+  // Canonical serialization is a fixed point of parse -> serialize.
+  EXPECT_EQ(reloaded.to_json(), cache.to_json());
+}
+
+TEST(ScheduleCache, KeyIsolatesConfigurations) {
+  const TunePoint p = convnet16();
+  tune::ScheduleCache cache;
+  cache.put(key_for(p), tune::CacheEntry{});
+
+  tune::CacheKey other_cores = key_for(p);
+  other_cores.cores = 64;
+  EXPECT_EQ(cache.find(other_cores), nullptr);
+
+  tune::CacheKey other_net = key_for(p);
+  other_net.net = "AlexNet";
+  EXPECT_EQ(cache.find(other_net), nullptr);
+
+  tune::CacheKey other_noc = key_for(p);
+  other_noc.noc.phys_channels += 1;
+  EXPECT_EQ(cache.find(other_noc), nullptr);
+
+  tune::CacheKey other_div = key_for(p);
+  other_div.noc_clock_divider = 2.0;
+  EXPECT_EQ(cache.find(other_div), nullptr);
+
+  tune::CacheKey other_strategy = key_for(p);
+  other_strategy.strategy = sched::Strategy::kSparsified;
+  EXPECT_EQ(cache.find(other_strategy), nullptr);
+
+  EXPECT_NE(cache.find(key_for(p)), nullptr);
+}
+
+TEST(ScheduleCache, MissingFileLoadsEmpty) {
+  tune::ScheduleCache cache;
+  std::string error;
+  EXPECT_TRUE(cache.load_file(::testing::TempDir() + "no_such_store.json",
+                              &error));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScheduleCache, MalformedStoreIsRejected) {
+  tune::ScheduleCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.from_json("{not json", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(cache.from_json("{\"version\":2,\"entries\":{}}", &error));
+  EXPECT_FALSE(cache.from_json("{\"entries\":{}}", &error));
+  // A well-formed document still loads after failures.
+  EXPECT_TRUE(cache.from_json("{\"version\":1,\"entries\":{}}", &error));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ls

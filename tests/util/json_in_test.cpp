@@ -1,0 +1,93 @@
+// util::parse_json — the read side of the JSON pair. Focus: round-tripping
+// JsonWriter output (the schedule-cache store's contract) and rejecting
+// malformed input with a positioned error instead of garbage.
+
+#include "util/json_in.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace ls::util {
+namespace {
+
+TEST(JsonIn, ParsesScalarsAndContainers) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      R"({"a":1,"b":-2.5,"c":"hi","d":[true,false,null],"e":{}})", &v,
+      &error))
+      << error;
+  EXPECT_EQ(v.find("a")->as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(v.find("b")->as_double(), -2.5);
+  EXPECT_EQ(v.find("c")->as_string(), "hi");
+  const auto& d = v.find("d")->as_array();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d[0].as_bool());
+  EXPECT_FALSE(d[1].as_bool());
+  EXPECT_TRUE(d[2].is_null());
+  EXPECT_TRUE(v.find("e")->as_object().empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonIn, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("tab\there \"quoted\" \\ slash");
+  w.key("big").value(std::uint64_t{9007199254740992ull});  // 2^53
+  w.key("neg").value(std::int64_t{-42});
+  w.key("pi").value(3.5);
+  w.key("list").begin_array();
+  for (int i = 0; i < 3; ++i) w.value(i);
+  w.end_array();
+  w.end_object();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(w.str(), &v, &error)) << error;
+  EXPECT_EQ(v.find("name")->as_string(), "tab\there \"quoted\" \\ slash");
+  EXPECT_EQ(v.find("big")->as_u64(), 9007199254740992ull);
+  EXPECT_DOUBLE_EQ(v.find("neg")->as_double(), -42.0);
+  EXPECT_DOUBLE_EQ(v.find("pi")->as_double(), 3.5);
+  EXPECT_EQ(v.find("list")->as_array().size(), 3u);
+}
+
+TEST(JsonIn, ParsesEscapesAndUnicode) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"(["\u0041\u00e9\u20ac","\n\t\/"])", &v));
+  EXPECT_EQ(v.as_array()[0].as_string(), "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_EQ(v.as_array()[1].as_string(), "\n\t/");
+}
+
+TEST(JsonIn, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"k\":\"\\x\"}", "[01e]", "nan"}) {
+    EXPECT_FALSE(parse_json(bad, &v, &error)) << bad;
+    EXPECT_NE(error.find("json parse error"), std::string::npos) << bad;
+  }
+}
+
+TEST(JsonIn, TypeMismatchThrowsInsteadOfGarbage) {
+  JsonValue v;
+  ASSERT_TRUE(parse_json(R"({"s":"x","f":1.5,"neg":-1})", &v));
+  EXPECT_THROW(v.find("s")->as_u64(), std::logic_error);
+  EXPECT_THROW(v.find("f")->as_u64(), std::logic_error);   // not integral
+  EXPECT_THROW(v.find("neg")->as_u64(), std::logic_error);  // negative
+  EXPECT_THROW(v.find("s")->as_array(), std::logic_error);
+  EXPECT_THROW(v.as_bool(), std::logic_error);
+}
+
+TEST(JsonIn, DeepNestingIsBounded) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(parse_json(deep, &v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ls::util

@@ -10,6 +10,16 @@
 //   ls_experiment infer --net alexnet --cores 16 [--overlap] [--no-cache]
 //       [--schedule-dump plan.json]
 //   ls_experiment stream --net convnet --cores 16 --requests 8
+//   ls_experiment tune --net convnet --cores 64 --budget 2000 --seed 7
+//
+// Tuned schedules: `tune` searches per-layer partition dims x core
+// placement x overlap on the analytic cost model, validates the winners
+// flit-level, and records the best in a JSON schedule cache
+// (--tuned-cache PATH, else $LS_TUNE_CACHE, else tuned_schedules.json).
+// `infer` and `stream` transparently execute a cached tuned schedule for
+// their exact (net, cores, strategy, NoC) configuration and fall back
+// bit-exactly to the kernel-wise schedule when the store has no entry
+// (--no-tuned skips the lookup entirely).
 //
 // Observability: `--trace out.json` writes a Chrome-trace/Perfetto timeline
 // and `--metrics out.json` dumps the process metrics registry (counters,
@@ -29,8 +39,11 @@
 #include "obs/trace.hpp"
 #include "sched/schedule.hpp"
 #include "sim/experiment.hpp"
+#include "sched/cost_model.hpp"
 #include "sim/pipeline_model.hpp"
 #include "sim/system.hpp"
+#include "tune/schedule_cache.hpp"
+#include "tune/tuner.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -191,6 +204,57 @@ int cmd_pipeline(const Args& args) {
   return 0;
 }
 
+std::string tuned_cache_path(const Args& args) {
+  const std::string flag = args.str("tuned-cache", "");
+  if (!flag.empty()) return flag;
+  const char* env = std::getenv("LS_TUNE_CACHE");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "tuned_schedules.json";
+}
+
+tune::CacheKey tune_key(const nn::NetSpec& spec,
+                        const sim::SystemConfig& cfg) {
+  tune::CacheKey key;
+  key.net = spec.name;
+  key.cores = cfg.cores;
+  key.strategy = sched::Strategy::kTraditional;
+  key.noc = cfg.noc;
+  key.noc_clock_divider = cfg.noc_clock_divider;
+  return key;
+}
+
+/// Transparent tuned-schedule pickup for infer/stream: on a store hit the
+/// cached candidate is lowered against this exact traffic; on a miss (or
+/// --no-tuned) the untuned kernel-wise schedule is returned unchanged —
+/// bit-exact with the historical path.
+sched::Schedule schedule_for_run(const Args& args, const nn::NetSpec& spec,
+                                 const sim::SystemConfig& cfg,
+                                 const sim::CmpSystem& system,
+                                 const core::InferenceTraffic& traffic) {
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("tune.cache_hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("tune.cache_misses");
+  if (!args.flag("no-tuned")) {
+    tune::ScheduleCache cache;
+    std::string error;
+    if (!cache.load_file(tuned_cache_path(args), &error)) {
+      std::fprintf(stderr, "warning: %s (running untuned)\n", error.c_str());
+    } else if (const tune::CacheEntry* e = cache.find(tune_key(spec, cfg))) {
+      hits.inc();
+      std::printf("using tuned schedule from %s (est %llu cyc, validated "
+                  "%llu cyc)\n",
+                  tuned_cache_path(args).c_str(),
+                  static_cast<unsigned long long>(e->est_cycles),
+                  static_cast<unsigned long long>(e->sim_cycles));
+      return tune::lower_candidate(spec, traffic, cfg, e->candidate,
+                                   sched::Strategy::kTraditional);
+    }
+    misses.inc();
+  }
+  return system.build_schedule(spec, traffic);
+}
+
 int cmd_infer(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "alexnet"));
   sim::SystemConfig cfg;
@@ -200,7 +264,8 @@ int cmd_infer(const Args& args) {
   const sim::CmpSystem system(cfg);
   const auto traffic =
       core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
-  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  const sched::Schedule schedule =
+      schedule_for_run(args, spec, cfg, system, traffic);
   const std::string dump_path = args.str("schedule-dump", "");
   if (!dump_path.empty()) {
     std::FILE* f = std::fopen(dump_path.c_str(), "w");
@@ -209,7 +274,12 @@ int cmd_infer(const Args& args) {
                    dump_path.c_str());
       return 1;
     }
-    const std::string json = sched::to_json(schedule);
+    // The dump carries the analytic scorer's per-event cycle estimates
+    // alongside the structure, so a plan can be inspected without
+    // re-running the flit simulation.
+    const sched::CycleEstimate estimate =
+        sched::estimate_cycles(schedule, tune::cost_model_for(cfg));
+    const std::string json = sched::to_json(schedule, &estimate);
     std::fwrite(json.data(), 1, json.size(), f);
     std::fputc('\n', f);
     std::fclose(f);
@@ -265,7 +335,8 @@ int cmd_stream(const Args& args) {
   const sim::CmpSystem system(cfg);
   const auto traffic =
       core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
-  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  const sched::Schedule schedule =
+      schedule_for_run(args, spec, cfg, system, traffic);
   const sim::StreamResult s = system.run_stream(schedule, requests);
 
   util::Table t(spec.name + " stream of " + std::to_string(requests) +
@@ -285,6 +356,65 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+int cmd_tune(const Args& args) {
+  const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  cfg.overlap_comm = args.flag("overlap");
+  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+
+  tune::TunerConfig tcfg;
+  tcfg.budget = static_cast<std::uint64_t>(args.num("budget", 2000));
+  tcfg.restarts = static_cast<std::size_t>(args.num("restarts", 4));
+  tcfg.top_k = static_cast<std::size_t>(args.num("top-k", 3));
+  tcfg.seed = static_cast<std::uint64_t>(args.num("seed", 0x4c535343));
+  const tune::TuneOutcome out = tune::tune(spec, traffic, cfg, tcfg);
+
+  util::Table t("tuned " + spec.name + " on " + std::to_string(cfg.cores) +
+                " cores");
+  t.set_header({"schedule", "est-cyc", "sim-cyc", "speedup"});
+  t.add_row({"kernel-wise baseline", std::to_string(out.baseline_est_cycles),
+             std::to_string(out.baseline_sim_cycles), "1x"});
+  t.add_row({"tuned", std::to_string(out.best_est_cycles),
+             std::to_string(out.best_sim_cycles),
+             util::fmt_speedup(out.speedup_sim())});
+  t.print();
+  std::string dims;
+  for (const sched::PartitionDim d : out.best.layer_dims) {
+    dims += dims.empty() ? "" : ",";
+    dims += sched::to_string(d);
+  }
+  std::printf("dims: [%s]  overlap: %s  evals: %llu  validated: %zu\n",
+              dims.c_str(), out.best.overlap_comm ? "on" : "off",
+              static_cast<unsigned long long>(out.evals), out.validated);
+
+  const std::string path = tuned_cache_path(args);
+  tune::ScheduleCache cache;
+  std::string error;
+  if (!cache.load_file(path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  tune::CacheEntry entry;
+  entry.candidate = out.best;
+  entry.est_cycles = out.best_est_cycles;
+  entry.sim_cycles = out.best_sim_cycles;
+  entry.baseline_sim_cycles = out.baseline_sim_cycles;
+  entry.seed = tcfg.seed;
+  entry.budget = tcfg.budget;
+  cache.put(tune_key(spec, cfg), entry);
+  if (!cache.save_file(path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("best schedule cached in %s (%zu entries)\n", path.c_str(),
+              cache.size());
+  return 0;
+}
+
 void usage() {
   std::puts(
       "usage: ls_experiment <command> [--key value ...]\n"
@@ -296,8 +426,13 @@ void usage() {
       "  pipeline   --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "  infer      --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "             [--overlap] [--no-cache] [--schedule-dump out.json]\n"
+      "             [--tuned-cache store.json] [--no-tuned]\n"
       "  stream     --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "             [--requests N] [--no-cache]\n"
+      "             [--tuned-cache store.json] [--no-tuned]\n"
+      "  tune       --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
+      "             [--budget N] [--restarts N] [--top-k N] [--seed N]\n"
+      "             [--overlap] [--tuned-cache store.json]\n"
       "global observability flags (any command):\n"
       "  --trace out.json    write a Perfetto/chrome-trace timeline\n"
       "  --metrics out.json  dump the metrics registry (counters, heatmap)\n"
@@ -334,6 +469,8 @@ int main(int argc, char** argv) {
       rc = cmd_infer(args);
     } else if (cmd == "stream") {
       rc = cmd_stream(args);
+    } else if (cmd == "tune") {
+      rc = cmd_tune(args);
     } else {
       usage();
     }

@@ -62,6 +62,34 @@ grep -q '"speedup_vs_back_to_back"' "$repo_root/BENCH_stream.json"
 grep -q '"kernel_sparse"' "$repo_root/BENCH_sparse.json"
 grep -q '"sparsity_pct":75' "$repo_root/BENCH_sparse.json"
 
+# Autotuner bench (analytic cycles, deterministic; winners flit-validated):
+# BENCH_tune.json must show tuned schedules beating the kernel-wise baseline
+# on ConvNet and AlexNet at 16 and 64 cores.
+"$build_dir/bench/bench_tune" --budget 2000 \
+  --json "$repo_root/BENCH_tune.json"
+[ -s "$repo_root/BENCH_tune.json" ] || {
+  echo "tune bench: missing BENCH_tune.json" >&2; exit 1; }
+grep -q '"bench":"tune"' "$repo_root/BENCH_tune.json"
+grep -q '"speedup_sim"' "$repo_root/BENCH_tune.json"
+if grep -q '"speedup_sim":0\.' "$repo_root/BENCH_tune.json"; then
+  echo "tune bench: a tuned schedule regressed below the baseline" >&2
+  exit 1
+fi
+
+# Tune smoke: a bounded search on the small net must populate the schedule
+# cache, and a follow-up inference must pick the tuned schedule up.
+tune_dir="$build_dir/tune_smoke"
+mkdir -p "$tune_dir"
+"$build_dir/tools/ls_experiment" tune --net convnet --cores 16 \
+  --budget 200 --restarts 2 --seed 7 \
+  --tuned-cache "$tune_dir/tuned_schedules.json" >/dev/null
+[ -s "$tune_dir/tuned_schedules.json" ] || {
+  echo "tune smoke: missing schedule cache" >&2; exit 1; }
+"$build_dir/tools/ls_experiment" infer --net convnet --cores 16 \
+  --tuned-cache "$tune_dir/tuned_schedules.json" \
+  | grep -q 'using tuned schedule' || {
+  echo "tune smoke: infer did not pick up the tuned schedule" >&2; exit 1; }
+
 # Observability smoke: an AlexNet 16-core inference must produce a valid
 # Perfetto trace and metrics dump (validated with python3 when available).
 obs_dir="$build_dir/obs_smoke"
@@ -77,4 +105,4 @@ done
 grep -q '"traceEvents"' "$obs_dir/trace.json"
 grep -q '"noc_link_heatmap"' "$obs_dir/metrics.json"
 
-echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json, obs smoke in $obs_dir"
+echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json / BENCH_tune.json, obs smoke in $obs_dir"
