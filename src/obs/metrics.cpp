@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <utility>
@@ -39,6 +40,18 @@ util::RunningStats HistogramMetric::summary() const {
 std::optional<util::Histogram> HistogramMetric::bins() const {
   std::lock_guard<std::mutex> lk(mu_);
   return hist_;
+}
+
+std::optional<double> HistogramMetric::quantile(double q) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (stats_.count() == 0 || !hist_) return std::nullopt;
+  const double raw = hist_->quantile(q);
+  // The binned estimate carries no position inside the under/overflow
+  // mass — it reports the configured range edges. We track the exact
+  // observed extrema, so boundary mass resolves to them instead.
+  if (raw <= hist_->lo()) return stats_.min();
+  if (raw >= hist_->hi()) return stats_.max();
+  return std::clamp(raw, stats_.min(), stats_.max());
 }
 
 void HistogramMetric::reset() {
@@ -173,6 +186,14 @@ std::string Registry::to_json() const {
     w.value(s.min());
     w.key("max");
     w.value(s.max());
+    if (const auto p50 = h->quantile(0.50)) {
+      w.key("p50");
+      w.value(*p50);
+      w.key("p95");
+      w.value(*h->quantile(0.95));
+      w.key("p99");
+      w.value(*h->quantile(0.99));
+    }
     if (const auto bins = h->bins()) {
       w.key("bins");
       w.begin_object();

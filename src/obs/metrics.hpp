@@ -54,6 +54,15 @@ class HistogramMetric {
 
   util::RunningStats summary() const;
   std::optional<util::Histogram> bins() const;
+
+  /// Quantile query (q clamped to [0, 1]) by binned interpolation,
+  /// clamped to the observed [min, max] so single samples and
+  /// out-of-range observations (under/overflow mass) resolve to values
+  /// that were actually seen. nullopt when nothing has been observed or
+  /// no bins are configured — RunningStats alone cannot answer quantiles.
+  /// The metrics export surfaces p50/p95/p99 through this.
+  std::optional<double> quantile(double q) const;
+
   void reset();
 
  private:

@@ -27,11 +27,14 @@ using steady = std::chrono::steady_clock;
 struct Event {
   std::string name;
   const char* cat = "";
+  char ph = 'X';  ///< 'X' complete, 'C' counter sample, 's'/'f' flow edge
   std::uint64_t ts = 0;
   std::uint64_t dur = 0;
   std::uint32_t pid = kWallPid;
   std::uint64_t tid = 0;
-  std::string args;  ///< pre-rendered JSON object or empty
+  double counter_value = 0.0;  ///< 'C' events
+  std::uint64_t flow_id = 0;   ///< 's'/'f' events
+  std::string args;            ///< pre-rendered JSON object or empty
 };
 
 }  // namespace
@@ -88,6 +91,34 @@ void Tracer::complete(std::string name, const char* cat, std::uint64_t ts_us,
   e.pid = pid;
   e.tid = tid;
   e.args = std::move(args_json);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void Tracer::counter(std::string name, const char* cat, std::uint64_t ts_us,
+                     double value, std::uint32_t pid) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = 'C';
+  e.ts = ts_us;
+  e.pid = pid;
+  e.counter_value = value;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void Tracer::flow(bool start, std::string name, const char* cat,
+                  std::uint64_t ts_us, std::uint64_t id, std::uint32_t pid,
+                  std::uint64_t tid) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.ph = start ? 's' : 'f';
+  e.ts = ts_us;
+  e.pid = pid;
+  e.tid = tid;
+  e.flow_id = id;
   std::lock_guard<std::mutex> lk(impl_->mu);
   impl_->events.push_back(std::move(e));
 }
@@ -167,16 +198,35 @@ bool Tracer::write(const std::string& path) {
     w.key("cat");
     w.value(e.cat);
     w.key("ph");
-    w.value("X");
+    const char ph[2] = {e.ph, '\0'};
+    w.value(ph);
     w.key("ts");
     w.value(e.ts);
-    w.key("dur");
-    w.value(e.dur);
+    if (e.ph == 'X') {
+      w.key("dur");
+      w.value(e.dur);
+    }
     w.key("pid");
     w.value(static_cast<std::uint64_t>(e.pid));
-    w.key("tid");
-    w.value(e.tid);
-    if (!e.args.empty()) {
+    if (e.ph != 'C') {
+      w.key("tid");
+      w.value(e.tid);
+    }
+    if (e.ph == 's' || e.ph == 'f') {
+      w.key("id");
+      w.value(e.flow_id);
+      if (e.ph == 'f') {
+        w.key("bp");
+        w.value("e");
+      }
+    }
+    if (e.ph == 'C') {
+      w.key("args");
+      w.begin_object();
+      w.key("value");
+      w.value(e.counter_value);
+      w.end_object();
+    } else if (!e.args.empty()) {
       w.key("args");
       w.raw(e.args);
     }

@@ -60,6 +60,21 @@ class Tracer {
                 std::uint64_t dur_us, std::uint32_t pid, std::uint64_t tid,
                 std::string args_json = {});
 
+  /// Records a counter-track sample ("ph":"C"): the value of series `name`
+  /// at ts_us. Perfetto renders each name as its own counter track under
+  /// the process; samples may arrive out of ts order.
+  void counter(std::string name, const char* cat, std::uint64_t ts_us,
+               double value, std::uint32_t pid);
+
+  /// Records one edge of a flow arrow ("ph":"s" start / "ph":"f" finish,
+  /// binding-point "enclosing slice"). Both edges of flow `id` must land
+  /// inside a complete event on their (pid, tid) track for the viewer to
+  /// draw the arrow — used to chain a streamed request's burst span on the
+  /// NoC track to the compute span it feeds on a core track.
+  void flow(bool start, std::string name, const char* cat,
+            std::uint64_t ts_us, std::uint64_t id, std::uint32_t pid,
+            std::uint64_t tid);
+
   /// Microseconds since start() on the steady clock.
   std::uint64_t now_us() const;
 

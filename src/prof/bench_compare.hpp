@@ -1,0 +1,66 @@
+#pragma once
+// Structural diff of two bench-report JSON documents (the committed
+// BENCH_*.json baselines vs a fresh run) with per-metric regression
+// thresholds — the library behind tools/bench_diff.
+//
+// Both documents are walked in lockstep. Numeric leaves become
+// MetricDiffs; whether a change is a regression depends on the metric's
+// direction, inferred from the leaf key (speedups and throughputs should
+// not drop, latencies and cycle counts should not rise, configuration
+// echoes like "cores" are informational). Structural differences — a key
+// present on one side, arrays of different length, a type change — are
+// reported as mismatches, not silently skipped: a bench that stopped
+// emitting a metric must not pass the gate by omission.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json_in.hpp"
+
+namespace ls::prof {
+
+enum class MetricDirection {
+  kLowerBetter,   ///< cycle counts, milliseconds, errors
+  kHigherBetter,  ///< speedups, throughput, occupancy
+  kInfo,          ///< configuration echoes; never a regression
+};
+
+/// Direction heuristic for a leaf key ("gemm_fwd_ms", "speedup_sim", ...).
+MetricDirection metric_direction(std::string_view leaf_key);
+
+struct MetricDiff {
+  std::string path;  ///< dotted path, array elements as [i]
+  std::string leaf;  ///< the leaf key the direction came from
+  double base = 0.0;
+  double current = 0.0;
+  /// (current - base) / |base|; absolute delta when base == 0.
+  double rel_change = 0.0;
+  MetricDirection direction = MetricDirection::kInfo;
+  bool regressed = false;
+};
+
+struct DiffOptions {
+  /// A directional metric regresses when it moves the wrong way by more
+  /// than this relative fraction.
+  double default_threshold = 0.05;
+  /// Per-leaf-key overrides (e.g. {"speedup_sim", 0.10}).
+  std::map<std::string, double, std::less<>> thresholds;
+};
+
+struct DiffResult {
+  std::vector<MetricDiff> diffs;          ///< every numeric leaf compared
+  std::vector<std::string> mismatches;    ///< structural differences
+  std::size_t regressions = 0;
+
+  bool ok() const { return regressions == 0 && mismatches.empty(); }
+};
+
+/// Diffs `current` against `base` (see header comment).
+DiffResult diff_bench(const util::JsonValue& base,
+                      const util::JsonValue& current,
+                      const DiffOptions& opts = {});
+
+}  // namespace ls::prof

@@ -1,0 +1,89 @@
+#include "prof/model_error.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "check/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace ls::prof {
+
+namespace {
+
+double rel_error(std::uint64_t est, std::uint64_t act) {
+  if (act == 0) {
+    // No actual cycles: a matching zero estimate is a perfect call;
+    // anything else is pure over-estimate, measured against a 1-cycle
+    // floor so the ratio stays finite.
+    return est == 0 ? 0.0 : static_cast<double>(est);
+  }
+  return (static_cast<double>(est) - static_cast<double>(act)) /
+         static_cast<double>(act);
+}
+
+}  // namespace
+
+ModelErrorReport compare_model(const sched::Schedule& schedule,
+                               const sched::CostModelConfig& cost,
+                               const sim::InferenceResult& actual) {
+  const sched::CycleEstimate est = sched::estimate_cycles(schedule, cost);
+  LS_CHECK_MSG(est.events.size() == schedule.events.size(),
+               "compare_model('%s'): estimate covers %zu of %zu events",
+               schedule.net_name.c_str(), est.events.size(),
+               schedule.events.size());
+
+  ModelErrorReport report;
+  report.est_total_cycles = est.total_cycles;
+  report.act_total_cycles = actual.total_cycles;
+
+  // Walk the event list with the executor's layer pairing: a comm event
+  // charges into the *next* compute event's layer; layers advance on
+  // computes (schedule invariant: comm is immediately followed by its
+  // compute).
+  std::size_t layer = 0;
+  std::uint64_t pending_est_comm = 0;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    if (schedule.events[i].kind == sched::EventKind::kComm) {
+      pending_est_comm = est.events[i].raw_comm_cycles;
+      continue;
+    }
+    LS_CHECK_MSG(layer < actual.layers.size(),
+                 "compare_model('%s'): schedule has more compute events "
+                 "than the result has layers (%zu)",
+                 schedule.net_name.c_str(), actual.layers.size());
+    if (layer >= actual.layers.size()) break;
+    const sim::LayerTimeline& tl = actual.layers[layer];
+
+    LayerModelError e;
+    e.layer_name = tl.layer_name;
+    e.est_compute_cycles = est.events[i].cycles;
+    e.act_compute_cycles = tl.compute_cycles;
+    e.est_comm_cycles = pending_est_comm;
+    e.act_comm_cycles = tl.comm_cycles;  // raw drain (pre-overlap)
+    e.compute_rel_error =
+        rel_error(e.est_compute_cycles, e.act_compute_cycles);
+    e.comm_rel_error = rel_error(e.est_comm_cycles, e.act_comm_cycles);
+    if (e.est_comm_cycles != 0 || e.act_comm_cycles != 0) {
+      report.comm_rel_error.add(e.comm_rel_error);
+      report.comm_abs_rel_error_hist.add(std::abs(e.comm_rel_error));
+    }
+    report.layers.push_back(std::move(e));
+    pending_est_comm = 0;
+    ++layer;
+  }
+
+  obs::Registry& reg = obs::Registry::instance();
+  obs::HistogramMetric& comm_hist =
+      reg.histogram("prof.model_error.comm_abs_rel", 0.0, 1.0, 16);
+  for (const LayerModelError& e : report.layers) {
+    if (e.est_comm_cycles != 0 || e.act_comm_cycles != 0) {
+      comm_hist.observe(std::abs(e.comm_rel_error));
+    }
+    if (e.compute_rel_error != 0.0) {
+      reg.counter("prof.model_error.compute_drift_layers").inc();
+    }
+  }
+  return report;
+}
+
+}  // namespace ls::prof

@@ -1,0 +1,60 @@
+#pragma once
+// Cost-model error attribution (DESIGN.md §4h): per-layer comparison of
+// the analytic scorer (sched::estimate_cycles, what the autotuner ranks
+// candidates with) against the flit-level executor's actuals
+// (CmpSystem::execute over the same schedule).
+//
+// The compute half of the estimate is the executor's own
+// accel::CoreModel::partition_cost, so its error is identically zero —
+// reported anyway as a tripwire: a nonzero compute error means the scorer
+// and executor have drifted apart. The comm half is the link-contention
+// approximation; its per-layer relative error is the quantity that decides
+// whether the tuner's analytic shortlist can be trusted.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+
+namespace ls::prof {
+
+/// One compute layer's estimate-vs-actual pair. Comm cycles compare the
+/// *raw* drain (pre-overlap) on both sides — overlap policy is applied
+/// identically by both models, so the raw burst is the modeled quantity.
+struct LayerModelError {
+  std::string layer_name;
+  std::uint64_t est_compute_cycles = 0;
+  std::uint64_t act_compute_cycles = 0;
+  std::uint64_t est_comm_cycles = 0;  ///< raw drain estimate
+  std::uint64_t act_comm_cycles = 0;  ///< raw drain actual
+  /// (est - act) / act; 0 when act == 0 and est == 0, +inf-free: an
+  /// actual of 0 with a nonzero estimate reports est as absolute error
+  /// against a 1-cycle floor.
+  double compute_rel_error = 0.0;
+  double comm_rel_error = 0.0;
+};
+
+struct ModelErrorReport {
+  std::vector<LayerModelError> layers;
+  /// Signed relative comm error distribution across layers with traffic.
+  util::RunningStats comm_rel_error{};
+  /// Histogram of |comm_rel_error| in [0, 1] (16 bins; exact zero-traffic
+  /// layers excluded).
+  util::Histogram comm_abs_rel_error_hist{0.0, 1.0, 16};
+  /// Totals, for the headline number.
+  std::uint64_t est_total_cycles = 0;
+  std::uint64_t act_total_cycles = 0;
+};
+
+/// Compares the analytic estimate of `schedule` under `cost` against the
+/// executed single pass `actual` (CmpSystem::execute of the same
+/// schedule). Also feeds the `prof.model_error.*` metrics histograms.
+ModelErrorReport compare_model(const sched::Schedule& schedule,
+                               const sched::CostModelConfig& cost,
+                               const sim::InferenceResult& actual);
+
+}  // namespace ls::prof

@@ -1,0 +1,259 @@
+#include "prof/report.hpp"
+
+#include "check/check.hpp"
+#include "util/json.hpp"
+
+namespace ls::prof {
+
+namespace {
+
+void write_blame(util::JsonWriter& w, const BlameBreakdown& b) {
+  w.begin_object();
+  w.key("compute_cycles");
+  w.value(b.compute_cycles);
+  w.key("noc_cycles");
+  w.value(b.noc_cycles);
+  w.key("dep_stall_on_compute_cycles");
+  w.value(b.dep_stall_on_compute_cycles);
+  w.key("dep_stall_on_comm_cycles");
+  w.value(b.dep_stall_on_comm_cycles);
+  w.key("total_cycles");
+  w.value(b.total());
+  w.end_object();
+}
+
+void write_stats(util::JsonWriter& w, const util::RunningStats& s) {
+  w.begin_object();
+  w.key("count");
+  w.value(static_cast<std::uint64_t>(s.count()));
+  w.key("mean");
+  w.value(s.mean());
+  w.key("stddev");
+  w.value(s.stddev());
+  w.key("min");
+  w.value(s.min());
+  w.key("max");
+  w.value(s.max());
+  w.end_object();
+}
+
+void write_histogram(util::JsonWriter& w, const util::Histogram& h) {
+  w.begin_object();
+  w.key("lo");
+  w.value(h.bin_low(0));
+  w.key("hi");
+  w.value(h.bin_high(h.bins() - 1));
+  w.key("underflow");
+  w.value(static_cast<std::uint64_t>(h.underflow()));
+  w.key("overflow");
+  w.value(static_cast<std::uint64_t>(h.overflow()));
+  w.key("counts");
+  w.begin_array();
+  for (std::size_t i = 0; i < h.bins(); ++i) {
+    w.value(static_cast<std::uint64_t>(h.bin_count(i)));
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string build_profile_json(const ProfileInputs& in) {
+  LS_CHECK_MSG(in.single_pass != nullptr,
+               "build_profile_json('%s'): single_pass is required",
+               in.net_name.c_str());
+  util::JsonWriter w;
+  w.begin_object();
+
+  w.key("profile");
+  w.begin_object();
+  w.key("net");
+  w.value(in.net_name);
+  w.key("cores");
+  w.value(static_cast<std::uint64_t>(in.cores));
+  w.key("requests");
+  w.value(static_cast<std::uint64_t>(in.requests));
+  w.end_object();
+
+  if (in.single_pass != nullptr) {
+    const sim::InferenceResult& r = *in.single_pass;
+    w.key("single_pass");
+    w.begin_object();
+    w.key("total_cycles");
+    w.value(r.total_cycles);
+    w.key("compute_cycles");
+    w.value(r.compute_cycles);
+    w.key("comm_cycles");
+    w.value(r.comm_cycles);
+    w.key("comm_fraction");
+    w.value(r.comm_fraction());
+    w.key("blame");
+    write_blame(w, attribute_single_pass(r));
+    w.end_object();
+  }
+
+  if (in.model_error != nullptr) {
+    const ModelErrorReport& m = *in.model_error;
+    w.key("model_error");
+    w.begin_object();
+    w.key("est_total_cycles");
+    w.value(m.est_total_cycles);
+    w.key("act_total_cycles");
+    w.value(m.act_total_cycles);
+    w.key("comm_rel_error");
+    write_stats(w, m.comm_rel_error);
+    w.key("comm_abs_rel_error_hist");
+    write_histogram(w, m.comm_abs_rel_error_hist);
+    w.key("layers");
+    w.begin_array();
+    for (const LayerModelError& e : m.layers) {
+      w.begin_object();
+      w.key("layer");
+      w.value(e.layer_name);
+      w.key("est_compute_cycles");
+      w.value(e.est_compute_cycles);
+      w.key("act_compute_cycles");
+      w.value(e.act_compute_cycles);
+      w.key("est_comm_cycles");
+      w.value(e.est_comm_cycles);
+      w.key("act_comm_cycles");
+      w.value(e.act_comm_cycles);
+      w.key("compute_rel_error");
+      w.value(e.compute_rel_error);
+      w.key("comm_rel_error");
+      w.value(e.comm_rel_error);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+
+  if (in.stream != nullptr || in.latency != nullptr) {
+    w.key("stream");
+    w.begin_object();
+    if (in.stream != nullptr) {
+      const StreamAttribution& s = *in.stream;
+      w.key("makespan_cycles");
+      w.value(s.makespan_cycles);
+      w.key("blame");
+      write_blame(w, s.blame);
+      w.key("critical_chain_items");
+      w.value(static_cast<std::uint64_t>(s.critical_chain.size()));
+      std::size_t zero_slack = 0;
+      for (const ItemAttribution& it : s.items) {
+        zero_slack += it.slack_cycles == 0 ? 1 : 0;
+      }
+      w.key("zero_slack_items");
+      w.value(static_cast<std::uint64_t>(zero_slack));
+      w.key("total_items");
+      w.value(static_cast<std::uint64_t>(s.items.size()));
+    }
+    if (in.latency != nullptr) {
+      const StreamLatency& l = *in.latency;
+      w.key("latency");
+      w.begin_object();
+      w.key("p50_cycles");
+      w.value(l.p50_cycles);
+      w.key("p95_cycles");
+      w.value(l.p95_cycles);
+      w.key("p99_cycles");
+      w.value(l.p99_cycles);
+      w.key("requests");
+      w.begin_array();
+      for (const RequestLatency& r : l.requests) {
+        w.begin_object();
+        w.key("request");
+        w.value(static_cast<std::uint64_t>(r.request));
+        w.key("latency_cycles");
+        w.value(r.latency_cycles);
+        w.key("compute_cycles");
+        w.value(r.compute_cycles);
+        w.key("comm_cycles");
+        w.value(r.comm_cycles);
+        w.key("queue_wait_cycles");
+        w.value(r.queue_wait_cycles);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_object();
+  }
+
+  if (in.tune_outcome != nullptr || in.tune_telemetry != nullptr) {
+    w.key("tune");
+    w.begin_object();
+    if (in.tune_outcome != nullptr) {
+      const tune::TuneOutcome& o = *in.tune_outcome;
+      w.key("baseline_est_cycles");
+      w.value(o.baseline_est_cycles);
+      w.key("baseline_sim_cycles");
+      w.value(o.baseline_sim_cycles);
+      w.key("best_est_cycles");
+      w.value(o.best_est_cycles);
+      w.key("best_sim_cycles");
+      w.value(o.best_sim_cycles);
+      w.key("speedup_sim");
+      w.value(o.speedup_sim());
+      w.key("evals");
+      w.value(o.evals);
+      w.key("validated");
+      w.value(static_cast<std::uint64_t>(o.validated));
+    }
+    if (in.tune_telemetry != nullptr) {
+      const tune::TuneTelemetry& t = *in.tune_telemetry;
+      w.key("moves_accepted");
+      w.value(t.moves_accepted);
+      w.key("moves_rejected");
+      w.value(t.moves_rejected);
+      w.key("restarts");
+      w.begin_array();
+      for (const tune::TuneRestartTrace& r : t.restarts) {
+        w.begin_object();
+        w.key("restart");
+        w.value(static_cast<std::uint64_t>(r.restart));
+        w.key("start_est_cycles");
+        w.value(r.start_est_cycles);
+        w.key("final_est_cycles");
+        w.value(r.final_est_cycles);
+        w.key("moves_scored");
+        w.value(static_cast<std::uint64_t>(r.moves.size()));
+        // Accepted moves only: the descent trajectory. Rejected moves
+        // are the bulk of the budget and carry no shape.
+        w.key("accepted");
+        w.begin_array();
+        for (const tune::TuneMove& m : r.moves) {
+          if (!m.accepted) continue;
+          w.begin_object();
+          w.key("eval");
+          w.value(m.eval);
+          w.key("est_cycles");
+          w.value(m.est_cycles);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.key("validation_scatter");
+      w.begin_array();
+      for (const tune::TuneValidationPoint& v : t.validations) {
+        w.begin_object();
+        w.key("est_cycles");
+        w.value(v.est_cycles);
+        w.key("sim_cycles");
+        w.value(v.sim_cycles);
+        w.key("is_best");
+        w.value(v.is_best);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace ls::prof

@@ -1,0 +1,34 @@
+#pragma once
+// profile.json assembly: renders the attribution/model-error/latency/tuner
+// artifacts into one JSON document (util::JsonWriter, so the output parses
+// back with util::parse_json — the profile subcommand asserts that).
+
+#include <cstddef>
+#include <string>
+
+#include "prof/attribution.hpp"
+#include "prof/model_error.hpp"
+#include "sim/system.hpp"
+#include "tune/tuner.hpp"
+
+namespace ls::prof {
+
+/// Everything the profile report can carry. `single_pass` is required;
+/// every other section is emitted only when its pointer is non-null.
+struct ProfileInputs {
+  std::string net_name;
+  std::size_t cores = 0;
+  std::size_t requests = 0;
+  const sim::InferenceResult* single_pass = nullptr;
+  const ModelErrorReport* model_error = nullptr;
+  const StreamAttribution* stream = nullptr;
+  const StreamLatency* latency = nullptr;
+  const tune::TuneOutcome* tune_outcome = nullptr;
+  const tune::TuneTelemetry* tune_telemetry = nullptr;
+};
+
+/// Renders the report. Tuner trajectories are thinned to accepted moves
+/// (plus per-restart totals) — rejected moves are counted, not listed.
+std::string build_profile_json(const ProfileInputs& in);
+
+}  // namespace ls::prof

@@ -13,6 +13,7 @@
 #include "sched/builders.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
+#include "util/stats.hpp"
 
 namespace ls::sim {
 
@@ -220,10 +221,12 @@ InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
 
 StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
                                    std::size_t requests,
-                                   std::uint64_t stream_epoch) const {
+                                   std::uint64_t stream_epoch,
+                                   StreamTimeline* timeline) const {
   StreamResult out;
   out.requests = requests;
   out.single_pass = execute(schedule, stream_epoch);
+  if (timeline != nullptr) timeline->items.clear();
   if (requests == 0) return out;
 
   const bool tracing = obs::trace_enabled();
@@ -282,6 +285,16 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
       }
     }
   }
+  if (timeline != nullptr) timeline->items.reserve(requests * E);
+  // Flow-arrow bookkeeping: the last burst span dispatched per request, so
+  // the compute span it feeds can be linked to it across tracks.
+  struct PendingFlow {
+    bool armed = false;
+    std::uint64_t start = 0;
+    std::uint64_t finish = 0;
+  };
+  std::vector<PendingFlow> pending_flow(tracing ? requests : 0);
+  std::size_t inflight = 0;   // requests started but not finished
   std::size_t remaining = requests * E;
   while (remaining > 0) {
     std::size_t best_r = requests;
@@ -305,6 +318,15 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
     const sched::Event& e = *events[id];
     const std::uint64_t finish = best_start + dur[id];
     end[best_r][id] = finish;
+    if (timeline != nullptr) {
+      timeline->items.push_back({best_r, id, best_start, finish});
+    }
+    if (tracing && id == 0) {
+      ++inflight;
+      obs::Tracer::instance().counter("stream.inflight", "stream", best_start,
+                                      static_cast<double>(inflight),
+                                      obs::kSimPid);
+    }
     if (e.kind == sched::EventKind::kComm) {
       noc_free = finish;
       noc_busy += dur[id];
@@ -315,6 +337,7 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
             e.layer_name + " (burst r" + std::to_string(best_r) + ")",
             "stream.burst", best_start, dur[id], obs::kSimPid, cfg_.cores,
             args);
+        pending_flow[best_r] = {true, best_start, finish};
       }
     } else {
       cores_free = finish;
@@ -322,17 +345,41 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
       if (tracing) {
         char args[64];
         std::snprintf(args, sizeof(args), "{\"request\":%zu}", best_r);
+        std::size_t first_busy_core = cfg_.cores;
         for (std::size_t c = 0; c < per_core_cycles[id].size(); ++c) {
           if (per_core_cycles[id][c] == 0) continue;
+          if (first_busy_core == cfg_.cores) first_busy_core = c;
           obs::Tracer::instance().complete(
               e.layer_name + " r" + std::to_string(best_r), "stream.compute",
               best_start, per_core_cycles[id][c], obs::kSimPid, c, args);
         }
+        // Flow arrow from the feeding burst span (NoC track) into this
+        // compute span (first busy core track): the request's data path
+        // stays followable across tracks in the Perfetto UI.
+        PendingFlow& pf = pending_flow[best_r];
+        if (pf.armed && dur[id] > 0 && first_busy_core < cfg_.cores) {
+          const std::uint64_t flow_id =
+              static_cast<std::uint64_t>(best_r) * E + id;
+          const std::string flow_name = "stream.req" + std::to_string(best_r);
+          obs::Tracer& tr = obs::Tracer::instance();
+          tr.flow(true, flow_name, "stream",
+                  pf.finish > pf.start ? pf.finish - 1 : pf.start, flow_id,
+                  obs::kSimPid, cfg_.cores);
+          tr.flow(false, flow_name, "stream", best_start, flow_id,
+                  obs::kSimPid, first_busy_core);
+        }
+        pf.armed = false;
       }
     }
     makespan = std::max(makespan, finish);
     ++next[best_r];
     --remaining;
+    if (tracing && next[best_r] == E) {
+      --inflight;
+      obs::Tracer::instance().counter("stream.inflight", "stream", finish,
+                                      static_cast<double>(inflight),
+                                      obs::kSimPid);
+    }
   }
 
   out.makespan_cycles = makespan;
@@ -363,13 +410,41 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
   }
 
   obs::Registry& reg = obs::Registry::instance();
+  // Counters are process-lifetime monotonic totals across every run_stream
+  // call; the `stream.last_*` gauges hold this run's values (successive
+  // runs in one process used to sum into misleading per-run "totals").
   reg.counter("stream.requests").inc(requests);
   reg.counter("stream.makespan_cycles").inc(makespan);
   reg.counter("stream.core_busy_cycles").inc(core_busy);
   reg.counter("stream.noc_busy_cycles").inc(noc_busy);
+  reg.gauge("stream.last_requests").set(static_cast<double>(requests));
+  reg.gauge("stream.last_makespan_cycles").set(static_cast<double>(makespan));
+  reg.gauge("stream.last_core_busy_cycles")
+      .set(static_cast<double>(core_busy));
+  reg.gauge("stream.last_noc_busy_cycles").set(static_cast<double>(noc_busy));
   reg.gauge("stream.throughput_per_mcycle").set(out.throughput_per_mcycle);
   reg.gauge("stream.compute_occupancy").set(out.compute_occupancy);
   reg.gauge("stream.noc_occupancy").set(out.noc_occupancy);
+  if (!out.request_finish_cycle.empty()) {
+    std::vector<double> latencies;
+    latencies.reserve(requests);
+    obs::HistogramMetric& lat_hist =
+        reg.histogram("stream.request_latency_cycles", 0.0,
+                      static_cast<double>(std::max<std::uint64_t>(makespan, 1)),
+                      64);
+    for (const std::uint64_t fin : out.request_finish_cycle) {
+      latencies.push_back(static_cast<double>(fin));
+      lat_hist.observe(static_cast<double>(fin));
+    }
+    // Exact (order-statistic) per-run percentiles; the histogram above is
+    // the process-lifetime binned view.
+    reg.gauge("stream.latency_p50_cycles")
+        .set(util::percentile(latencies, 50.0));
+    reg.gauge("stream.latency_p95_cycles")
+        .set(util::percentile(latencies, 95.0));
+    reg.gauge("stream.latency_p99_cycles")
+        .set(util::percentile(latencies, 99.0));
+  }
   return out;
 }
 

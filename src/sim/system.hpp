@@ -105,6 +105,27 @@ struct InferenceResult {
                          const InferenceResult&) = default;
 };
 
+/// One dispatched event instance of a streamed run: request `request`
+/// executing schedule event `event` over [start_cycle, finish_cycle).
+struct StreamTimelineItem {
+  std::size_t request = 0;
+  sched::EventId event = 0;
+  std::uint64_t start_cycle = 0;
+  std::uint64_t finish_cycle = 0;
+
+  friend bool operator==(const StreamTimelineItem&,
+                         const StreamTimelineItem&) = default;
+};
+
+/// Execution record of run_stream, in dispatch order. Dispatch order
+/// sequences each resource (consecutive items of a kind ran back to back
+/// on it) and topologically orders the dep + resource precedence graph —
+/// exactly the contract prof::attribute_stream consumes for critical-path
+/// and slack analysis.
+struct StreamTimeline {
+  std::vector<StreamTimelineItem> items;
+};
+
 /// Multi-request streaming outcome (run_stream). Requests are independent
 /// inferences of the same schedule, all released at cycle 0.
 struct StreamResult {
@@ -161,9 +182,11 @@ class CmpSystem {
   /// overlap ablation flag on comm events is ignored here: streaming
   /// overlap is structural — a burst runs whenever the NoC is free and its
   /// producer layer finished, typically under another request's compute.
+  /// When `timeline` is non-null the per-item execution record is written
+  /// into it (dispatch order) for the profiling layer (src/prof).
   StreamResult run_stream(const sched::Schedule& schedule,
-                          std::size_t requests,
-                          std::uint64_t stream_epoch = 0) const;
+                          std::size_t requests, std::uint64_t stream_epoch = 0,
+                          StreamTimeline* timeline = nullptr) const;
 
   const SystemConfig& config() const { return cfg_; }
   const noc::MeshTopology& topology() const { return topo_; }

@@ -144,7 +144,7 @@ sched::Schedule lower_candidate(const nn::NetSpec& spec,
 TuneOutcome tune(const nn::NetSpec& spec,
                  const core::InferenceTraffic& traffic,
                  const sim::SystemConfig& system, const TunerConfig& cfg,
-                 sched::Strategy strategy) {
+                 sched::Strategy strategy, TuneTelemetry* telemetry) {
   LS_CHECK_MSG(cfg.budget > 0 && cfg.restarts > 0 && cfg.top_k > 0,
                "tune('%s'): budget, restarts and top_k must be positive",
                spec.name.c_str());
@@ -152,6 +152,13 @@ TuneOutcome tune(const nn::NetSpec& spec,
       obs::Registry::instance().counter("tune.evals");
   static obs::Counter& validated_ctr =
       obs::Registry::instance().counter("tune.validated");
+  static obs::Counter& restarts_ctr =
+      obs::Registry::instance().counter("tune.restarts");
+  static obs::Counter& accepted_ctr =
+      obs::Registry::instance().counter("tune.moves_accepted");
+  static obs::Counter& rejected_ctr =
+      obs::Registry::instance().counter("tune.moves_rejected");
+  if (telemetry != nullptr) *telemetry = TuneTelemetry{};
 
   Search search(spec, traffic, system, cfg, strategy);
   TuneOutcome out;
@@ -169,17 +176,35 @@ TuneOutcome tune(const nn::NetSpec& spec,
         std::max<std::uint64_t>(1, cfg.budget / cfg.restarts);
     for (std::size_t r = 0;
          r < cfg.restarts && search.evals() < cfg.budget; ++r) {
+      obs::Span restart_span;
+      if (obs::trace_enabled()) {
+        restart_span.begin("tune.restart#" + std::to_string(r), "tune");
+      }
+      restarts_ctr.inc();
       Candidate cur = r == 0 ? base : search.random_start();
       std::uint64_t cur_cost = search.score(cur);
+      TuneRestartTrace trace;
+      trace.restart = r;
+      trace.start_est_cycles = cur_cost;
       const std::uint64_t stop =
           std::min<std::uint64_t>(cfg.budget, (r + 1) * per_restart);
       while (search.evals() < stop) {
         const Candidate next = search.mutate(cur);
         const std::uint64_t next_cost = search.score(next);
-        if (next_cost < cur_cost) {
+        const bool accepted = next_cost < cur_cost;
+        (accepted ? accepted_ctr : rejected_ctr).inc();
+        if (telemetry != nullptr) {
+          trace.moves.push_back({search.evals(), next_cost, accepted});
+          (accepted ? telemetry->moves_accepted : telemetry->moves_rejected)++;
+        }
+        if (accepted) {
           cur = next;
           cur_cost = next_cost;
         }
+      }
+      if (telemetry != nullptr) {
+        trace.final_est_cycles = cur_cost;
+        telemetry->restarts.push_back(std::move(trace));
       }
       optima.emplace_back(cur_cost, std::move(cur));
     }
@@ -217,17 +242,29 @@ TuneOutcome tune(const nn::NetSpec& spec,
             cost_model_for(system))
             .total_cycles;
     bool have_best = false;
+    std::size_t best_idx = 0;
     for (const auto& [est, cand] : finalists) {
+      obs::Span vspan;
+      if (obs::trace_enabled()) {
+        vspan.begin("tune.validate#" + std::to_string(out.validated), "tune");
+      }
       const std::uint64_t sim_cycles =
           sys.execute(lower_candidate(spec, traffic, system, cand, strategy))
               .total_cycles;
+      if (telemetry != nullptr) {
+        telemetry->validations.push_back({est, sim_cycles, false});
+      }
       ++out.validated;
       if (!have_best || sim_cycles < out.best_sim_cycles) {
         have_best = true;
+        best_idx = out.validated - 1;
         out.best = cand;
         out.best_est_cycles = est;
         out.best_sim_cycles = sim_cycles;
       }
+    }
+    if (telemetry != nullptr && have_best) {
+      telemetry->validations[best_idx].is_best = true;
     }
   }
   validated_ctr.inc(out.validated);

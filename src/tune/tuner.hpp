@@ -50,6 +50,46 @@ struct TunerConfig {
   bool search_overlap = true;
 };
 
+/// One scored mutation of a restart's hill climb. Accepted moves replace
+/// the incumbent (strictly lower analytic cost).
+struct TuneMove {
+  std::uint64_t eval = 0;        ///< global eval index when scored (1-based)
+  std::uint64_t est_cycles = 0;  ///< analytic score of the proposed move
+  bool accepted = false;
+
+  friend bool operator==(const TuneMove&, const TuneMove&) = default;
+};
+
+/// Trajectory of one restart: where it started, where it converged, and
+/// every move it scored on the way.
+struct TuneRestartTrace {
+  std::size_t restart = 0;
+  std::uint64_t start_est_cycles = 0;
+  std::uint64_t final_est_cycles = 0;
+  std::vector<TuneMove> moves;
+};
+
+/// One finalist's estimated-vs-validated pair — the cost-model scatter the
+/// profiling layer plots (prof/report).
+struct TuneValidationPoint {
+  std::uint64_t est_cycles = 0;  ///< analytic score that shortlisted it
+  std::uint64_t sim_cycles = 0;  ///< flit-level validation
+  bool is_best = false;          ///< the declared winner
+
+  friend bool operator==(const TuneValidationPoint&,
+                         const TuneValidationPoint&) = default;
+};
+
+/// Search telemetry, filled when tune() is given a non-null out-param:
+/// per-restart trajectories plus the validation scatter. Purely
+/// observational — collecting it never changes the search.
+struct TuneTelemetry {
+  std::vector<TuneRestartTrace> restarts;
+  std::vector<TuneValidationPoint> validations;
+  std::uint64_t moves_accepted = 0;
+  std::uint64_t moves_rejected = 0;
+};
+
 struct TuneOutcome {
   Candidate best;
   /// Analytic score of `best`.
@@ -85,10 +125,12 @@ sched::Schedule lower_candidate(const nn::NetSpec& spec,
                                 sched::Strategy strategy);
 
 /// Runs the search (see file comment). `traffic` must be the transition
-/// traffic for `spec` on the system's core count.
+/// traffic for `spec` on the system's core count. When `telemetry` is
+/// non-null the full search trace is written into it (cleared first).
 TuneOutcome tune(const nn::NetSpec& spec,
                  const core::InferenceTraffic& traffic,
                  const sim::SystemConfig& system, const TunerConfig& cfg,
-                 sched::Strategy strategy = sched::Strategy::kTraditional);
+                 sched::Strategy strategy = sched::Strategy::kTraditional,
+                 TuneTelemetry* telemetry = nullptr);
 
 }  // namespace ls::tune

@@ -92,6 +92,23 @@ void Histogram::add(double x) {
   ++counts_[idx];
 }
 
+double Histogram::quantile(double q) const {
+  if (total_ == 0) throw std::invalid_argument("quantile of empty histogram");
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (rank <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto count = static_cast<double>(counts_[i]);
+    if (count > 0.0 && rank <= cum + count) {
+      const double frac = (rank - cum) / count;
+      return bin_low(i) + (bin_high(i) - bin_low(i)) * frac;
+    }
+    cum += count;
+  }
+  return hi_;  // rank falls in the overflow mass
+}
+
 double Histogram::bin_low(std::size_t i) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(i);

@@ -47,8 +47,16 @@ class Histogram {
   std::size_t total() const { return total_; }
   std::size_t underflow() const { return underflow_; }
   std::size_t overflow() const { return overflow_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bin_low(std::size_t i) const;
   double bin_high(std::size_t i) const;
+
+  /// Quantile estimate (q clamped to [0, 1]) by linear interpolation
+  /// inside the bin holding the target rank. Underflow mass resolves to
+  /// the range's low edge and overflow mass to its high edge — callers
+  /// with exact extrema should clamp to them. Requires total() > 0.
+  double quantile(double q) const;
 
  private:
   double lo_;

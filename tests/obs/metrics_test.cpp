@@ -44,6 +44,74 @@ TEST(Metrics, HistogramSummaryAndBins) {
   EXPECT_EQ(bins->bin_count(2), 1u);  // 5.0
 }
 
+TEST(Metrics, QuantilesInterpolateWithinBins) {
+  Registry& reg = Registry::instance();
+  reg.reset();
+  HistogramMetric& h = reg.histogram("test.quant", 0.0, 100.0, 10);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  // Uniform fill: binned interpolation lands within one bin width of the
+  // exact order statistic.
+  ASSERT_TRUE(h.quantile(0.50).has_value());
+  EXPECT_NEAR(*h.quantile(0.50), 50.0, 10.0);
+  EXPECT_NEAR(*h.quantile(0.95), 95.0, 10.0);
+  EXPECT_NEAR(*h.quantile(0.99), 99.0, 10.0);
+  EXPECT_LE(*h.quantile(0.50), *h.quantile(0.95));
+  EXPECT_LE(*h.quantile(0.95), *h.quantile(0.99));
+}
+
+TEST(Metrics, QuantileOnEmptyHistogramIsEmpty) {
+  Registry& reg = Registry::instance();
+  reg.reset();
+  HistogramMetric& h = reg.histogram("test.quant.empty", 0.0, 1.0, 4);
+  EXPECT_FALSE(h.quantile(0.5).has_value());
+  EXPECT_FALSE(h.quantile(0.99).has_value());
+  // And the JSON export omits the percentile keys rather than inventing
+  // values.
+  EXPECT_EQ(reg.to_json().find("\"p50\""), std::string::npos);
+}
+
+TEST(Metrics, QuantileOnSingleSampleIsThatSample) {
+  Registry& reg = Registry::instance();
+  reg.reset();
+  HistogramMetric& h = reg.histogram("test.quant.one", 0.0, 100.0, 10);
+  h.observe(42.0);
+  // Interpolation inside the lone bin is clamped to the observed value:
+  // every quantile of a one-sample distribution is that sample.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    ASSERT_TRUE(h.quantile(q).has_value()) << q;
+    EXPECT_DOUBLE_EQ(*h.quantile(q), 42.0) << q;
+  }
+}
+
+TEST(Metrics, QuantileClampsOutOfRangeMassToObservedExtrema) {
+  Registry& reg = Registry::instance();
+  reg.reset();
+  HistogramMetric& h = reg.histogram("test.quant.range", 10.0, 20.0, 4);
+  h.observe(-5.0);  // underflow bucket
+  h.observe(15.0);
+  h.observe(99.0);  // overflow bucket
+  // Low quantiles resolve to the underflow mass, high to the overflow —
+  // but always clamped to what was actually observed, never the bin
+  // edges.
+  EXPECT_DOUBLE_EQ(*h.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(*h.quantile(1.0), 99.0);
+  const double mid = *h.quantile(0.5);
+  EXPECT_GE(mid, -5.0);
+  EXPECT_LE(mid, 99.0);
+}
+
+TEST(Metrics, JsonExportCarriesPercentiles) {
+  Registry& reg = Registry::instance();
+  reg.reset();
+  HistogramMetric& h = reg.histogram("test.quant.json", 0.0, 10.0, 5);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.observe(v);
+  const std::string doc = reg.to_json();
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p95\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+  reg.reset();
+}
+
 TEST(Metrics, ResetZeroesButKeepsReferencesValid) {
   Registry& reg = Registry::instance();
   Counter& c = reg.counter("test.reset.counter");

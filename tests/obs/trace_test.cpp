@@ -91,6 +91,43 @@ TEST(Trace, WriteEmitsChromeTraceJson) {
   tr.clear();
 }
 
+TEST(Trace, CounterAndFlowEventsEmitChromeTracePhases) {
+  Tracer& tr = Tracer::instance();
+  tr.start("");
+  tr.counter("stream.inflight", "stream", 5, 2.0, kSimPid);
+  // Both edges of one flow arrow, landing inside complete events on
+  // their tracks (the viewer's binding requirement).
+  tr.complete("burst", "noc.burst", 0, 10, kSimPid, 16);
+  tr.complete("layer", "compute", 10, 20, kSimPid, 3);
+  tr.flow(true, "stream.req0", "stream", 9, 77, kSimPid, 16);
+  tr.flow(false, "stream.req0", "stream", 10, 77, kSimPid, 3);
+  tr.stop();
+
+  const std::string path = testing::TempDir() + "trace_counter_flow.json";
+  ASSERT_TRUE(tr.write(path));
+  const std::string doc = slurp(path);
+
+  // Counter sample: "ph":"C", value in args, no tid (counters are
+  // process-scoped tracks).
+  const std::size_t cpos = doc.find("\"name\":\"stream.inflight\"");
+  ASSERT_NE(cpos, std::string::npos);
+  const std::string crec = doc.substr(cpos, doc.find('}', cpos) - cpos + 1);
+  EXPECT_NE(crec.find("\"ph\":\"C\""), std::string::npos) << crec;
+  EXPECT_NE(crec.find("\"value\":2"), std::string::npos) << crec;
+  EXPECT_EQ(crec.find("\"tid\""), std::string::npos) << crec;
+
+  // Flow edges: matching id, "ph":"s" start and "ph":"f" finish with the
+  // enclosing-slice binding point.
+  EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);
+  const std::size_t fpos = doc.find("\"ph\":\"f\"");
+  ASSERT_NE(fpos, std::string::npos);
+  const std::string frec = doc.substr(fpos, doc.find('}', fpos) - fpos + 1);
+  EXPECT_NE(frec.find("\"bp\":\"e\""), std::string::npos) << frec;
+  EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+            std::count(doc.begin(), doc.end(), '}'));
+  tr.clear();
+}
+
 TEST(Trace, ReArmedSpanClosesPreviousInterval) {
   Tracer& tr = Tracer::instance();
   tr.start("");

@@ -1,0 +1,187 @@
+#include "prof/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+
+namespace ls::prof {
+namespace {
+
+/// Minimal schedule skeleton: attribution only reads kinds and deps.
+sched::Schedule two_event_chain() {
+  sched::Schedule s;
+  s.net_name = "synthetic";
+  s.cores = 1;
+  sched::Event comm;
+  comm.kind = sched::EventKind::kComm;
+  comm.layer_name = "l0";
+  sched::Event compute;
+  compute.kind = sched::EventKind::kCompute;
+  compute.layer_name = "l0";
+  compute.deps = {0};
+  s.events = {comm, compute};
+  return s;
+}
+
+TEST(Attribution, HandBuiltSingleRequestBlame) {
+  const sched::Schedule s = two_event_chain();
+  sim::StreamTimeline tl;
+  tl.items = {{0, 0, 0, 10}, {0, 1, 10, 30}};
+  const StreamAttribution a = attribute_stream(s, tl);
+  EXPECT_EQ(a.makespan_cycles, 30u);
+  EXPECT_EQ(a.blame.compute_cycles, 20u);
+  EXPECT_EQ(a.blame.noc_cycles, 0u);
+  EXPECT_EQ(a.blame.dep_stall_on_comm_cycles, 10u);
+  EXPECT_EQ(a.blame.dep_stall_on_compute_cycles, 0u);
+  EXPECT_EQ(a.blame.total(), a.makespan_cycles);
+  ASSERT_EQ(a.critical_chain.size(), 2u);
+  EXPECT_EQ(a.critical_chain[0], 0u);  // time order
+  EXPECT_EQ(a.critical_chain[1], 1u);
+  EXPECT_EQ(a.items[0].slack_cycles, 0u);
+  EXPECT_EQ(a.items[1].slack_cycles, 0u);
+}
+
+TEST(Attribution, HandBuiltTwoRequestPipelineBlameAndSlack) {
+  const sched::Schedule s = two_event_chain();
+  // r0: burst [0,10) compute [10,30); r1: burst [10,20) under r0's
+  // compute, compute [30,50) back-to-back on the core gang.
+  sim::StreamTimeline tl;
+  tl.items = {
+      {0, 0, 0, 10}, {0, 1, 10, 30}, {1, 0, 10, 20}, {1, 1, 30, 50}};
+  const StreamAttribution a = attribute_stream(s, tl);
+  EXPECT_EQ(a.makespan_cycles, 50u);
+  // Chain: r1 compute (terminal, 20) <- resource <- r0 compute (20)
+  // <- dep <- r0 burst (stall-on-comm, 10).
+  EXPECT_EQ(a.blame.compute_cycles, 40u);
+  EXPECT_EQ(a.blame.noc_cycles, 0u);
+  EXPECT_EQ(a.blame.dep_stall_on_comm_cycles, 10u);
+  EXPECT_EQ(a.blame.total(), a.makespan_cycles);
+  // r1's burst finishes at 20 but its compute only needs it by 30.
+  EXPECT_FALSE(a.items[2].on_critical_chain);
+  EXPECT_EQ(a.items[2].slack_cycles, 10u);
+  EXPECT_TRUE(a.items[0].on_critical_chain);
+  EXPECT_TRUE(a.items[1].on_critical_chain);
+  EXPECT_TRUE(a.items[3].on_critical_chain);
+}
+
+TEST(Attribution, EmptyTimelineYieldsEmptyAttribution) {
+  const sched::Schedule s = two_event_chain();
+  const sim::StreamTimeline tl;
+  const StreamAttribution a = attribute_stream(s, tl);
+  EXPECT_EQ(a.makespan_cycles, 0u);
+  EXPECT_EQ(a.blame.total(), 0u);
+  EXPECT_TRUE(a.items.empty());
+  EXPECT_TRUE(a.critical_chain.empty());
+}
+
+class RealStreamAttribution : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RealStreamAttribution, BlameSumsToMakespanOnExecutedConvNet) {
+  const std::size_t requests = GetParam();
+  const nn::NetSpec spec = nn::convnet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+
+  sim::StreamTimeline tl;
+  const sim::StreamResult r = system.run_stream(schedule, requests, 0, &tl);
+  ASSERT_EQ(tl.items.size(), requests * schedule.events.size());
+
+  const StreamAttribution a = attribute_stream(schedule, tl);
+  EXPECT_EQ(a.makespan_cycles, r.makespan_cycles);
+  // The tentpole invariant: blame buckets tile the makespan exactly.
+  EXPECT_EQ(a.blame.total(), a.makespan_cycles);
+
+  // The critical chain is gapless and anchored at both ends.
+  ASSERT_FALSE(a.critical_chain.empty());
+  EXPECT_EQ(tl.items[a.critical_chain.front()].start_cycle, 0u);
+  EXPECT_EQ(tl.items[a.critical_chain.back()].finish_cycle,
+            a.makespan_cycles);
+  for (std::size_t i = 1; i < a.critical_chain.size(); ++i) {
+    EXPECT_EQ(tl.items[a.critical_chain[i - 1]].finish_cycle,
+              tl.items[a.critical_chain[i]].start_cycle);
+  }
+  // Chain items have zero slack; every slack is sane.
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].on_critical_chain) {
+      EXPECT_EQ(a.items[i].slack_cycles, 0u);
+    }
+    EXPECT_LE(a.items[i].slack_cycles, a.makespan_cycles);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Requests, RealStreamAttribution,
+                         ::testing::Values(1, 2, 8));
+
+TEST(Attribution, SingleRequestStreamMatchesSerialPass) {
+  // One streamed request is the serial timeline: its makespan equals the
+  // non-overlapped single pass, and all communication blame lands in the
+  // dependency-stall bucket (the paper's computation-blocking metric).
+  const nn::NetSpec spec = nn::convnet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  sim::StreamTimeline tl;
+  const sim::StreamResult r = system.run_stream(schedule, 1, 0, &tl);
+  const StreamAttribution a = attribute_stream(schedule, tl);
+  EXPECT_EQ(a.makespan_cycles, r.single_pass.total_cycles);
+  EXPECT_EQ(a.blame.noc_cycles, 0u);  // nothing to contend with
+  EXPECT_EQ(a.blame.compute_cycles + a.blame.dep_stall_on_compute_cycles,
+            r.single_pass.compute_cycles);
+  EXPECT_EQ(a.blame.dep_stall_on_comm_cycles, r.single_pass.comm_cycles);
+}
+
+TEST(Attribution, SinglePassBlameSumsToTotal) {
+  const nn::NetSpec spec = nn::lenet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sim::InferenceResult r = system.run_inference(spec, traffic);
+  const BlameBreakdown b = attribute_single_pass(r);
+  EXPECT_EQ(b.total(), r.total_cycles);
+  EXPECT_EQ(b.compute_cycles, r.compute_cycles);
+  EXPECT_EQ(b.dep_stall_on_comm_cycles, r.comm_cycles);
+}
+
+TEST(Attribution, StreamLatencyDecomposes) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  sim::StreamTimeline tl;
+  const sim::StreamResult r = system.run_stream(schedule, 8, 0, &tl);
+
+  const StreamLatency lat = stream_latency(schedule, tl);
+  ASSERT_EQ(lat.requests.size(), 8u);
+  for (const RequestLatency& rl : lat.requests) {
+    EXPECT_EQ(rl.latency_cycles, r.request_finish_cycle[rl.request]);
+    EXPECT_EQ(rl.compute_cycles + rl.comm_cycles + rl.queue_wait_cycles,
+              rl.latency_cycles);
+    // Every request runs the same schedule: identical busy work.
+    EXPECT_EQ(rl.compute_cycles, lat.requests[0].compute_cycles);
+    EXPECT_EQ(rl.comm_cycles, lat.requests[0].comm_cycles);
+  }
+  // Percentiles are order statistics of the actual finishes.
+  EXPECT_GE(lat.p95_cycles, lat.p50_cycles);
+  EXPECT_GE(lat.p99_cycles, lat.p95_cycles);
+  EXPECT_LE(lat.p99_cycles, static_cast<double>(r.makespan_cycles));
+}
+
+}  // namespace
+}  // namespace ls::prof

@@ -1,0 +1,82 @@
+#include "prof/model_error.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sim/system.hpp"
+#include "tune/tuner.hpp"
+
+namespace ls::prof {
+namespace {
+
+struct Fixture {
+  nn::NetSpec spec;
+  sim::SystemConfig cfg;
+  sched::Schedule schedule;
+  sim::InferenceResult actual;
+
+  explicit Fixture(nn::NetSpec s, std::size_t cores) : spec(std::move(s)) {
+    cfg.cores = cores;
+    const sim::CmpSystem system(cfg);
+    const auto traffic =
+        core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+    schedule = system.build_schedule(spec, traffic);
+    actual = system.execute(schedule);
+  }
+};
+
+TEST(ModelError, ComputeHalfIsExact) {
+  // The scorer prices compute events with the executor's own core model,
+  // so per-layer compute error must be identically zero — any drift means
+  // the two have diverged.
+  const Fixture f(nn::convnet_spec(), 16);
+  const ModelErrorReport r =
+      compare_model(f.schedule, tune::cost_model_for(f.cfg), f.actual);
+  ASSERT_EQ(r.layers.size(), f.actual.layers.size());
+  for (const LayerModelError& e : r.layers) {
+    EXPECT_EQ(e.est_compute_cycles, e.act_compute_cycles) << e.layer_name;
+    EXPECT_DOUBLE_EQ(e.compute_rel_error, 0.0) << e.layer_name;
+  }
+}
+
+TEST(ModelError, LayersAlignWithExecutedTimeline) {
+  const Fixture f(nn::alexnet_spec(), 16);
+  const ModelErrorReport r =
+      compare_model(f.schedule, tune::cost_model_for(f.cfg), f.actual);
+  ASSERT_EQ(r.layers.size(), f.actual.layers.size());
+  for (std::size_t i = 0; i < r.layers.size(); ++i) {
+    EXPECT_EQ(r.layers[i].layer_name, f.actual.layers[i].layer_name);
+    // Actuals echo the executed timeline's raw drain.
+    EXPECT_EQ(r.layers[i].act_comm_cycles, f.actual.layers[i].comm_cycles);
+    EXPECT_EQ(r.layers[i].act_compute_cycles,
+              f.actual.layers[i].compute_cycles);
+  }
+  EXPECT_EQ(r.act_total_cycles, f.actual.total_cycles);
+  EXPECT_EQ(r.est_total_cycles,
+            sched::estimate_cycles(f.schedule, tune::cost_model_for(f.cfg))
+                .total_cycles);
+}
+
+TEST(ModelError, ZeroTrafficLayerIsPerfectAndExcludedFromStats) {
+  // The first layer has no transition burst (inputs preloaded): both
+  // sides are zero, error is zero, and it does not dilute the error
+  // distribution.
+  const Fixture f(nn::convnet_spec(), 16);
+  const ModelErrorReport r =
+      compare_model(f.schedule, tune::cost_model_for(f.cfg), f.actual);
+  ASSERT_FALSE(r.layers.empty());
+  const LayerModelError& first = r.layers.front();
+  EXPECT_EQ(first.est_comm_cycles, 0u);
+  EXPECT_EQ(first.act_comm_cycles, 0u);
+  EXPECT_DOUBLE_EQ(first.comm_rel_error, 0.0);
+  std::size_t with_traffic = 0;
+  for (const LayerModelError& e : r.layers) {
+    with_traffic += (e.est_comm_cycles != 0 || e.act_comm_cycles != 0);
+  }
+  EXPECT_EQ(r.comm_rel_error.count(), with_traffic);
+  EXPECT_EQ(r.comm_abs_rel_error_hist.total(), with_traffic);
+}
+
+}  // namespace
+}  // namespace ls::prof

@@ -1,0 +1,129 @@
+#include "prof/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "prof/attribution.hpp"
+#include "prof/model_error.hpp"
+#include "sim/system.hpp"
+#include "tune/tuner.hpp"
+#include "util/json_in.hpp"
+
+namespace ls::prof {
+namespace {
+
+TEST(ProfileReport, FullReportRoundTripsThroughParser) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  sim::StreamTimeline tl;
+  const sim::StreamResult s = system.run_stream(schedule, 4, 0, &tl);
+  const ModelErrorReport model_error =
+      compare_model(schedule, tune::cost_model_for(cfg), s.single_pass);
+  const StreamAttribution attribution = attribute_stream(schedule, tl);
+  const StreamLatency latency = stream_latency(schedule, tl);
+
+  tune::TunerConfig tcfg;
+  tcfg.budget = 120;
+  tcfg.restarts = 2;
+  tune::TuneTelemetry telemetry;
+  const tune::TuneOutcome tuned =
+      tune::tune(spec, traffic, cfg, tcfg, sched::Strategy::kTraditional,
+                 &telemetry);
+
+  ProfileInputs in;
+  in.net_name = spec.name;
+  in.cores = cfg.cores;
+  in.requests = 4;
+  in.single_pass = &s.single_pass;
+  in.model_error = &model_error;
+  in.stream = &attribution;
+  in.latency = &latency;
+  in.tune_outcome = &tuned;
+  in.tune_telemetry = &telemetry;
+  const std::string json = build_profile_json(in);
+
+  util::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(util::parse_json(json, &doc, &error)) << error;
+
+  // Header.
+  const util::JsonValue* profile = doc.find("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->find("net")->as_string(), spec.name);
+  EXPECT_EQ(profile->find("cores")->as_u64(), 16u);
+  EXPECT_EQ(profile->find("requests")->as_u64(), 4u);
+
+  // Single-pass blame parses back and sums to the total.
+  const util::JsonValue* sp = doc.find("single_pass");
+  ASSERT_NE(sp, nullptr);
+  const util::JsonValue* blame = sp->find("blame");
+  ASSERT_NE(blame, nullptr);
+  EXPECT_EQ(blame->find("total_cycles")->as_u64(),
+            s.single_pass.total_cycles);
+
+  // Model error carries one entry per compute layer.
+  const util::JsonValue* me = doc.find("model_error");
+  ASSERT_NE(me, nullptr);
+  EXPECT_EQ(me->find("layers")->as_array().size(),
+            s.single_pass.layers.size());
+
+  // Stream section: blame sums to the makespan, latency percentiles and
+  // the per-request rows survive the round trip.
+  const util::JsonValue* stream = doc.find("stream");
+  ASSERT_NE(stream, nullptr);
+  EXPECT_EQ(stream->find("makespan_cycles")->as_u64(),
+            s.makespan_cycles);
+  EXPECT_EQ(stream->find("blame")->find("total_cycles")->as_u64(),
+            s.makespan_cycles);
+  const util::JsonValue* lat = stream->find("latency");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->find("p50_cycles")->as_double(),
+                   latency.p50_cycles);
+  EXPECT_EQ(lat->find("requests")->as_array().size(), 4u);
+
+  // Tuner telemetry: restarts + validation scatter with exactly one best.
+  const util::JsonValue* tn = doc.find("tune");
+  ASSERT_NE(tn, nullptr);
+  EXPECT_EQ(tn->find("restarts")->as_array().size(),
+            telemetry.restarts.size());
+  const auto& scatter = tn->find("validation_scatter")->as_array();
+  EXPECT_EQ(scatter.size(), telemetry.validations.size());
+  std::size_t best = 0;
+  for (const auto& v : scatter) best += v.find("is_best")->as_bool();
+  EXPECT_EQ(best, 1u);
+}
+
+TEST(ProfileReport, SectionsAreOptional) {
+  const nn::NetSpec spec = nn::lenet_spec();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sim::InferenceResult r = system.run_inference(spec, traffic);
+
+  ProfileInputs in;
+  in.net_name = spec.name;
+  in.cores = cfg.cores;
+  in.single_pass = &r;
+  const std::string json = build_profile_json(in);
+
+  util::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(util::parse_json(json, &doc, &error)) << error;
+  EXPECT_NE(doc.find("single_pass"), nullptr);
+  EXPECT_EQ(doc.find("model_error"), nullptr);
+  EXPECT_EQ(doc.find("stream"), nullptr);
+  EXPECT_EQ(doc.find("tune"), nullptr);
+}
+
+}  // namespace
+}  // namespace ls::prof

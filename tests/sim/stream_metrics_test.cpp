@@ -1,0 +1,116 @@
+// Regression test for the run_stream metrics split: counters are
+// process-lifetime monotonic totals, the `stream.last_*` gauges carry the
+// most recent run. Before the split, successive runs in one process
+// summed into "per-run" numbers that were actually totals.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "obs/metrics.hpp"
+#include "sim/system.hpp"
+#include "util/stats.hpp"
+
+namespace ls::sim {
+namespace {
+
+TEST(StreamMetrics, CountersAccumulateGaugesHoldLastRun) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+
+  const nn::NetSpec spec = nn::convnet_spec();
+  SystemConfig cfg;
+  cfg.cores = 16;
+  const CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+
+  const StreamResult first = system.run_stream(schedule, 4);
+  const StreamResult second = system.run_stream(schedule, 4);
+  // Same schedule, same request count: deterministic repeat.
+  ASSERT_EQ(first.makespan_cycles, second.makespan_cycles);
+
+  // Gauges: this run only.
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.last_requests").value(), 4.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.last_makespan_cycles").value(),
+                   static_cast<double>(second.makespan_cycles));
+  // Counters: monotonic across both runs.
+  EXPECT_EQ(reg.counter("stream.requests").value(), 8u);
+  EXPECT_EQ(reg.counter("stream.makespan_cycles").value(),
+            2 * second.makespan_cycles);
+  const auto busy_total = reg.counter("stream.core_busy_cycles").value();
+  EXPECT_EQ(busy_total % 2, 0u);  // two identical runs
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.last_core_busy_cycles").value(),
+                   static_cast<double>(busy_total / 2));
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.last_noc_busy_cycles").value(),
+                   static_cast<double>(
+                       reg.counter("stream.noc_busy_cycles").value() / 2));
+}
+
+TEST(StreamMetrics, LatencyPercentileGaugesMatchExactOrderStatistics) {
+  obs::Registry& reg = obs::Registry::instance();
+  reg.reset();
+
+  const nn::NetSpec spec = nn::convnet_spec();
+  SystemConfig cfg;
+  cfg.cores = 16;
+  const CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  const StreamResult r = system.run_stream(schedule, 8);
+
+  std::vector<double> lat;
+  for (const std::uint64_t f : r.request_finish_cycle) {
+    lat.push_back(static_cast<double>(f));
+  }
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.latency_p50_cycles").value(),
+                   util::percentile(lat, 50.0));
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.latency_p95_cycles").value(),
+                   util::percentile(lat, 95.0));
+  EXPECT_DOUBLE_EQ(reg.gauge("stream.latency_p99_cycles").value(),
+                   util::percentile(lat, 99.0));
+  // Every request's latency landed in the histogram.
+  EXPECT_EQ(reg.histogram("stream.request_latency_cycles").summary().count(),
+            8u);
+}
+
+TEST(StreamMetrics, TimelineRecordingIsCompleteAndRepeatable) {
+  const nn::NetSpec spec = nn::convnet_spec();
+  SystemConfig cfg;
+  cfg.cores = 16;
+  const CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+
+  StreamTimeline a;
+  StreamTimeline b;
+  const StreamResult ra = system.run_stream(schedule, 4, 0, &a);
+  const StreamResult rb = system.run_stream(schedule, 4, 0, &b);
+  EXPECT_EQ(a.items, b.items);
+  EXPECT_EQ(a.items.size(), 4 * schedule.events.size());
+  // The timeline out-param never perturbs results.
+  const StreamResult rc = system.run_stream(schedule, 4);
+  EXPECT_EQ(ra.makespan_cycles, rc.makespan_cycles);
+  EXPECT_EQ(rb.request_finish_cycle, rc.request_finish_cycle);
+  // Items agree with the reported per-request finishes and makespan.
+  std::uint64_t max_finish = 0;
+  for (const StreamTimelineItem& it : a.items) {
+    EXPECT_LE(it.start_cycle, it.finish_cycle);
+    max_finish = std::max(max_finish, it.finish_cycle);
+  }
+  EXPECT_EQ(max_finish, ra.makespan_cycles);
+  // A fresh timeline clears stale contents.
+  StreamTimeline reused = a;
+  system.run_stream(schedule, 1, 0, &reused);
+  EXPECT_EQ(reused.items.size(), schedule.events.size());
+}
+
+}  // namespace
+}  // namespace ls::sim

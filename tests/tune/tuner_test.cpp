@@ -117,6 +117,75 @@ TEST(Tuner, ValidatedWinnerExecutesToItsReportedCycles) {
   EXPECT_EQ(system.execute(best).total_cycles, out.best_sim_cycles);
 }
 
+TEST(Tuner, TelemetryAccountsForEveryEvalAndValidation) {
+  const TunePoint p = convnet16();
+  const tune::TunerConfig tcfg = small_search();
+  tune::TuneTelemetry t;
+  const tune::TuneOutcome out = tune::tune(
+      p.spec, p.traffic, p.cfg, tcfg, sched::Strategy::kTraditional, &t);
+
+  // Restart trajectories: one per executed restart, each starting at its
+  // seed score and descending monotonically to its local optimum.
+  ASSERT_FALSE(t.restarts.empty());
+  EXPECT_LE(t.restarts.size(), tcfg.restarts);
+  std::size_t moves = 0;
+  for (const tune::TuneRestartTrace& trace : t.restarts) {
+    EXPECT_LE(trace.final_est_cycles, trace.start_est_cycles);
+    std::uint64_t cur = trace.start_est_cycles;
+    for (const tune::TuneMove& m : trace.moves) {
+      if (m.accepted) {
+        EXPECT_LT(m.est_cycles, cur);
+        cur = m.est_cycles;
+      } else {
+        EXPECT_GE(m.est_cycles, cur);
+      }
+    }
+    EXPECT_EQ(cur, trace.final_est_cycles);
+    moves += trace.moves.size();
+  }
+  // Every analytic eval is either a restart seed or a recorded move.
+  EXPECT_EQ(moves, t.moves_accepted + t.moves_rejected);
+  EXPECT_EQ(out.evals, moves + t.restarts.size());
+
+  // Validation scatter: one point per flit validation, exactly one best,
+  // and the best point is the outcome's winner.
+  ASSERT_EQ(t.validations.size(), out.validated);
+  std::size_t best_count = 0;
+  for (const tune::TuneValidationPoint& v : t.validations) {
+    if (v.is_best) {
+      ++best_count;
+      EXPECT_EQ(v.sim_cycles, out.best_sim_cycles);
+      EXPECT_EQ(v.est_cycles, out.best_est_cycles);
+    }
+  }
+  EXPECT_EQ(best_count, 1u);
+}
+
+TEST(Tuner, TelemetryIsDeterministicAndNonPerturbing) {
+  const TunePoint p = convnet16();
+  const tune::TunerConfig tcfg = small_search();
+  tune::TuneTelemetry ta;
+  tune::TuneTelemetry tb;
+  const tune::TuneOutcome a = tune::tune(
+      p.spec, p.traffic, p.cfg, tcfg, sched::Strategy::kTraditional, &ta);
+  const tune::TuneOutcome b = tune::tune(
+      p.spec, p.traffic, p.cfg, tcfg, sched::Strategy::kTraditional, &tb);
+  EXPECT_EQ(ta.moves_accepted, tb.moves_accepted);
+  EXPECT_EQ(ta.moves_rejected, tb.moves_rejected);
+  ASSERT_EQ(ta.restarts.size(), tb.restarts.size());
+  for (std::size_t r = 0; r < ta.restarts.size(); ++r) {
+    EXPECT_EQ(ta.restarts[r].moves, tb.restarts[r].moves);
+  }
+  EXPECT_EQ(ta.validations, tb.validations);
+
+  // Collecting telemetry must not change what the search finds.
+  const tune::TuneOutcome plain = tune::tune(p.spec, p.traffic, p.cfg, tcfg);
+  EXPECT_EQ(a.best, plain.best);
+  EXPECT_EQ(a.best_sim_cycles, plain.best_sim_cycles);
+  EXPECT_EQ(a.evals, plain.evals);
+  EXPECT_EQ(b.best, plain.best);
+}
+
 TEST(ScheduleCache, RoundTripPreservesEntries) {
   const TunePoint p = convnet16();
   tune::Candidate cand;

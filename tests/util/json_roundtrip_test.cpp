@@ -1,0 +1,144 @@
+// JsonWriter -> parse_json round-trip pinning: whatever the writer can
+// emit, the reader must reproduce — unicode escapes, control characters,
+// integers up to the 2^53 exactness bound, and nesting up to the
+// parser's depth cap.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+#include "util/json_in.hpp"
+
+namespace ls::util {
+namespace {
+
+JsonValue reparse(const JsonWriter& w) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(parse_json(w.str(), &v, &error)) << error << "\n" << w.str();
+  return v;
+}
+
+TEST(JsonRoundTrip, ControlCharactersAndQuotesSurvive) {
+  const std::string nasty = "line1\nline2\ttab \"quoted\" back\\slash \x01";
+  JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value(nasty);
+  w.key(nasty);  // keys get escaped the same way
+  w.value("v");
+  w.end_object();
+  const JsonValue doc = reparse(w);
+  ASSERT_NE(doc.find("s"), nullptr);
+  EXPECT_EQ(doc.find("s")->as_string(), nasty);
+  ASSERT_NE(doc.find(nasty), nullptr);
+  EXPECT_EQ(doc.find(nasty)->as_string(), "v");
+}
+
+TEST(JsonRoundTrip, Utf8PassesThroughAndEscapesDecode) {
+  // The writer passes non-ASCII bytes through verbatim; the parser must
+  // also decode explicit \u escapes (including a surrogate pair) to the
+  // same UTF-8 bytes.
+  const std::string utf8 = "mesh \xC3\x97 grid \xE2\x86\x92 \xF0\x9F\x94\xA5";
+  JsonWriter w;
+  w.begin_object();
+  w.key("s");
+  w.value(utf8);
+  w.end_object();
+  EXPECT_EQ(reparse(w).find("s")->as_string(), utf8);
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(R"("× → 🔥")", &v, &error))
+      << error;
+  EXPECT_EQ(v.as_string(),
+            "\xC3\x97 \xE2\x86\x92 \xF0\x9F\x94\xA5");
+}
+
+TEST(JsonRoundTrip, LargeIntegersAreExactUpTo2Pow53) {
+  const std::uint64_t big = 1ull << 53;  // largest double-exact power
+  JsonWriter w;
+  w.begin_object();
+  w.key("max_exact");
+  w.value(big);
+  w.key("near");
+  w.value(big - 1);
+  w.key("negative");
+  w.value(static_cast<std::int64_t>(-(1ll << 53)));
+  w.end_object();
+  const JsonValue doc = reparse(w);
+  EXPECT_EQ(doc.find("max_exact")->as_u64(), big);
+  EXPECT_EQ(doc.find("near")->as_u64(), big - 1);
+  EXPECT_DOUBLE_EQ(doc.find("negative")->as_double(),
+                   -9007199254740992.0);
+}
+
+TEST(JsonRoundTrip, DoublesAndNonFinite) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("pi");
+  w.value(3.141592653589793);
+  w.key("tiny");
+  w.value(5e-324);  // denormal min
+  w.key("inf");
+  w.value(1.0 / 0.0);  // JSON has no Inf: emitted as null
+  w.end_object();
+  const JsonValue doc = reparse(w);
+  EXPECT_DOUBLE_EQ(doc.find("pi")->as_double(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(doc.find("tiny")->as_double(), 5e-324);
+  EXPECT_TRUE(doc.find("inf")->is_null());
+}
+
+TEST(JsonRoundTrip, NestingUpToTheDepthCapParses) {
+  // kMaxDepth = 256 counts every value on the parse stack, scalar leaf
+  // included: the deepest accepted document is 255 containers around a
+  // scalar. One level deeper is rejected with a diagnostic rather than a
+  // stack overflow.
+  constexpr int kDeepestContainers = 255;
+  JsonWriter at_cap;
+  for (int i = 0; i < kDeepestContainers; ++i) at_cap.begin_array();
+  at_cap.value(std::uint64_t{42});
+  for (int i = 0; i < kDeepestContainers; ++i) at_cap.end_array();
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_json(at_cap.str(), &v, &error)) << error;
+  const JsonValue* leaf = &v;
+  for (int i = 0; i < kDeepestContainers; ++i) {
+    ASSERT_EQ(leaf->kind(), JsonValue::Kind::kArray);
+    ASSERT_EQ(leaf->as_array().size(), 1u);
+    leaf = &leaf->as_array()[0];
+  }
+  EXPECT_EQ(leaf->as_u64(), 42u);
+
+  const std::string too_deep = "[" + at_cap.str() + "]";
+  EXPECT_FALSE(parse_json(too_deep, &v, &error));
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+}
+
+TEST(JsonRoundTrip, MixedDocumentStructureSurvives) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.null();
+  w.value(false);
+  w.begin_object();
+  w.key("k");
+  w.value("v");
+  w.end_object();
+  w.end_array();
+  w.end_object();
+  const JsonValue doc = reparse(w);
+  const auto& arr = doc.find("arr")->as_array();
+  ASSERT_EQ(arr.size(), 4u);
+  EXPECT_EQ(arr[0].as_u64(), 1u);
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_FALSE(arr[2].as_bool());
+  EXPECT_EQ(arr[3].find("k")->as_string(), "v");
+}
+
+}  // namespace
+}  // namespace ls::util

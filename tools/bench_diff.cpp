@@ -1,0 +1,110 @@
+// bench_diff: regression gate over two bench-report JSON files.
+//
+//   bench_diff BASELINE.json CURRENT.json [--threshold F] [--set KEY=F]...
+//              [--verbose]
+//
+// Walks both documents in lockstep (prof::diff_bench): numeric leaves are
+// graded by the direction inferred from their key (speedups must not
+// drop, cycle counts / milliseconds must not rise) against a relative
+// threshold (default 0.05; --set overrides one leaf key, e.g.
+// --set speedup_sim=0.10). Structural differences (missing keys, array
+// size changes) always fail. Exit codes: 0 = no regression, 1 =
+// regression or structural mismatch, 2 = usage or parse error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "prof/bench_compare.hpp"
+#include "util/json_in.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff BASELINE.json CURRENT.json"
+               " [--threshold F] [--set KEY=F]... [--verbose]\n");
+  return 2;
+}
+
+const char* direction_name(ls::prof::MetricDirection d) {
+  switch (d) {
+    case ls::prof::MetricDirection::kLowerBetter: return "lower-better";
+    case ls::prof::MetricDirection::kHigherBetter: return "higher-better";
+    case ls::prof::MetricDirection::kInfo: return "info";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string base_path;
+  std::string cur_path;
+  ls::prof::DiffOptions opts;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threshold") {
+      if (++i >= argc) return usage();
+      opts.default_threshold = std::atof(argv[i]);
+    } else if (arg == "--set") {
+      if (++i >= argc) return usage();
+      const char* eq = std::strchr(argv[i], '=');
+      if (eq == nullptr) return usage();
+      opts.thresholds[std::string(argv[i], static_cast<std::size_t>(
+                                               eq - argv[i]))] =
+          std::atof(eq + 1);
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (base_path.empty()) {
+      base_path = arg;
+    } else if (cur_path.empty()) {
+      cur_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (base_path.empty() || cur_path.empty()) return usage();
+
+  ls::util::JsonValue base;
+  ls::util::JsonValue cur;
+  std::string error;
+  if (!ls::util::parse_json_file(base_path, &base, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", base_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  if (!ls::util::parse_json_file(cur_path, &cur, &error)) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", cur_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  const ls::prof::DiffResult result = ls::prof::diff_bench(base, cur, opts);
+
+  std::size_t graded = 0;
+  for (const ls::prof::MetricDiff& d : result.diffs) {
+    graded += d.direction != ls::prof::MetricDirection::kInfo ? 1 : 0;
+    if (d.regressed) {
+      std::printf("REGRESSION %s (%s): %g -> %g (%+.2f%%)\n",
+                  d.path.c_str(), direction_name(d.direction), d.base,
+                  d.current, d.rel_change * 100.0);
+    } else if (verbose && d.direction != ls::prof::MetricDirection::kInfo &&
+               d.base != d.current) {
+      std::printf("ok         %s (%s): %g -> %g (%+.2f%%)\n",
+                  d.path.c_str(), direction_name(d.direction), d.base,
+                  d.current, d.rel_change * 100.0);
+    }
+  }
+  for (const std::string& m : result.mismatches) {
+    std::printf("MISMATCH   %s\n", m.c_str());
+  }
+  std::printf("bench_diff: %zu metrics graded (%zu compared), "
+              "%zu regressions, %zu mismatches\n",
+              graded, result.diffs.size(), result.regressions,
+              result.mismatches.size());
+  return result.ok() ? 0 : 1;
+}

@@ -37,7 +37,11 @@
 #include "nn/model_zoo.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/attribution.hpp"
+#include "prof/model_error.hpp"
+#include "prof/report.hpp"
 #include "sched/schedule.hpp"
+#include "util/json_in.hpp"
 #include "sim/experiment.hpp"
 #include "sched/cost_model.hpp"
 #include "sim/pipeline_model.hpp"
@@ -415,6 +419,128 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+int cmd_profile(const Args& args) {
+  const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
+  sim::SystemConfig cfg;
+  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  const auto requests = static_cast<std::size_t>(args.num("requests", 8));
+  const sim::CmpSystem system(cfg);
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule =
+      schedule_for_run(args, spec, cfg, system, traffic);
+
+  // Executed stream + its timeline (the attribution substrate). The
+  // embedded single_pass is bit-identical to execute() on this schedule.
+  sim::StreamTimeline timeline;
+  const sim::StreamResult s =
+      system.run_stream(schedule, requests, 0, &timeline);
+
+  const prof::ModelErrorReport model_error = prof::compare_model(
+      schedule, tune::cost_model_for(cfg), s.single_pass);
+  const prof::StreamAttribution attribution =
+      prof::attribute_stream(schedule, timeline);
+  const prof::StreamLatency latency =
+      prof::stream_latency(schedule, timeline);
+
+  // Tuner search telemetry: a small profiling search by default
+  // (--tune-budget 0 skips it; it shares no state with the run above).
+  tune::TuneOutcome tuned;
+  tune::TuneTelemetry telemetry;
+  const auto tune_budget =
+      static_cast<std::uint64_t>(args.num("tune-budget", 400));
+  if (tune_budget > 0) {
+    tune::TunerConfig tcfg;
+    tcfg.budget = tune_budget;
+    tcfg.restarts = static_cast<std::size_t>(args.num("restarts", 4));
+    tcfg.top_k = static_cast<std::size_t>(args.num("top-k", 3));
+    tcfg.seed = static_cast<std::uint64_t>(args.num("seed", 0x4c535343));
+    tuned = tune::tune(spec, traffic, cfg, tcfg,
+                       sched::Strategy::kTraditional, &telemetry);
+  }
+
+  prof::ProfileInputs inputs;
+  inputs.net_name = spec.name;
+  inputs.cores = cfg.cores;
+  inputs.requests = requests;
+  inputs.single_pass = &s.single_pass;
+  inputs.model_error = &model_error;
+  inputs.stream = &attribution;
+  inputs.latency = &latency;
+  if (tune_budget > 0) {
+    inputs.tune_outcome = &tuned;
+    inputs.tune_telemetry = &telemetry;
+  }
+  const std::string json = prof::build_profile_json(inputs);
+
+  const std::string out_path = args.str("out", "profile.json");
+  {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n",
+                   out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  // The report must round-trip through the repo's own parser — a profile
+  // nothing can read is worse than none.
+  util::JsonValue parsed;
+  std::string error;
+  if (!util::parse_json_file(out_path, &parsed, &error)) {
+    std::fprintf(stderr, "error: %s does not parse back: %s\n",
+                 out_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const prof::BlameBreakdown& blame = attribution.blame;
+  util::Table t(spec.name + " profile: " + std::to_string(requests) +
+                " requests on " + std::to_string(cfg.cores) + " cores");
+  t.set_header({"metric", "value"});
+  const auto cyc = [](std::uint64_t v) { return std::to_string(v) + " cyc"; };
+  const auto pct = [&](std::uint64_t v) {
+    return util::fmt_percent(
+        attribution.makespan_cycles
+            ? static_cast<double>(v) /
+                  static_cast<double>(attribution.makespan_cycles)
+            : 0.0);
+  };
+  t.add_row({"stream makespan", cyc(attribution.makespan_cycles)});
+  t.add_row({"blame: compute", cyc(blame.compute_cycles) + " (" +
+                                   pct(blame.compute_cycles) + ")"});
+  t.add_row({"blame: NoC contention",
+             cyc(blame.noc_cycles) + " (" + pct(blame.noc_cycles) + ")"});
+  t.add_row({"blame: dep stall on comm",
+             cyc(blame.dep_stall_on_comm_cycles) + " (" +
+                 pct(blame.dep_stall_on_comm_cycles) + ")"});
+  t.add_row({"blame: dep stall on compute",
+             cyc(blame.dep_stall_on_compute_cycles) + " (" +
+                 pct(blame.dep_stall_on_compute_cycles) + ")"});
+  t.add_row({"latency p50 / p95 / p99",
+             util::fmt_double(latency.p50_cycles, 0) + " / " +
+                 util::fmt_double(latency.p95_cycles, 0) + " / " +
+                 util::fmt_double(latency.p99_cycles, 0) + " cyc"});
+  t.add_row({"model comm err (mean signed)",
+             util::fmt_percent(model_error.comm_rel_error.mean())});
+  t.print();
+
+  util::Table lt("per-layer cost-model error (" + spec.name + ")");
+  lt.set_header({"layer", "est-comm", "act-comm", "comm-err", "compute-err"});
+  for (const auto& e : model_error.layers) {
+    lt.add_row({e.layer_name, std::to_string(e.est_comm_cycles),
+                std::to_string(e.act_comm_cycles),
+                util::fmt_percent(e.comm_rel_error),
+                util::fmt_percent(e.compute_rel_error)});
+  }
+  lt.print();
+  std::printf("profile written to %s (%zu bytes, parses back OK)\n",
+              out_path.c_str(), json.size());
+  return 0;
+}
+
 void usage() {
   std::puts(
       "usage: ls_experiment <command> [--key value ...]\n"
@@ -433,6 +559,9 @@ void usage() {
       "  tune       --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "             [--budget N] [--restarts N] [--top-k N] [--seed N]\n"
       "             [--overlap] [--tuned-cache store.json]\n"
+      "  profile    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
+      "             [--requests N] [--out profile.json] [--tune-budget N]\n"
+      "             [--no-cache] [--tuned-cache store.json] [--no-tuned]\n"
       "global observability flags (any command):\n"
       "  --trace out.json    write a Perfetto/chrome-trace timeline\n"
       "  --metrics out.json  dump the metrics registry (counters, heatmap)\n"
@@ -471,6 +600,8 @@ int main(int argc, char** argv) {
       rc = cmd_stream(args);
     } else if (cmd == "tune") {
       rc = cmd_tune(args);
+    } else if (cmd == "profile") {
+      rc = cmd_profile(args);
     } else {
       usage();
     }

@@ -42,6 +42,14 @@ if [ "$sanitized" -eq 1 ]; then
   exit 0
 fi
 
+# Snapshot the committed bench results before the benches overwrite them:
+# they are this run's regression baseline for the bench_diff soft gate.
+baseline_dir="$build_dir/bench_baseline"
+mkdir -p "$baseline_dir"
+for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json; do
+  [ -s "$repo_root/$f" ] && cp "$repo_root/$f" "$baseline_dir/$f"
+done
+
 "$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json" \
   --sparse-json "$repo_root/BENCH_sparse.json"
 
@@ -90,6 +98,39 @@ mkdir -p "$tune_dir"
   | grep -q 'using tuned schedule' || {
   echo "tune smoke: infer did not pick up the tuned schedule" >&2; exit 1; }
 
+# Bench regression soft gate: diff the fresh dumps against the committed
+# baselines snapshotted above. Timing-sensitive metrics (wall-clock ms)
+# vary across runners, so a regression here warns loudly but does not
+# fail tier-1 — the hard gates above (speedup > 1, structure greps) still
+# do. Structure mismatches (renamed/missing metrics) also surface here.
+for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json; do
+  [ -s "$baseline_dir/$f" ] || continue
+  if ! "$build_dir/tools/bench_diff" "$baseline_dir/$f" "$repo_root/$f" \
+      --threshold 0.25; then
+    echo "bench_diff: WARNING — $f drifted beyond threshold vs committed baseline" >&2
+  fi
+done
+
+# Profiler smoke (`ls_experiment profile`): the paper's headline nets at
+# both mesh sizes must produce a profile.json that parses back through
+# util::parse_json (the CLI re-parses its own output and fails if it
+# cannot). Blame-decomposition invariants are LS_CHECK-enforced inside.
+profile_dir="$build_dir/profile"
+mkdir -p "$profile_dir"
+for net in convnet alexnet; do
+  for cores in 16 64; do
+    out="$profile_dir/profile_${net}_${cores}.json"
+    "$build_dir/tools/ls_experiment" profile --net "$net" --cores "$cores" \
+      --requests 8 --tune-budget 0 --no-tuned --out "$out" >/dev/null
+    [ -s "$out" ] || { echo "profile smoke: missing $out" >&2; exit 1; }
+    if command -v python3 >/dev/null 2>&1; then
+      python3 -m json.tool "$out" >/dev/null
+    fi
+  done
+done
+grep -q '"blame"' "$profile_dir/profile_convnet_16.json"
+grep -q '"model_error"' "$profile_dir/profile_alexnet_64.json"
+
 # Observability smoke: an AlexNet 16-core inference must produce a valid
 # Perfetto trace and metrics dump (validated with python3 when available).
 obs_dir="$build_dir/obs_smoke"
@@ -105,4 +146,4 @@ done
 grep -q '"traceEvents"' "$obs_dir/trace.json"
 grep -q '"noc_link_heatmap"' "$obs_dir/metrics.json"
 
-echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json / BENCH_tune.json, obs smoke in $obs_dir"
+echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json / BENCH_tune.json, obs smoke in $obs_dir, profiles in $profile_dir"
