@@ -3,9 +3,17 @@
 // (LeNet / ConvNet / CaffeNet). Prints a speedup table; `--json PATH`
 // additionally emits machine-readable results for the tier-1 wrapper.
 //
+// Schema 2 adds the vectorized backend: per layer, the simd conv wall
+// clock, plus a *direct* single-thread GEMM measurement at the layer's
+// forward GEMM shape (scalar vs simd, with GFLOP/s). The direct numbers
+// are what the >=2x tier-1 gate reads — layer forward time includes the
+// im2col packing, which dilutes the kernel speedup.
+//
 // A second section measures the block-sparse fast path: dense GEMM vs the
 // armed sparse path on the same pruned weights at 0/25/50/75/90 % block
-// sparsity (`--sparse-json PATH` dumps it, tier-1 writes BENCH_sparse.json).
+// sparsity, for the scalar and (when available) simd backends
+// (`--sparse-json PATH` dumps it, tier-1 writes BENCH_sparse.json). The
+// 0 % rows double as the sparse-dispatch overhead probe.
 
 #include <algorithm>
 #include <chrono>
@@ -17,6 +25,8 @@
 #include "nn/block_sparsity.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/fc.hpp"
+#include "nn/gemm.hpp"
+#include "nn/gemm_simd.hpp"
 #include "nn/layer_spec.hpp"
 #include "nn/model_zoo.hpp"
 #include "tensor/tensor.hpp"
@@ -44,8 +54,22 @@ struct BenchResult {
   BenchCase c;
   double naive_fwd_ms = 0.0, gemm_fwd_ms = 0.0;
   double naive_bwd_ms = 0.0, gemm_bwd_ms = 0.0;
+  double simd_fwd_ms = 0.0, simd_bwd_ms = 0.0;
+  // Direct forward-GEMM shape (per group, per sample) and single-thread
+  // kernel timings at it.
+  std::size_t mm_m = 0, mm_n = 0, mm_k = 0;
+  double mm_scalar_ms = 0.0, mm_simd_ms = 0.0;
   double fwd_speedup() const { return naive_fwd_ms / gemm_fwd_ms; }
   double bwd_speedup() const { return naive_bwd_ms / gemm_bwd_ms; }
+  double simd_fwd_speedup() const { return gemm_fwd_ms / simd_fwd_ms; }
+  double simd_bwd_speedup() const { return gemm_bwd_ms / simd_bwd_ms; }
+  double mm_flops() const {
+    return 2.0 * static_cast<double>(mm_m) * static_cast<double>(mm_n) *
+           static_cast<double>(mm_k);
+  }
+  double mm_scalar_gflops() const { return mm_flops() / mm_scalar_ms / 1e6; }
+  double mm_simd_gflops() const { return mm_flops() / mm_simd_ms / 1e6; }
+  double mm_simd_speedup() const { return mm_scalar_ms / mm_simd_ms; }
 };
 
 std::vector<BenchCase> cases_from_zoo() {
@@ -97,13 +121,17 @@ BenchResult run_case(const BenchCase& c) {
   gemm_cfg.impl = ConvImpl::kGemm;
   Conv2DConfig naive_cfg = c.cfg;
   naive_cfg.impl = ConvImpl::kNaive;
+  Conv2DConfig simd_cfg = c.cfg;
+  simd_cfg.impl = ConvImpl::kSimd;
   Conv2D gemm("g", gemm_cfg, rng_w);
-  ls::util::Rng rng_w2(11);
+  ls::util::Rng rng_w2(11), rng_w3(11);
   Conv2D naive("n", naive_cfg, rng_w2);
+  Conv2D simd("v", simd_cfg, rng_w3);
   const Tensor in = Tensor::uniform(c.in_shape, -1.f, 1.f, rng_in);
 
   r.gemm_fwd_ms = time_ms([&] { gemm.forward(in, true); });
   r.naive_fwd_ms = time_ms([&] { naive.forward(in, true); });
+  r.simd_fwd_ms = time_ms([&] { simd.forward(in, true); });
 
   const Tensor grad = Tensor::uniform(gemm.output_shape(c.in_shape), -1.f,
                                       1.f, rng_in);
@@ -111,6 +139,29 @@ BenchResult run_case(const BenchCase& c) {
   r.gemm_bwd_ms = time_ms([&] { gemm.backward(grad); });
   naive.forward(in, true);
   r.naive_bwd_ms = time_ms([&] { naive.backward(grad); });
+  simd.forward(in, true);
+  r.simd_bwd_ms = time_ms([&] { simd.backward(grad); });
+
+  // Direct forward-GEMM shape: weights (Cout/g x Cin/g*K*K) times the
+  // im2col matrix (rows x OH*OW), timed single-thread (parallel=false) so
+  // the gate measures the kernel, not the pool.
+  const Shape out_shape = gemm.output_shape(c.in_shape);
+  r.mm_m = c.cfg.out_channels / c.cfg.groups;
+  r.mm_n = out_shape[2] * out_shape[3];
+  r.mm_k = (c.cfg.in_channels / c.cfg.groups) * c.cfg.kernel * c.cfg.kernel;
+  std::vector<float> A(r.mm_m * r.mm_k), B(r.mm_k * r.mm_n),
+      C(r.mm_m * r.mm_n);
+  ls::util::Rng rng_mm(17);
+  for (float& v : A) v = static_cast<float>(rng_mm.uniform() - 0.5);
+  for (float& v : B) v = static_cast<float>(rng_mm.uniform() - 0.5);
+  r.mm_scalar_ms = time_ms([&] {
+    ls::nn::gemm::gemm_nn(r.mm_m, r.mm_n, r.mm_k, A.data(), r.mm_k, B.data(),
+                          r.mm_n, C.data(), r.mm_n, false, false);
+  });
+  r.mm_simd_ms = time_ms([&] {
+    ls::nn::simd::gemm_nn(r.mm_m, r.mm_n, r.mm_k, A.data(), r.mm_k, B.data(),
+                          r.mm_n, C.data(), r.mm_n, false, false);
+  });
   return r;
 }
 
@@ -118,7 +169,10 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
   ls::util::JsonWriter w;
   w.begin_object();
   w.key("bench").value("kernel_micro");
+  w.key("schema").value(static_cast<std::uint64_t>(2));
   w.key("threads").value(static_cast<std::uint64_t>(ls::util::num_threads()));
+  w.key("simd_available").value(ls::nn::simd::vectorized());
+  w.key("simd_isa").value(ls::nn::simd::microkernel_isa());
   w.key("cases").begin_array();
   for (const BenchResult& r : rs) {
     w.begin_object();
@@ -126,10 +180,22 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
     w.key("layer").value(r.c.layer);
     w.key("naive_fwd_ms").value(r.naive_fwd_ms);
     w.key("gemm_fwd_ms").value(r.gemm_fwd_ms);
+    w.key("simd_fwd_ms").value(r.simd_fwd_ms);
     w.key("naive_bwd_ms").value(r.naive_bwd_ms);
     w.key("gemm_bwd_ms").value(r.gemm_bwd_ms);
+    w.key("simd_bwd_ms").value(r.simd_bwd_ms);
     w.key("fwd_speedup").value(r.fwd_speedup());
     w.key("bwd_speedup").value(r.bwd_speedup());
+    w.key("simd_fwd_speedup").value(r.simd_fwd_speedup());
+    w.key("simd_bwd_speedup").value(r.simd_bwd_speedup());
+    w.key("mm_m").value(static_cast<std::uint64_t>(r.mm_m));
+    w.key("mm_n").value(static_cast<std::uint64_t>(r.mm_n));
+    w.key("mm_k").value(static_cast<std::uint64_t>(r.mm_k));
+    w.key("mm_scalar_ms").value(r.mm_scalar_ms);
+    w.key("mm_simd_ms").value(r.mm_simd_ms);
+    w.key("mm_scalar_gflops").value(r.mm_scalar_gflops());
+    w.key("mm_simd_gflops").value(r.mm_simd_gflops());
+    w.key("mm_simd_speedup").value(r.mm_simd_speedup());
     w.end_object();
   }
   w.end_array();
@@ -142,6 +208,7 @@ void write_json(const std::string& path, const std::vector<BenchResult>& rs) {
 
 struct SparseBenchResult {
   std::string kind;  ///< "conv" or "fc"
+  std::string impl;  ///< "gemm" (scalar) or "simd"
   int sparsity_pct = 0;
   double dense_fwd_ms = 0.0, sparse_fwd_ms = 0.0;
   double speedup() const { return dense_fwd_ms / sparse_fwd_ms; }
@@ -173,16 +240,17 @@ void kill_block_fraction(ls::nn::Param& w, std::size_t parts,
   w.bump();
 }
 
-SparseBenchResult run_sparse_conv(int pct, std::size_t parts) {
+SparseBenchResult run_sparse_conv(int pct, std::size_t parts, bool use_simd) {
   SparseBenchResult r;
   r.kind = "conv";
+  r.impl = use_simd ? "simd" : "gemm";
   r.sparsity_pct = pct;
   Conv2DConfig cfg;
   cfg.in_channels = 64;
   cfg.out_channels = 64;
   cfg.kernel = 3;
   cfg.pad = 1;
-  cfg.impl = ConvImpl::kGemm;
+  cfg.impl = use_simd ? ConvImpl::kSimd : ConvImpl::kGemm;
   ls::util::Rng rng_w(11), rng_w2(11), rng_in(5);
   Conv2D dense("d", cfg, rng_w);
   Conv2D sparse("s", cfg, rng_w2);
@@ -201,14 +269,19 @@ SparseBenchResult run_sparse_conv(int pct, std::size_t parts) {
   return r;
 }
 
-SparseBenchResult run_sparse_fc(int pct, std::size_t parts) {
+SparseBenchResult run_sparse_fc(int pct, std::size_t parts, bool use_simd) {
   SparseBenchResult r;
   r.kind = "fc";
+  r.impl = use_simd ? "simd" : "gemm";
   r.sparsity_pct = pct;
   const std::size_t in_f = 512, out_f = 512;
   ls::util::Rng rng_w(11), rng_w2(11), rng_in(5);
   ls::nn::FullyConnected dense("d", in_f, out_f, rng_w);
   ls::nn::FullyConnected sparse("s", in_f, out_f, rng_w2);
+  const auto backend = use_simd ? ls::nn::simd::GemmBackend::kSimd
+                                : ls::nn::simd::GemmBackend::kScalar;
+  dense.set_backend(backend);
+  sparse.set_backend(backend);
   sparse.set_sparsity_partition(parts, /*in_units=*/in_f);
   const double frac = pct / 100.0;
   kill_block_fraction(dense.weight(), parts, in_f, out_f, 1, frac);
@@ -224,11 +297,14 @@ void write_sparse_json(const std::string& path,
   ls::util::JsonWriter w;
   w.begin_object();
   w.key("bench").value("kernel_sparse");
+  w.key("schema").value(static_cast<std::uint64_t>(2));
   w.key("threads").value(static_cast<std::uint64_t>(ls::util::num_threads()));
+  w.key("simd_available").value(ls::nn::simd::vectorized());
   w.key("cases").begin_array();
   for (const SparseBenchResult& r : rs) {
     w.begin_object();
     w.key("kind").value(r.kind);
+    w.key("impl").value(r.impl);
     w.key("sparsity_pct").value(static_cast<std::uint64_t>(r.sparsity_pct));
     w.key("dense_fwd_ms").value(r.dense_fwd_ms);
     w.key("sparse_fwd_ms").value(r.sparse_fwd_ms);
@@ -275,6 +351,26 @@ int main(int argc, char** argv) {
   }
   table.print();
 
+  ls::util::Table simd_table(
+      std::string("vectorized backend (isa: ") +
+      ls::nn::simd::microkernel_isa() +
+      "): layer fwd vs scalar gemm + direct 1-thread GEMM at the fwd shape");
+  simd_table.set_header({"net", "layer", "gemm fwd", "simd fwd", "fwd speedup",
+                         "MxNxK", "scalar GF/s", "simd GF/s", "mm speedup"});
+  for (const BenchResult& r : results) {
+    simd_table.add_row(
+        {r.c.net, r.c.layer, ls::util::fmt_double(r.gemm_fwd_ms, 2) + " ms",
+         ls::util::fmt_double(r.simd_fwd_ms, 2) + " ms",
+         ls::util::fmt_speedup(r.simd_fwd_speedup(), 2),
+         std::to_string(r.mm_m) + "x" + std::to_string(r.mm_n) + "x" +
+             std::to_string(r.mm_k),
+         ls::util::fmt_double(r.mm_scalar_gflops(), 1),
+         ls::util::fmt_double(r.mm_simd_gflops(), 1),
+         ls::util::fmt_speedup(r.mm_simd_speedup(), 2)});
+  }
+  std::printf("\n");
+  simd_table.print();
+
   if (!json_path.empty()) {
     write_json(json_path, results);
     std::printf("\nwrote %s\n", json_path.c_str());
@@ -286,16 +382,21 @@ int main(int argc, char** argv) {
   ls::util::Table sparse_table(
       "block-sparse GEMM forward vs dense, P=8 partitions");
   sparse_table.set_header(
-      {"kind", "sparsity", "dense fwd", "sparse fwd", "speedup"});
+      {"kind", "impl", "sparsity", "dense fwd", "sparse fwd", "speedup"});
   for (const int pct : {0, 25, 50, 75, 90}) {
     for (const bool is_fc : {false, true}) {
-      const SparseBenchResult r =
-          is_fc ? run_sparse_fc(pct, parts) : run_sparse_conv(pct, parts);
-      sparse_table.add_row({r.kind, std::to_string(r.sparsity_pct) + "%",
-                            ls::util::fmt_double(r.dense_fwd_ms, 2) + " ms",
-                            ls::util::fmt_double(r.sparse_fwd_ms, 2) + " ms",
-                            ls::util::fmt_speedup(r.speedup(), 2)});
-      sparse_results.push_back(r);
+      for (const bool use_simd : {false, true}) {
+        if (use_simd && !ls::nn::simd::vectorized()) continue;
+        const SparseBenchResult r = is_fc
+                                        ? run_sparse_fc(pct, parts, use_simd)
+                                        : run_sparse_conv(pct, parts, use_simd);
+        sparse_table.add_row({r.kind, r.impl,
+                              std::to_string(r.sparsity_pct) + "%",
+                              ls::util::fmt_double(r.dense_fwd_ms, 2) + " ms",
+                              ls::util::fmt_double(r.sparse_fwd_ms, 2) + " ms",
+                              ls::util::fmt_speedup(r.speedup(), 2)});
+        sparse_results.push_back(r);
+      }
     }
   }
   std::printf("\n");

@@ -9,6 +9,8 @@
 
 #include "nn/block_sparsity.hpp"
 #include "nn/gemm.hpp"
+#include "nn/gemm_simd.hpp"
+#include "nn/scratch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/parallel.hpp"
@@ -44,6 +46,9 @@ ConvImpl env_default_impl() {
   static const ConvImpl impl = [] {
     if (const char* env = std::getenv("LS_CONV_IMPL")) {
       if (std::strcmp(env, "naive") == 0) return ConvImpl::kNaive;
+      if (std::strcmp(env, "simd") == 0 && simd::vectorized()) {
+        return ConvImpl::kSimd;
+      }
     }
     return ConvImpl::kGemm;
   }();
@@ -124,10 +129,12 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
 // ---------------------------------------------------------------------------
 
 Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
+  const bool use_simd = resolved_impl() == ConvImpl::kSimd;
   obs::Span span;
   if (obs::trace_enabled()) {
     span.begin(name_ + ".fwd", "kernel",
-               conv_span_args("im2col+gemm", in.shape()[0]));
+               conv_span_args(use_simd ? "im2col+simd" : "im2col+gemm",
+                              in.shape()[0]));
   }
   const Shape out_shape = output_shape(in.shape());
   Tensor out(out_shape);
@@ -172,13 +179,12 @@ Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
   util::parallel_for(0, N * cfg_.groups, [&](std::size_t t) {
     const std::size_t n = t / cfg_.groups;
     const std::size_t g = t % cfg_.groups;
-    static thread_local std::vector<float> col;
-    if (col.size() < ck2 * ohw) col.resize(ck2 * ohw);
+    float* col = scratch::buffer(scratch::Slot::kIm2col, ck2 * ohw);
     const float* in_g = in_base + (n * C + g * cin_g) * H * W;
     if (bm != nullptr) {
-      gemm::im2col_masked(ps, in_g, col.data(), bm->channel_skip.data());
+      gemm::im2col_masked(ps, in_g, col, bm->channel_skip.data());
     } else {
-      gemm::im2col(ps, in_g, col.data());
+      gemm::im2col(ps, in_g, col);
     }
     float* out_g = out_base + (n * OC + g * cout_g) * ohw;
     for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
@@ -186,13 +192,21 @@ Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
       std::fill(out_g + ocg * ohw, out_g + (ocg + 1) * ohw, b);
     }
     if (bm != nullptr) {
-      gemm::gemm_nn_sparse(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2,
-                           col.data(), ohw, out_g, ohw, /*accumulate=*/true,
-                           /*parallel=*/true, bm->mask());
+      if (use_simd) {
+        simd::gemm_nn_sparse(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2,
+                             col, ohw, out_g, ohw, /*accumulate=*/true,
+                             /*parallel=*/true, bm->mask());
+      } else {
+        gemm::gemm_nn_sparse(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2,
+                             col, ohw, out_g, ohw, /*accumulate=*/true,
+                             /*parallel=*/true, bm->mask());
+      }
+    } else if (use_simd) {
+      simd::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2, col,
+                    ohw, out_g, ohw, /*accumulate=*/true, /*parallel=*/true);
     } else {
-      gemm::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2 * 1, ck2,
-                    col.data(), ohw, out_g, ohw, /*accumulate=*/true,
-                    /*parallel=*/true);
+      gemm::gemm_nn(cout_g, ohw, ck2, w_base + g * cout_g * ck2, ck2, col,
+                    ohw, out_g, ohw, /*accumulate=*/true, /*parallel=*/true);
     }
   });
 
@@ -201,10 +215,12 @@ Tensor Conv2D::gemm_forward(const Tensor& in, bool training) {
 }
 
 Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
+  const bool use_simd = resolved_impl() == ConvImpl::kSimd;
   obs::Span span;
   if (obs::trace_enabled()) {
     span.begin(name_ + ".bwd", "kernel",
-               conv_span_args("im2col+gemm", grad_out.shape()[0]));
+               conv_span_args(use_simd ? "im2col+simd" : "im2col+gemm",
+                              grad_out.shape()[0]));
   }
   if (cached_input_.empty()) {
     throw std::logic_error("conv2d backward without training forward");
@@ -237,8 +253,11 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
   float* wg_base = weight_.grad.data();
   float* gi_base = grad_in.data();
 
-  std::vector<float> row(ohw * ck2);
-  std::vector<float> drow(ohw * ck2);
+  // Arena instead of per-call vectors: the serial sample loop below runs on
+  // this thread, so one warmup-sized buffer each serves every iteration (and
+  // every later call at this shape) without reallocating.
+  float* row = scratch::buffer(scratch::Slot::kIm2row, ohw * ck2);
+  float* drow = scratch::buffer(scratch::Slot::kBwdDrow, ohw * ck2);
 
   // Block sparsity in backward only accelerates the data-gradient GEMM.
   // The weight-gradient GEMM must stay dense: group-Lasso training needs
@@ -249,13 +268,19 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
   // accumulates in a fixed order; the GEMMs inside parallelize over rows.
   for (std::size_t n = 0; n < N; ++n) {
     for (std::size_t g = 0; g < cfg_.groups; ++g) {
-      gemm::im2row(ps, in_base + (n * C + g * cin_g) * H * W, row.data());
+      gemm::im2row(ps, in_base + (n * C + g * cin_g) * H * W, row);
       const float* go_g = go_base + (n * OC + g * cout_g) * ohw;
 
       // dW_g += dOut_g (cout_g x ohw) * row (ohw x ck2)
-      gemm::gemm_nn(cout_g, ck2, ohw, go_g, ohw, row.data(), ck2,
-                    wg_base + g * cout_g * ck2, ck2, /*accumulate=*/true,
-                    /*parallel=*/true);
+      if (use_simd) {
+        simd::gemm_nn(cout_g, ck2, ohw, go_g, ohw, row, ck2,
+                      wg_base + g * cout_g * ck2, ck2, /*accumulate=*/true,
+                      /*parallel=*/true);
+      } else {
+        gemm::gemm_nn(cout_g, ck2, ohw, go_g, ohw, row, ck2,
+                      wg_base + g * cout_g * ck2, ck2, /*accumulate=*/true,
+                      /*parallel=*/true);
+      }
 
       if (cfg_.bias) {
         for (std::size_t ocg = 0; ocg < cout_g; ++ocg) {
@@ -270,17 +295,27 @@ Tensor Conv2D::gemm_backward(const Tensor& grad_out) {
       // variant the reduction dim (cout) is the consumer partition and the
       // columns (ck2) are producer panels; pruned spans stay zero.
       if (bm != nullptr) {
-        gemm::gemm_tn_sparse(ohw, ck2, cout_g, go_g, ohw,
-                             w_base + g * cout_g * ck2, ck2, drow.data(),
-                             ck2, /*accumulate=*/false, /*parallel=*/true,
-                             bm->mask());
+        if (use_simd) {
+          simd::gemm_tn_sparse(ohw, ck2, cout_g, go_g, ohw,
+                               w_base + g * cout_g * ck2, ck2, drow, ck2,
+                               /*accumulate=*/false, /*parallel=*/true,
+                               bm->mask());
+        } else {
+          gemm::gemm_tn_sparse(ohw, ck2, cout_g, go_g, ohw,
+                               w_base + g * cout_g * ck2, ck2, drow, ck2,
+                               /*accumulate=*/false, /*parallel=*/true,
+                               bm->mask());
+        }
+      } else if (use_simd) {
+        simd::gemm_tn(ohw, ck2, cout_g, go_g, ohw, w_base + g * cout_g * ck2,
+                      ck2, drow, ck2, /*accumulate=*/false,
+                      /*parallel=*/true);
       } else {
         gemm::gemm_tn(ohw, ck2, cout_g, go_g, ohw, w_base + g * cout_g * ck2,
-                      ck2, drow.data(), ck2, /*accumulate=*/false,
+                      ck2, drow, ck2, /*accumulate=*/false,
                       /*parallel=*/true);
       }
-      gemm::row2im_add(ps, drow.data(),
-                       gi_base + (n * C + g * cin_g) * H * W);
+      gemm::row2im_add(ps, drow, gi_base + (n * C + g * cin_g) * H * W);
     }
   }
   return grad_in;

@@ -7,15 +7,19 @@
 // producer and consumer kernels are mapped to the same core, the layer
 // transition needs no inter-core communication.
 //
-// Two compute kernels (DESIGN.md "Performance architecture"):
-//   * kGemm  — im2col packing + cache-blocked GEMM, parallelized over the
-//     (batch, group) and output-channel dimensions on the shared pool.
+// Three compute kernels (DESIGN.md "Performance architecture" and §4i
+// "Vectorized kernels"):
+//   * kGemm  — im2col packing + cache-blocked scalar GEMM, parallelized over
+//     the (batch, group) and output-channel dimensions on the shared pool.
 //     Default; used by every trainer/bench path.
+//   * kSimd  — same im2col structure, but the GEMMs run on the packed
+//     register-tiled backend in nn::simd (LS_CONV_IMPL=simd). Falls back to
+//     kGemm when the toolchain lacks `#pragma omp simd`.
 //   * kNaive — the original 7-deep loop nest, kept as the reference for the
 //     parity suite and for microbenchmark baselines.
-// Both kernels are deterministic for any thread count; they differ only in
+// All kernels are deterministic for any thread count; they differ only in
 // floating-point accumulation grouping (parity within 1e-4, see
-// tests/nn/conv_gemm_parity_test.cpp).
+// tests/nn/conv_gemm_parity_test.cpp and tests/nn/gemm_simd_test.cpp).
 
 #include <cstddef>
 #include <memory>
@@ -28,8 +32,8 @@ namespace ls::nn {
 class BlockSparsity;
 
 /// Conv/FC compute kernel selection. kAuto resolves to the LS_CONV_IMPL
-/// environment variable ("gemm" | "naive"), defaulting to kGemm.
-enum class ConvImpl { kAuto, kGemm, kNaive };
+/// environment variable ("gemm" | "naive" | "simd"), defaulting to kGemm.
+enum class ConvImpl { kAuto, kGemm, kNaive, kSimd };
 
 struct Conv2DConfig {
   std::size_t in_channels = 0;

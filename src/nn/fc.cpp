@@ -82,10 +82,22 @@ Tensor FullyConnected::forward(const Tensor& in, bool training) {
     obs::Registry::instance()
         .gauge("sparse.layer." + name_ + ".block_density")
         .set(bm->block_density());
-    gemm::gemm_nt_sparse(N, out_features_, in_features_, flat.data(),
-                         in_features_, weight_.value.data(), in_features_,
-                         out.data(), out_features_, /*accumulate=*/true,
-                         /*parallel=*/true, bm->mask());
+    if (backend_ == simd::GemmBackend::kSimd) {
+      simd::gemm_nt_sparse(N, out_features_, in_features_, flat.data(),
+                           in_features_, weight_.value.data(), in_features_,
+                           out.data(), out_features_, /*accumulate=*/true,
+                           /*parallel=*/true, bm->mask());
+    } else {
+      gemm::gemm_nt_sparse(N, out_features_, in_features_, flat.data(),
+                           in_features_, weight_.value.data(), in_features_,
+                           out.data(), out_features_, /*accumulate=*/true,
+                           /*parallel=*/true, bm->mask());
+    }
+  } else if (backend_ == simd::GemmBackend::kSimd) {
+    simd::gemm_nt(N, out_features_, in_features_, flat.data(), in_features_,
+                  weight_.value.data(), in_features_, out.data(),
+                  out_features_,
+                  /*accumulate=*/true, /*parallel=*/true);
   } else {
     gemm::gemm_nt(N, out_features_, in_features_, flat.data(), in_features_,
                   weight_.value.data(), in_features_, out.data(),
@@ -115,15 +127,27 @@ Tensor FullyConnected::backward(const Tensor& grad_out) {
   }
   // dW (Out x In) += dOut^T (Out x N) * X (N x In); k = sample index runs
   // ascending, matching the reference accumulation order.
-  gemm::gemm_tn(out_features_, in_features_, N, grad_out.data(),
-                out_features_, cached_input_.data(), in_features_,
-                weight_.grad.data(), in_features_, /*accumulate=*/true,
-                /*parallel=*/true);
-  // dX (N x In) = dOut (N x Out) * W (Out x In)
-  gemm::gemm_nn(N, in_features_, out_features_, grad_out.data(),
-                out_features_, weight_.value.data(), in_features_,
-                grad_flat.data(), in_features_, /*accumulate=*/false,
-                /*parallel=*/true);
+  if (backend_ == simd::GemmBackend::kSimd) {
+    simd::gemm_tn(out_features_, in_features_, N, grad_out.data(),
+                  out_features_, cached_input_.data(), in_features_,
+                  weight_.grad.data(), in_features_, /*accumulate=*/true,
+                  /*parallel=*/true);
+    // dX (N x In) = dOut (N x Out) * W (Out x In)
+    simd::gemm_nn(N, in_features_, out_features_, grad_out.data(),
+                  out_features_, weight_.value.data(), in_features_,
+                  grad_flat.data(), in_features_, /*accumulate=*/false,
+                  /*parallel=*/true);
+  } else {
+    gemm::gemm_tn(out_features_, in_features_, N, grad_out.data(),
+                  out_features_, cached_input_.data(), in_features_,
+                  weight_.grad.data(), in_features_, /*accumulate=*/true,
+                  /*parallel=*/true);
+    // dX (N x In) = dOut (N x Out) * W (Out x In)
+    gemm::gemm_nn(N, in_features_, out_features_, grad_out.data(),
+                  out_features_, weight_.value.data(), in_features_,
+                  grad_flat.data(), in_features_, /*accumulate=*/false,
+                  /*parallel=*/true);
+  }
   return grad_flat.reshaped(cached_input_shape_);
 }
 

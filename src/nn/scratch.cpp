@@ -1,0 +1,38 @@
+#include "nn/scratch.hpp"
+
+#include "util/alloc.hpp"
+
+namespace ls::nn::scratch {
+
+namespace {
+
+struct Arena {
+  util::AlignedBuffer slots[static_cast<std::size_t>(Slot::kSlotCount)];
+  std::uint64_t reallocs = 0;
+};
+
+Arena& tls_arena() {
+  static thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace
+
+float* buffer(Slot slot, std::size_t floats) {
+  Arena& a = tls_arena();
+  util::AlignedBuffer& b = a.slots[static_cast<std::size_t>(slot)];
+  a.reallocs += b.reserve(floats);
+  return b.data();
+}
+
+Stats thread_stats() {
+  const Arena& a = tls_arena();
+  Stats s;
+  s.reallocs = a.reallocs;
+  for (const util::AlignedBuffer& b : a.slots) {
+    s.bytes += b.capacity() * sizeof(float);
+  }
+  return s;
+}
+
+}  // namespace ls::nn::scratch

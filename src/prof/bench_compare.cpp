@@ -136,7 +136,7 @@ MetricDirection metric_direction(std::string_view leaf_key) {
   // Higher is better: rates and ratios the optimizations exist to raise.
   if (contains(leaf_key, "speedup") || contains(leaf_key, "throughput") ||
       contains(leaf_key, "occupancy") || contains(leaf_key, "accuracy") ||
-      contains(leaf_key, "hit")) {
+      contains(leaf_key, "hit") || contains(leaf_key, "gflops")) {
     return MetricDirection::kHigherBetter;
   }
   // Lower is better: times, cycle counts, errors, traffic.

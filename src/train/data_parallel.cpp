@@ -1,0 +1,182 @@
+#include "train/data_parallel.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+
+namespace ls::train {
+
+namespace {
+
+// Shard r of a B-row batch: contiguous, balanced to within one row, and a
+// function of (B, R) only — never of the thread count.
+struct Shard {
+  std::size_t lo, hi;
+};
+
+Shard shard_bounds(std::size_t B, std::size_t R, std::size_t r) {
+  return {B * r / R, B * (r + 1) / R};
+}
+
+}  // namespace
+
+TrainReport train_classifier_parallel(const nn::NetSpec& spec,
+                                      nn::Network& net,
+                                      const data::Dataset& train_set,
+                                      const data::Dataset& test_set,
+                                      const TrainConfig& cfg,
+                                      GroupLassoRegularizer* reg) {
+  const std::size_t R = cfg.replicas;
+  if (R <= 1) return train_classifier(net, train_set, test_set, cfg, reg);
+
+  // Replica networks. The init weights are irrelevant (overwritten by the
+  // per-batch sync), but each replica still gets its own RNG stream so any
+  // future stochastic layer draws independent, replica-indexed noise.
+  std::vector<nn::Network> replicas;
+  replicas.reserve(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    util::Rng rng(cfg.seed + 0x9e3779b97f4a7c15ull * (r + 1));
+    replicas.push_back(nn::build_network(spec, rng));
+  }
+  std::vector<nn::Param*> primary = net.params();
+  std::vector<std::vector<nn::Param*>> shadows(R);
+  for (std::size_t r = 0; r < R; ++r) {
+    shadows[r] = replicas[r].params();
+    if (shadows[r].size() != primary.size()) {
+      throw std::invalid_argument(
+          "train_classifier_parallel: spec does not match net (parameter "
+          "count differs)");
+    }
+    for (std::size_t p = 0; p < primary.size(); ++p) {
+      if (shadows[r][p]->value.numel() != primary[p]->value.numel()) {
+        throw std::invalid_argument(
+            "train_classifier_parallel: spec does not match net (shape "
+            "mismatch at " +
+            primary[p]->name + ")");
+      }
+    }
+  }
+
+  TrainReport report;
+  Sgd sgd(net.params(), cfg.sgd);
+  data::Batcher batcher(train_set, cfg.batch_size, cfg.seed);
+
+  static obs::Counter& batch_count =
+      obs::Registry::instance().counter("train.batches");
+  static obs::Counter& epoch_count =
+      obs::Registry::instance().counter("train.epochs");
+
+  const tensor::Shape& full = train_set.images.shape();
+  const std::size_t sample_elems = full.numel() / full[0];
+
+  double lr = cfg.sgd.lr;
+  std::vector<double> shard_loss(R);  // per-replica loss *sums* (not means)
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span;
+    if (obs::trace_enabled()) {
+      epoch_span.begin(net.name() + ".epoch-" + std::to_string(epoch),
+                       "train");
+    }
+    sgd.set_lr(lr);
+    batcher.reset();
+    tensor::Tensor images;
+    std::vector<std::uint32_t> labels;
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    while (batcher.next(images, labels)) {
+      obs::Span batch_span("train.batch", "train");
+      const std::size_t B = images.shape()[0];
+      // Weights changed last step: sync every replica to the primary.
+      for (std::size_t r = 0; r < R; ++r) {
+        for (std::size_t p = 0; p < primary.size(); ++p) {
+          std::memcpy(shadows[r][p]->value.data(), primary[p]->value.data(),
+                      primary[p]->value.numel() * sizeof(float));
+          shadows[r][p]->bump();
+        }
+      }
+      std::fill(shard_loss.begin(), shard_loss.end(), 0.0);
+      util::parallel_for(0, R, [&](std::size_t r) {
+        const Shard s = shard_bounds(B, R, r);
+        const std::size_t rows = s.hi - s.lo;
+        if (rows == 0) return;
+        replicas[r].zero_grad();
+        tensor::Tensor shard(tensor::Shape{rows, full[1], full[2], full[3]});
+        std::memcpy(shard.data(), images.data() + s.lo * sample_elems,
+                    rows * sample_elems * sizeof(float));
+        const std::vector<std::uint32_t> shard_labels(
+            labels.begin() + static_cast<std::ptrdiff_t>(s.lo),
+            labels.begin() + static_cast<std::ptrdiff_t>(s.hi));
+        const tensor::Tensor logits =
+            replicas[r].forward(shard, /*training=*/true);
+        nn::LossResult loss = nn::softmax_cross_entropy(logits, shard_labels);
+        shard_loss[r] = loss.loss * static_cast<double>(rows);
+        // softmax_cross_entropy divides by the shard size; rescale so the
+        // shard gradients sum to the full batch-mean gradient.
+        const float scale =
+            static_cast<float>(rows) / static_cast<float>(B);
+        float* g = loss.grad_logits.data();
+        for (std::size_t i = 0; i < loss.grad_logits.numel(); ++i) {
+          g[i] *= scale;
+        }
+        replicas[r].backward(loss.grad_logits);
+      });
+      // Fixed-order reduction: ascending replica index, so the summation
+      // tree never depends on scheduling.
+      net.zero_grad();
+      double batch_loss = 0.0;
+      for (std::size_t r = 0; r < R; ++r) {
+        batch_loss += shard_loss[r];
+        for (std::size_t p = 0; p < primary.size(); ++p) {
+          float* dst = primary[p]->grad.data();
+          const float* src = shadows[r][p]->grad.data();
+          const std::size_t n = primary[p]->grad.numel();
+          for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+        }
+      }
+      epoch_loss += batch_loss / static_cast<double>(B);
+      ++batches;
+      batch_count.inc();
+      if (reg != nullptr && reg->mode() == LassoMode::kSubgradient) {
+        reg->apply(lr);
+      }
+      sgd.step();
+      if (reg != nullptr && reg->mode() == LassoMode::kProximal) {
+        reg->apply(lr);
+      }
+    }
+    epoch_count.inc();
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    if (obs::trace_enabled()) {
+      char args[64];
+      std::snprintf(args, sizeof(args), "{\"loss\":%.6f,\"batches\":%zu}",
+                    epoch_loss, batches);
+      epoch_span.set_args(args);
+    }
+    report.epoch_loss.push_back(epoch_loss);
+    report.epoch_penalty.push_back(reg ? reg->penalty() : 0.0);
+    if (cfg.verbose) {
+      LS_LOG_INFO("%s epoch %zu: loss=%.4f penalty=%.4f (replicas=%zu)",
+                  net.name().c_str(), epoch, epoch_loss,
+                  report.epoch_penalty.back(), R);
+    }
+    lr *= cfg.lr_decay;
+  }
+
+  if (reg != nullptr) {
+    report.dead_blocks_killed = reg->enforce_dead_blocks();
+  }
+  report.train_accuracy = evaluate(net, train_set);
+  report.test_accuracy = evaluate(net, test_set);
+  report.weight_sparsity = net.sparsity();
+  return report;
+}
+
+}  // namespace ls::train

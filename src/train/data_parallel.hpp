@@ -1,0 +1,40 @@
+#pragma once
+// Data-parallel classifier training: R structurally-identical network
+// replicas each run forward/backward on a contiguous shard of every batch,
+// and the shard gradients are reduced into the primary network in fixed
+// replica order before each optimizer step.
+//
+// Determinism contract (matches util::parallel_for's): for a fixed
+// cfg.replicas the trained weights are byte-identical for ANY pool size,
+// including 1. Each replica writes only replica-local state inside the
+// parallel region (its own layer caches, gradients, and scratch), shard
+// boundaries depend only on (batch size, replicas), and the reduction and
+// optimizer step run serially on the caller in ascending replica order.
+// Changing cfg.replicas changes the floating-point summation grouping and
+// therefore the bits — replica count is part of the experiment config, the
+// thread count is not.
+//
+// The replicas are plain build_network clones: weights are overwritten from
+// the primary every batch, and none of them arm block-sparsity partitions
+// or regularizer bookkeeping — group-Lasso (and SGD state) lives only on
+// the primary, exactly as in train_classifier.
+
+#include "data/dataset.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/network.hpp"
+#include "train/trainer.hpp"
+
+namespace ls::train {
+
+/// Trains `net` like train_classifier, with per-batch gradients computed
+/// by cfg.replicas replica networks built from `spec` (which must be the
+/// spec `net` was built from — validated against the parameter shapes).
+/// cfg.replicas <= 1 delegates to train_classifier unchanged.
+TrainReport train_classifier_parallel(const nn::NetSpec& spec,
+                                      nn::Network& net,
+                                      const data::Dataset& train_set,
+                                      const data::Dataset& test_set,
+                                      const TrainConfig& cfg,
+                                      GroupLassoRegularizer* reg = nullptr);
+
+}  // namespace ls::train

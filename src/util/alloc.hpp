@@ -1,0 +1,69 @@
+#pragma once
+// Cache-line-aligned grow-only float buffers for kernel scratch space.
+//
+// The SIMD GEMM backend packs operands into panels it streams with vector
+// loads; std::vector gives no alignment guarantee beyond alignof(float),
+// and reallocation on growth copies contents nobody needs (scratch is
+// overwritten every call). AlignedBuffer grows without preserving contents
+// and hands out 64-byte-aligned storage so packed panels never straddle a
+// cache line and auto-vectorized loops can use aligned access patterns.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace ls::util {
+
+/// Grow-only aligned float storage. reserve() invalidates contents; the
+/// buffer never shrinks. Move-only.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;  ///< cache line
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  /// Ensures capacity for `floats` elements. Contents are NOT preserved
+  /// across growth (scratch semantics). Returns the number of reallocations
+  /// performed (0 or 1) so arenas can track churn.
+  std::size_t reserve(std::size_t floats) {
+    if (floats <= capacity_) return 0;
+    std::free(data_);
+    // std::aligned_alloc requires the size to be a multiple of alignment.
+    const std::size_t bytes =
+        (floats * sizeof(float) + kAlignment - 1) / kAlignment * kAlignment;
+    data_ = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    capacity_ = bytes / sizeof(float);
+    return 1;
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace ls::util

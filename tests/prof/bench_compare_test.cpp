@@ -22,6 +22,8 @@ TEST(BenchCompare, DirectionHeuristics) {
             MetricDirection::kHigherBetter);
   EXPECT_EQ(metric_direction("compute_occupancy"),
             MetricDirection::kHigherBetter);
+  EXPECT_EQ(metric_direction("mm_simd_gflops"),
+            MetricDirection::kHigherBetter);
   EXPECT_EQ(metric_direction("gemm_fwd_ms"), MetricDirection::kLowerBetter);
   EXPECT_EQ(metric_direction("makespan_cycles"),
             MetricDirection::kLowerBetter);

@@ -1,0 +1,140 @@
+// Determinism suite for the data-parallel trainer: for a fixed replica
+// count the trained weights must be BYTE-identical for every pool size
+// (the replicas' work is partitioned by replica index, the reduction runs
+// serially in ascending order), and replicas=1 must delegate to the plain
+// serial loop bit-for-bit.
+
+#include "train/data_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "nn/model_zoo.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace ls::train {
+namespace {
+
+data::Dataset tiny_task(std::uint64_t sample_seed) {
+  data::SyntheticSpec s;
+  s.num_classes = 4;
+  s.channels = 1;
+  s.height = 8;
+  s.width = 8;
+  s.samples = 96;
+  s.noise = 0.15;
+  s.max_shift = 1;
+  s.seed = 5;
+  s.sample_seed = sample_seed;
+  return data::make_synthetic(s);
+}
+
+nn::NetSpec tiny_spec() {
+  nn::NetSpec spec;
+  spec.name = "tiny";
+  spec.dataset = "tiny";
+  spec.input = {1, 8, 8};
+  spec.layers = {nn::LayerSpec::conv("c1", 4, 3, 1, 1),
+                 nn::LayerSpec::relu("r0"), nn::LayerSpec::flatten("flat"),
+                 nn::LayerSpec::fc("fc1", 24), nn::LayerSpec::relu("r1"),
+                 nn::LayerSpec::fc("fc2", 4)};
+  return spec;
+}
+
+TrainConfig tiny_cfg(std::size_t replicas) {
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+std::vector<float> flat_params(nn::Network& net) {
+  std::vector<float> out;
+  for (nn::Param* p : net.params()) {
+    out.insert(out.end(), p->value.data(),
+               p->value.data() + p->value.numel());
+  }
+  return out;
+}
+
+class ParallelTrainer : public ::testing::Test {
+ protected:
+  void TearDown() override { util::ThreadPool::set_num_threads(0); }
+};
+
+TEST_F(ParallelTrainer, ByteIdenticalAcrossThreadCounts) {
+  const data::Dataset train_set = tiny_task(1), test_set = tiny_task(2);
+  std::vector<float> base;
+  TrainReport base_report;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool::set_num_threads(threads);
+    util::Rng rng(3);
+    nn::Network net = nn::build_network(tiny_spec(), rng);
+    const TrainReport report = train_classifier_parallel(
+        tiny_spec(), net, train_set, test_set, tiny_cfg(/*replicas=*/3));
+    const std::vector<float> w = flat_params(net);
+    if (base.empty()) {
+      base = w;
+      base_report = report;
+      continue;
+    }
+    ASSERT_EQ(base.size(), w.size());
+    EXPECT_EQ(0, std::memcmp(base.data(), w.data(),
+                             base.size() * sizeof(float)))
+        << "weights differ with " << threads << " threads";
+    ASSERT_EQ(base_report.epoch_loss.size(), report.epoch_loss.size());
+    for (std::size_t e = 0; e < report.epoch_loss.size(); ++e) {
+      EXPECT_EQ(base_report.epoch_loss[e], report.epoch_loss[e]);
+    }
+    EXPECT_EQ(base_report.test_accuracy, report.test_accuracy);
+  }
+}
+
+TEST_F(ParallelTrainer, SingleReplicaDelegatesToSerialTrainer) {
+  const data::Dataset train_set = tiny_task(1), test_set = tiny_task(2);
+  util::Rng rng_a(3), rng_b(3);
+  nn::Network serial = nn::build_network(tiny_spec(), rng_a);
+  nn::Network parallel = nn::build_network(tiny_spec(), rng_b);
+  const TrainReport rs =
+      train_classifier(serial, train_set, test_set, tiny_cfg(1));
+  const TrainReport rp = train_classifier_parallel(
+      tiny_spec(), parallel, train_set, test_set, tiny_cfg(1));
+  const std::vector<float> ws = flat_params(serial);
+  const std::vector<float> wp = flat_params(parallel);
+  ASSERT_EQ(ws.size(), wp.size());
+  EXPECT_EQ(0, std::memcmp(ws.data(), wp.data(), ws.size() * sizeof(float)));
+  ASSERT_EQ(rs.epoch_loss.size(), rp.epoch_loss.size());
+  for (std::size_t e = 0; e < rs.epoch_loss.size(); ++e) {
+    EXPECT_EQ(rs.epoch_loss[e], rp.epoch_loss[e]);
+  }
+}
+
+TEST_F(ParallelTrainer, ReplicatedTrainingStillLearns) {
+  util::Rng rng(1);
+  nn::Network net = nn::build_network(tiny_spec(), rng);
+  TrainConfig cfg = tiny_cfg(/*replicas=*/4);
+  cfg.epochs = 4;
+  const TrainReport report = train_classifier_parallel(
+      tiny_spec(), net, tiny_task(1), tiny_task(2), cfg);
+  ASSERT_EQ(report.epoch_loss.size(), 4u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  EXPECT_GT(report.test_accuracy, 0.5);  // chance is 0.25
+}
+
+TEST_F(ParallelTrainer, MismatchedSpecThrows) {
+  const data::Dataset train_set = tiny_task(1), test_set = tiny_task(2);
+  util::Rng rng(3);
+  nn::Network net = nn::build_network(tiny_spec(), rng);
+  nn::NetSpec other = tiny_spec();
+  other.layers[3] = nn::LayerSpec::fc("fc1", 48);  // different width
+  EXPECT_THROW(train_classifier_parallel(other, net, train_set, test_set,
+                                         tiny_cfg(2)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ls::train

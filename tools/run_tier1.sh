@@ -53,6 +53,44 @@ done
 "$build_dir/bench/bench_kernel_micro" --json "$repo_root/BENCH_kernels.json" \
   --sparse-json "$repo_root/BENCH_sparse.json"
 
+# Vectorized-backend hard gate (ISSUE 8): where the AVX2+FMA clones run,
+# the direct single-thread GEMM must beat the scalar kernel by >=2x in
+# geomean over the ConvNet/CaffeNet conv shapes, with a 1.6x per-layer
+# floor (per-layer numbers sit near 2x and jitter ~10% on shared runners).
+# The 0%-sparsity simd rows double as the sparse-dispatch overhead probe:
+# arming the mask machinery on dense weights must stay within noise.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$repo_root/BENCH_kernels.json" "$repo_root/BENCH_sparse.json" <<'PYEOF'
+import json, math, sys
+kern = json.load(open(sys.argv[1]))
+if not (kern.get("simd_available") and kern.get("simd_isa") == "avx2+fma"):
+    print("simd gate: skipped (isa=%s)" % kern.get("simd_isa"))
+    sys.exit(0)
+fails = []
+speedups = []
+for c in kern["cases"]:
+    if c["net"] not in ("ConvNet", "CaffeNet"):
+        continue
+    s = c["mm_simd_speedup"]
+    speedups.append(s)
+    if s < 1.6:
+        fails.append("%s.%s mm_simd_speedup %.2f < 1.6" %
+                     (c["net"], c["layer"], s))
+geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
+if geomean < 2.0:
+    fails.append("geomean mm_simd_speedup %.2f < 2.0" % geomean)
+for c in json.load(open(sys.argv[2]))["cases"]:
+    if c["impl"] == "simd" and c["sparsity_pct"] == 0 and c["speedup"] < 0.85:
+        fails.append("sparse %s impl=simd 0%% overhead: speedup %.2f < 0.85" %
+                     (c["kind"], c["speedup"]))
+if fails:
+    print("simd gate FAILED:\n  " + "\n  ".join(fails), file=sys.stderr)
+    sys.exit(1)
+print("simd gate OK: geomean mm speedup %.2fx over %d conv shapes" %
+      (geomean, len(speedups)))
+PYEOF
+fi
+
 # Streaming engine bench (model cycles, deterministic): BENCH_stream.json
 # must show the software pipeline beating back-to-back execution on the
 # headline 16-core ConvNet config.
@@ -130,6 +168,17 @@ for net in convnet alexnet; do
 done
 grep -q '"blame"' "$profile_dir/profile_convnet_16.json"
 grep -q '"model_error"' "$profile_dir/profile_alexnet_64.json"
+
+# The blame decomposition is cycle-domain: wall-clock kernels never feed
+# the cost model, so swapping the GEMM backend must not move a single
+# byte of the profile (the compute tripwire would fire inside otherwise).
+LS_CONV_IMPL=simd "$build_dir/tools/ls_experiment" profile --net convnet \
+  --cores 16 --requests 8 --tune-budget 0 --no-tuned \
+  --out "$profile_dir/profile_convnet_16_simd.json" >/dev/null
+cmp "$profile_dir/profile_convnet_16.json" \
+    "$profile_dir/profile_convnet_16_simd.json" || {
+  echo "profile smoke: simd backend changed the cycle-domain profile" >&2
+  exit 1; }
 
 # Observability smoke: an AlexNet 16-core inference must produce a valid
 # Perfetto trace and metrics dump (validated with python3 when available).
