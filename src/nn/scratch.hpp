@@ -29,7 +29,9 @@ enum class Slot : std::size_t {
   kBwdDrow,      ///< conv backward dRow staging
   kPackA,        ///< reserved (the SIMD GEMM reads A unpacked)
   kPackB,        ///< SIMD GEMM packed B panels (caller, read by workers)
-  kEvalBatch,    ///< trainer shard staging
+  kEvalBatch,    ///< reserved (the trainer stages shards in persistent
+                 ///< per-replica tensors; tensor::Tensor owns its storage,
+                 ///< so the float arena cannot back it)
   kSlotCount,
 };
 

@@ -79,6 +79,12 @@ TrainReport train_classifier_parallel(const nn::NetSpec& spec,
 
   double lr = cfg.sgd.lr;
   std::vector<double> shard_loss(R);  // per-replica loss *sums* (not means)
+  // Persistent per-replica staging: shard tensors and label vectors are
+  // reused across batches (reallocated only when the shard shape changes,
+  // i.e. at most twice per epoch when the final batch is partial), so the
+  // steady-state batch loop performs no per-batch allocations.
+  std::vector<tensor::Tensor> shards(R);
+  std::vector<std::vector<std::uint32_t>> shard_labels(R);
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     obs::Span epoch_span;
     if (obs::trace_enabled()) {
@@ -104,19 +110,26 @@ TrainReport train_classifier_parallel(const nn::NetSpec& spec,
       }
       std::fill(shard_loss.begin(), shard_loss.end(), 0.0);
       util::parallel_for(0, R, [&](std::size_t r) {
+        // zero_grad must precede the empty-shard return: the fixed-order
+        // reduction below reads every replica's grads unconditionally, so a
+        // replica whose shard is empty (final partial batch with B < R)
+        // must contribute zeros, not its previous batch's gradients.
+        replicas[r].zero_grad();
         const Shard s = shard_bounds(B, R, r);
         const std::size_t rows = s.hi - s.lo;
         if (rows == 0) return;
-        replicas[r].zero_grad();
-        tensor::Tensor shard(tensor::Shape{rows, full[1], full[2], full[3]});
+        tensor::Tensor& shard = shards[r];
+        const tensor::Shape want{rows, full[1], full[2], full[3]};
+        if (!(shard.shape() == want)) shard = tensor::Tensor(want);
         std::memcpy(shard.data(), images.data() + s.lo * sample_elems,
                     rows * sample_elems * sizeof(float));
-        const std::vector<std::uint32_t> shard_labels(
+        shard_labels[r].assign(
             labels.begin() + static_cast<std::ptrdiff_t>(s.lo),
             labels.begin() + static_cast<std::ptrdiff_t>(s.hi));
         const tensor::Tensor logits =
             replicas[r].forward(shard, /*training=*/true);
-        nn::LossResult loss = nn::softmax_cross_entropy(logits, shard_labels);
+        nn::LossResult loss =
+            nn::softmax_cross_entropy(logits, shard_labels[r]);
         shard_loss[r] = loss.loss * static_cast<double>(rows);
         // softmax_cross_entropy divides by the shard size; rescale so the
         // shard gradients sum to the full batch-mean gradient.

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -18,13 +20,13 @@
 namespace ls::train {
 namespace {
 
-data::Dataset tiny_task(std::uint64_t sample_seed) {
+data::Dataset tiny_task(std::uint64_t sample_seed, std::size_t samples = 96) {
   data::SyntheticSpec s;
   s.num_classes = 4;
   s.channels = 1;
   s.height = 8;
   s.width = 8;
-  s.samples = 96;
+  s.samples = samples;
   s.noise = 0.15;
   s.max_shift = 1;
   s.seed = 5;
@@ -123,6 +125,51 @@ TEST_F(ParallelTrainer, ReplicatedTrainingStillLearns) {
   ASSERT_EQ(report.epoch_loss.size(), 4u);
   EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
   EXPECT_GT(report.test_accuracy, 0.5);  // chance is 0.25
+}
+
+// 50 samples / batch 16 leaves a final 2-row batch, so with 3 replicas
+// shard_bounds(2, 3, 0) is empty. A replica with an empty shard must
+// contribute exactly zero to the gradient reduction — not its previous
+// batch's stale gradients — so one epoch of parallel training must land
+// within float-reassociation noise of the serial trainer (the stale-grad
+// bug injects an extra lr-scaled full-shard gradient, orders of magnitude
+// above that noise), and stay byte-identical across pool sizes.
+TEST_F(ParallelTrainer, PartialFinalBatchSmallerThanReplicaCount) {
+  const data::Dataset train_set = tiny_task(1, /*samples=*/50);
+  const data::Dataset test_set = tiny_task(2, /*samples=*/50);
+  TrainConfig cfg = tiny_cfg(/*replicas=*/3);
+  cfg.epochs = 1;
+
+  util::Rng rng_a(3), rng_b(3);
+  nn::Network serial = nn::build_network(tiny_spec(), rng_a);
+  nn::Network parallel = nn::build_network(tiny_spec(), rng_b);
+  train_classifier(serial, train_set, test_set, cfg);
+  train_classifier_parallel(tiny_spec(), parallel, train_set, test_set, cfg);
+  const std::vector<float> ws = flat_params(serial);
+  const std::vector<float> wp = flat_params(parallel);
+  ASSERT_EQ(ws.size(), wp.size());
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(ws[i] - wp[i]));
+  }
+  EXPECT_LT(max_diff, 1e-4f) << "empty-shard replica polluted the reduction";
+
+  std::vector<float> base;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool::set_num_threads(threads);
+    util::Rng rng(3);
+    nn::Network net = nn::build_network(tiny_spec(), rng);
+    train_classifier_parallel(tiny_spec(), net, train_set, test_set, cfg);
+    const std::vector<float> w = flat_params(net);
+    if (base.empty()) {
+      base = w;
+      continue;
+    }
+    ASSERT_EQ(base.size(), w.size());
+    EXPECT_EQ(0, std::memcmp(base.data(), w.data(),
+                             base.size() * sizeof(float)))
+        << "partial-batch weights differ with " << threads << " threads";
+  }
 }
 
 TEST_F(ParallelTrainer, MismatchedSpecThrows) {

@@ -76,6 +76,10 @@ for c in kern["cases"]:
     if s < 1.6:
         fails.append("%s.%s mm_simd_speedup %.2f < 1.6" %
                      (c["net"], c["layer"], s))
+if not speedups:
+    print("simd gate FAILED:\n  no ConvNet/CaffeNet conv shapes in %s"
+          % sys.argv[1], file=sys.stderr)
+    sys.exit(1)
 geomean = math.exp(sum(map(math.log, speedups)) / len(speedups))
 if geomean < 2.0:
     fails.append("geomean mm_simd_speedup %.2f < 2.0" % geomean)
