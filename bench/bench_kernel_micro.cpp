@@ -97,20 +97,31 @@ std::vector<BenchCase> cases_from_zoo() {
 }
 
 /// Wall-clock milliseconds per call of `fn`, repeated so each measurement
-/// covers at least ~40 ms.
+/// covers at least ~40 ms, best of three such windows — a single window on
+/// a shared box can absorb a scheduler stall, which showed up as spurious
+/// sub-threshold speedups in the tier-1 overhead gates.
 template <typename Fn>
 double time_ms(Fn&& fn) {
   using clock = std::chrono::steady_clock;
   fn();  // warm up caches and the thread pool
   std::size_t reps = 1;
+  double ms = 0.0;
   for (;;) {
     const auto t0 = clock::now();
     for (std::size_t r = 0; r < reps; ++r) fn();
-    const double ms =
-        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
-    if (ms >= 40.0 || reps >= 1024) return ms / static_cast<double>(reps);
+    ms = std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    if (ms >= 40.0 || reps >= 1024) break;
     reps *= 4;
   }
+  double best = ms;
+  for (int window = 0; window < 2; ++window) {
+    const auto t0 = clock::now();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    const double again =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    best = std::min(best, again);
+  }
+  return best / static_cast<double>(reps);
 }
 
 BenchResult run_case(const BenchCase& c) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "nn/gemm.hpp"
 #include "nn/scratch.hpp"
 #include "util/parallel.hpp"
 
@@ -47,6 +48,16 @@ constexpr std::size_t kNg = 128;  ///< C cols per task block
 // Work below this many MACs is not worth a pool dispatch (same threshold as
 // the scalar backend).
 constexpr std::size_t kParallelMinWork = 1 << 14;
+
+// Below this many C rows the kMr-row tile machinery is pure overhead: the
+// tile body pads every row block to kMr with duplicate pointers and the
+// packed-B panel is amortized over too few FMAs, so the scalar streaming
+// loop wins (FC backward dX runs at M = batch, typically 1-8). The nn
+// variants delegate to the scalar kernel there; the threshold keeps the
+// grid path for anything with at least two full row tiles. Sparse and
+// dense small-M shapes must take the same path so the within-backend
+// sparse == dense bit-exactness contract survives the dispatch.
+constexpr std::size_t kSmallMRows = 2 * kMr;
 
 // ---------------------------------------------------------------------------
 // Microkernel: one Mr x Nr accumulator tile over the task's live k spans.
@@ -517,6 +528,10 @@ void gemm_nn(std::size_t M, std::size_t N, std::size_t K, const float* A,
              std::size_t lda, const float* B, std::size_t ldb, float* C,
              std::size_t ldc, bool accumulate, bool parallel) {
   if (M == 0 || N == 0) return;
+  if (M < kSmallMRows) {
+    gemm::gemm_nn(M, N, K, A, lda, B, ldb, C, ldc, accumulate, parallel);
+    return;
+  }
   const std::size_t full[2] = {0, K};
   const auto all = [&](const Block&, const Block&, std::size_t* n) {
     *n = K > 0 ? 1 : 0;
@@ -579,6 +594,11 @@ void gemm_nn_sparse(std::size_t M, std::size_t N, std::size_t K,
                     const gemm::BlockMask& mask) {
   if (M == 0 || N == 0) return;
   if constexpr (check::kEnabled) check_mask_extents(mask, K, M);
+  if (M < kSmallMRows) {
+    gemm::gemm_nn_sparse(M, N, K, A, lda, B, ldb, C, ldc, accumulate,
+                         parallel, mask);
+    return;
+  }
   const PanelSpans live = consumer_live_spans(mask);
   const std::vector<std::size_t> pack_spans = union_live_spans(mask);
   // Row blocks align to consumer panels: every task has one consumer, so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <unordered_map>
 
 #include "check/check.hpp"
@@ -173,7 +174,10 @@ BlameBreakdown attribute_single_pass(const sim::InferenceResult& result) {
 StreamLatency stream_latency(const sched::Schedule& schedule,
                              const sim::StreamTimeline& timeline) {
   StreamLatency out;
-  std::unordered_map<std::size_t, RequestLatency> by_request;
+  // Ordered map: iteration below feeds the report in request order, so the
+  // accumulation-to-output path never passes through hash order (lslint's
+  // unordered-iteration rule; the JSON report is byte-stable because of it).
+  std::map<std::size_t, RequestLatency> by_request;
   for (const sim::StreamTimelineItem& it : timeline.items) {
     RequestLatency& r = by_request[it.request];
     r.request = it.request;
@@ -182,14 +186,10 @@ StreamLatency stream_latency(const sched::Schedule& schedule,
     (is_comm(schedule, it.event) ? r.comm_cycles : r.compute_cycles) += dur;
   }
   out.requests.reserve(by_request.size());
-  for (auto& [req, r] : by_request) {
+  for (auto& [req, r] : by_request) {  // ascending request id
     r.queue_wait_cycles = r.latency_cycles - r.compute_cycles - r.comm_cycles;
     out.requests.push_back(r);
   }
-  std::sort(out.requests.begin(), out.requests.end(),
-            [](const RequestLatency& a, const RequestLatency& b) {
-              return a.request < b.request;
-            });
   if (!out.requests.empty()) {
     std::vector<double> lat;
     lat.reserve(out.requests.size());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "check/check.hpp"
@@ -11,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/builders.hpp"
+#include "sched/verify.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
@@ -99,10 +102,26 @@ InferenceResult CmpSystem::run_inference(
 
 InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
                                    std::uint64_t stream_epoch) const {
+  // Front door: statically verify before simulating a single flit. Unlike
+  // sched::validate (LS_CHECK, checked builds only), this rejects
+  // malformed schedules — stale tuned caches, hand-edited dumps — with a
+  // structured diagnostic in every build.
+  if (schedule.cores != cfg_.cores) {
+    throw std::invalid_argument(
+        "schedule '" + schedule.net_name + "' targets " +
+        std::to_string(schedule.cores) + " cores but this system has " +
+        std::to_string(cfg_.cores));
+  }
+  sched::VerifyOptions vopts;
+  vopts.accel = core_model_.config();
+  vopts.noc = cfg_.noc;
+  if (const sched::VerifyReport report = sched::verify(schedule, vopts);
+      !report.ok()) {
+    throw std::invalid_argument("schedule '" + schedule.net_name +
+                                "' failed static verification:\n" +
+                                report.to_string());
+  }
   sched::validate(schedule);
-  LS_CHECK_MSG(schedule.cores == cfg_.cores,
-               "schedule '%s' targets %zu cores but this system has %zu",
-               schedule.net_name.c_str(), schedule.cores, cfg_.cores);
   const std::size_t P = cfg_.cores;
 
   const bool tracing = obs::trace_enabled();

@@ -4,7 +4,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "util/json.hpp"
 #include "util/json_in.hpp"
@@ -24,6 +26,59 @@ std::string cache_key_string(const CacheKey& key) {
                 key.noc.routing == noc::Routing::kXY ? "xy" : "yx",
                 key.noc_clock_divider);
   return key.net + buf;
+}
+
+bool parse_cache_key(const std::string& key_string, CacheKey* out) {
+  // net|cores=N|strategy|noc=fbA,mpB,vcC,vdD,rlE,pcF,ROUTE|div=G
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t pos = key_string.find('|'); pos != std::string::npos;
+       pos = key_string.find('|', start)) {
+    parts.push_back(key_string.substr(start, pos - start));
+    start = pos + 1;
+  }
+  parts.push_back(key_string.substr(start));
+  if (parts.size() != 5 || parts[0].empty()) return false;
+
+  CacheKey key;
+  key.net = parts[0];
+  if (std::sscanf(parts[1].c_str(), "cores=%zu", &key.cores) != 1) {
+    return false;
+  }
+  bool strategy_ok = false;
+  for (const sched::Strategy s :
+       {sched::Strategy::kTraditional, sched::Strategy::kStructureLevel,
+        sched::Strategy::kSparsified, sched::Strategy::kHybrid}) {
+    if (parts[2] == sched::to_string(s)) {
+      key.strategy = s;
+      strategy_ok = true;
+    }
+  }
+  if (!strategy_ok) return false;
+  char route[3] = {};
+  if (std::sscanf(parts[3].c_str(),
+                  "noc=fb%zu,mp%zu,vc%zu,vd%zu,rl%zu,pc%zu,%2s",
+                  &key.noc.flit_bytes, &key.noc.max_packet_flits,
+                  &key.noc.vcs, &key.noc.vc_depth, &key.noc.router_latency,
+                  &key.noc.phys_channels, route) != 7) {
+    return false;
+  }
+  if (route == std::string_view("xy")) {
+    key.noc.routing = noc::Routing::kXY;
+  } else if (route == std::string_view("yx")) {
+    key.noc.routing = noc::Routing::kYX;
+  } else {
+    return false;
+  }
+  if (std::sscanf(parts[4].c_str(), "div=%lf", &key.noc_clock_divider) != 1) {
+    return false;
+  }
+  // Canonical-form check: anything that does not round-trip byte-identically
+  // (stray whitespace, non-%g divider spelling, net names containing '|')
+  // is rejected rather than silently normalized.
+  if (cache_key_string(key) != key_string) return false;
+  *out = std::move(key);
+  return true;
 }
 
 const CacheEntry* ScheduleCache::find(const CacheKey& key) const {

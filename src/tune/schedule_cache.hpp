@@ -40,6 +40,13 @@ struct CacheKey {
 /// "alexnet|cores=64|traditional|noc=fb64,mp20,vc3,vd4,rl3,pc2,xy|div=1".
 std::string cache_key_string(const CacheKey& key);
 
+/// Inverse of cache_key_string: parses a canonical key string back into
+/// its configuration point. Returns false on any malformed or
+/// non-canonical input (validated by round-tripping through
+/// cache_key_string). `ls_experiment verify` uses this to rebuild the
+/// system a cached schedule claims to target.
+bool parse_cache_key(const std::string& key_string, CacheKey* out);
+
 struct CacheEntry {
   Candidate candidate;
   std::uint64_t est_cycles = 0;       ///< analytic score of the winner
@@ -57,6 +64,12 @@ class ScheduleCache {
   const CacheEntry* find(const CacheKey& key) const;
   void put(const CacheKey& key, CacheEntry entry);
   std::size_t size() const { return entries_.size(); }
+
+  /// Every entry, keyed by canonical key string in sorted order (the
+  /// audit surface of `ls_experiment verify`).
+  const std::map<std::string, CacheEntry>& entries() const {
+    return entries_;
+  }
 
   /// Canonical document (see file comment).
   std::string to_json() const;

@@ -6,6 +6,8 @@
 #include "check/check.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sched/verify.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 namespace ls::tune {
@@ -243,14 +245,31 @@ TuneOutcome tune(const nn::NetSpec& spec,
             .total_cycles;
     bool have_best = false;
     std::size_t best_idx = 0;
+    sched::VerifyOptions vopts;
+    vopts.accel = system.accel;
+    vopts.accel.dram_bytes_per_cycle =
+        system.chip_dram_bytes_per_cycle / static_cast<double>(system.cores);
+    vopts.noc = system.noc;
     for (const auto& [est, cand] : finalists) {
       obs::Span vspan;
       if (obs::trace_enabled()) {
         vspan.begin("tune.validate#" + std::to_string(out.validated), "tune");
       }
-      const std::uint64_t sim_cycles =
-          sys.execute(lower_candidate(spec, traffic, system, cand, strategy))
-              .total_cycles;
+      // Static verification gates the expensive flit-level validation:
+      // a finalist the verifier rejects never reaches the simulator. A
+      // violation here means a builder bug — abort in checked builds,
+      // skip the candidate in release.
+      const sched::Schedule lowered =
+          lower_candidate(spec, traffic, system, cand, strategy);
+      if (const sched::VerifyReport report = sched::verify(lowered, vopts);
+          !report.ok()) {
+        LS_CHECK_MSG(false, "tune('%s'): finalist failed verify:\n%s",
+                     spec.name.c_str(), report.to_string().c_str());
+        LS_LOG_WARN("tune('%s'): skipping finalist that failed verify:\n%s",
+                    spec.name.c_str(), report.to_string().c_str());
+        continue;
+      }
+      const std::uint64_t sim_cycles = sys.execute(lowered).total_cycles;
       if (telemetry != nullptr) {
         telemetry->validations.push_back({est, sim_cycles, false});
       }
@@ -265,6 +284,14 @@ TuneOutcome tune(const nn::NetSpec& spec,
     }
     if (telemetry != nullptr && have_best) {
       telemetry->validations[best_idx].is_best = true;
+    }
+    if (!have_best) {
+      // Every finalist was rejected by the static verifier (release builds
+      // only — checked builds abort above). Fall back to the already-priced
+      // kernel-wise baseline rather than returning garbage.
+      out.best = base;
+      out.best_est_cycles = out.baseline_est_cycles;
+      out.best_sim_cycles = out.baseline_sim_cycles;
     }
   }
   validated_ctr.inc(out.validated);

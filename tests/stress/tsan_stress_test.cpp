@@ -8,7 +8,11 @@
 //   * whole CmpSystem::run_inference calls racing on two threads (pool
 //     dispatch + burst cache + obs counters all exercised at once);
 //   * concurrent block-sparse forwards on per-thread layers over the shared
-//     pool.
+//     pool;
+//   * concurrent data-parallel training runs (replica fan-out + serial
+//     reduction) contending for the shared pool;
+//   * concurrent streamed executions each accumulating a private
+//     StreamTimeline and attributing blame over it.
 //
 // The suite also runs (and must pass) unsanitized — the assertions pin the
 // determinism contract the sanitizer jobs then prove race-free.
@@ -16,17 +20,22 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "core/traffic.hpp"
+#include "data/dataset.hpp"
 #include "nn/fc.hpp"
 #include "nn/model_zoo.hpp"
 #include "noc/sim_cache.hpp"
 #include "noc/simulator.hpp"
 #include "noc/topology.hpp"
+#include "prof/attribution.hpp"
+#include "sched/schedule.hpp"
 #include "sim/system.hpp"
 #include "tensor/tensor.hpp"
+#include "train/data_parallel.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 
@@ -188,6 +197,116 @@ TEST(TsanStress, ConcurrentSparseForwards) {
   for (auto& th : threads) th.join();
   for (std::size_t t = 0; t < kThreads; ++t) {
     EXPECT_TRUE(ok[t]) << "thread " << t << " sparse forward diverged";
+  }
+}
+
+TEST(TsanStress, ConcurrentDataParallelTraining) {
+  // PR 8 seam: each caller's replicas fan their shards out over the shared
+  // pool while the reduction and optimizer step stay caller-serial. Racing
+  // whole training runs hammers pool handoff on both sides; the trained
+  // weights must still be byte-identical to an uncontended run.
+  constexpr std::size_t kThreads = 3;
+
+  nn::NetSpec spec;
+  spec.name = "stress_tiny";
+  spec.dataset = "stress_tiny";
+  spec.input = {1, 8, 8};
+  spec.layers = {nn::LayerSpec::conv("c1", 4, 3, 1, 1),
+                 nn::LayerSpec::relu("r0"), nn::LayerSpec::flatten("flat"),
+                 nn::LayerSpec::fc("fc1", 16), nn::LayerSpec::relu("r1"),
+                 nn::LayerSpec::fc("fc2", 4)};
+
+  data::SyntheticSpec syn;
+  syn.num_classes = 4;
+  syn.channels = 1;
+  syn.height = 8;
+  syn.width = 8;
+  syn.samples = 48;
+  syn.seed = 5;
+  syn.sample_seed = 1;
+  const data::Dataset train_set = data::make_synthetic(syn);
+  syn.sample_seed = 2;
+  const data::Dataset test_set = data::make_synthetic(syn);
+
+  train::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 16;
+  cfg.replicas = 2;
+
+  const auto run_once = [&] {
+    util::Rng rng(3);
+    nn::Network net = nn::build_network(spec, rng);
+    train::train_classifier_parallel(spec, net, train_set, test_set, cfg);
+    std::vector<float> flat;
+    for (nn::Param* p : net.params()) {
+      flat.insert(flat.end(), p->value.data(),
+                  p->value.data() + p->value.numel());
+    }
+    return flat;
+  };
+  const std::vector<float> reference = run_once();
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &run_once, &reference, &ok] {
+      const std::vector<float> got = run_once();
+      ok[t] = got.size() == reference.size() &&
+              std::memcmp(got.data(), reference.data(),
+                          got.size() * sizeof(float)) == 0;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t
+                       << " trained different bytes under contention";
+  }
+}
+
+TEST(TsanStress, ConcurrentStreamTimelineAttribution) {
+  // PR 7 seam: run_stream appends to a caller-owned StreamTimeline while
+  // the shared CmpSystem (pool, burst cache) is raced by other streams.
+  // Every private timeline must attribute to the same makespan and blame
+  // split as an uncontended run.
+  noc::NocRunCache::instance().clear();
+  sim::SystemConfig cfg;
+  cfg.cores = 16;
+  const sim::CmpSystem system(cfg);
+  const nn::NetSpec spec = nn::lenet_expt_spec();
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+
+  constexpr std::size_t kRequests = 6;
+  sim::StreamTimeline ref_tl;
+  system.run_stream(schedule, kRequests, 0, &ref_tl);
+  const prof::StreamAttribution ref = prof::attribute_stream(schedule, ref_tl);
+
+  constexpr std::size_t kThreads = 3;
+  constexpr std::size_t kRounds = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &system, &schedule, &ref, &ok] {
+      bool all_match = true;
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        sim::StreamTimeline tl;
+        system.run_stream(schedule, kRequests, 0, &tl);
+        const prof::StreamAttribution a =
+            prof::attribute_stream(schedule, tl);
+        all_match = all_match && a.makespan_cycles == ref.makespan_cycles &&
+                    a.blame.total() == ref.blame.total() &&
+                    a.blame.compute_cycles == ref.blame.compute_cycles &&
+                    a.blame.noc_cycles == ref.blame.noc_cycles &&
+                    a.critical_chain == ref.critical_chain;
+      }
+      ok[t] = all_match;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t
+                       << " attribution diverged under contention";
   }
 }
 

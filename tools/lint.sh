@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
-# Lint gate (DESIGN.md "Correctness tooling"): clang-tidy over every
-# translation unit in src/ (zero-warning policy via -warnings-as-errors)
-# plus a clang-format drift check over all C++ sources. Usage:
+# Lint gate (DESIGN.md "Static analysis"): clang-tidy over every
+# translation unit in src/ (zero-warning policy via -warnings-as-errors),
+# a clang-format drift check over all C++ sources, and the project-rule
+# linter tools/lslint.py. Usage:
 #   tools/lint.sh [build-dir]
 #
 # The build dir only needs a configure (for compile_commands.json); this
 # script runs one if it is missing. Tools are looked up as clang-tidy /
-# clang-format or their -MAJOR suffixed names; a missing tool is a skip
-# with a notice, not a failure, so the gate degrades gracefully on boxes
-# with only gcc (CI installs both and runs the full gate).
+# clang-format or their -MAJOR suffixed names. By default a missing tool
+# is a skip with a notice so the gate degrades gracefully on boxes with
+# only gcc; with LS_LINT_STRICT=1 (what CI sets) a missing tool is a hard
+# failure — the gate must not silently pass because the runner image
+# dropped a package.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"$repo_root/build-lint"}"
 jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+strict="${LS_LINT_STRICT:-0}"
 
 find_tool() {
   local base="$1"
@@ -31,8 +35,19 @@ find_tool() {
   return 1
 }
 
+missing_tool() {
+  local name="$1" what="$2"
+  if [ "$strict" = "1" ]; then
+    echo "lint: $name not found — $what REQUIRED under LS_LINT_STRICT=1" >&2
+    return 1
+  fi
+  echo "lint: $name not found — $what skipped" >&2
+  return 0
+}
+
 clang_tidy="$(find_tool clang-tidy || true)"
 clang_format="$(find_tool clang-format || true)"
+python3_bin="$(command -v python3 || true)"
 status=0
 ran_any=0
 
@@ -40,6 +55,19 @@ cxx_sources() {
   find "$repo_root/src" "$repo_root/tests" "$repo_root/tools" \
     "$repo_root/bench" -name '*.cpp' -o -name '*.hpp' | sort
 }
+
+if [ -n "$python3_bin" ]; then
+  ran_any=1
+  echo "== lslint (project rules) over src/"
+  if ! "$python3_bin" "$repo_root/tools/lslint.py" --self-test; then
+    status=1
+  fi
+  if ! "$python3_bin" "$repo_root/tools/lslint.py" "$repo_root/src"; then
+    status=1
+  fi
+else
+  missing_tool python3 "project-rule lint" || status=1
+fi
 
 if [ -n "$clang_format" ]; then
   ran_any=1
@@ -49,7 +77,7 @@ if [ -n "$clang_format" ]; then
     status=1
   fi
 else
-  echo "lint: clang-format not found — format check skipped" >&2
+  missing_tool clang-format "format check" || status=1
 fi
 
 if [ -n "$clang_tidy" ]; then
@@ -65,10 +93,10 @@ if [ -n "$clang_tidy" ]; then
     status=1
   fi
 else
-  echo "lint: clang-tidy not found — static analysis skipped" >&2
+  missing_tool clang-tidy "static analysis" || status=1
 fi
 
-if [ "$ran_any" -eq 0 ]; then
+if [ "$ran_any" -eq 0 ] && [ "$status" -eq 0 ]; then
   echo "lint: no lint tools available on this machine; nothing checked" >&2
   exit 0
 fi

@@ -31,23 +31,29 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "core/traffic.hpp"
+#include "nn/layer_spec.hpp"
 #include "nn/model_zoo.hpp"
+#include "noc/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "prof/attribution.hpp"
 #include "prof/model_error.hpp"
 #include "prof/report.hpp"
-#include "sched/schedule.hpp"
-#include "util/json_in.hpp"
-#include "sim/experiment.hpp"
+#include "sched/builders.hpp"
 #include "sched/cost_model.hpp"
+#include "sched/schedule.hpp"
+#include "sched/verify.hpp"
+#include "sim/experiment.hpp"
 #include "sim/pipeline_model.hpp"
 #include "sim/system.hpp"
 #include "tune/schedule_cache.hpp"
 #include "tune/tuner.hpp"
+#include "util/json_in.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -419,6 +425,131 @@ int cmd_tune(const Args& args) {
   return 0;
 }
 
+/// Audits one cache entry: parse the canonical key, rebuild the system it
+/// targets, structurally pre-validate the candidate, lower it against
+/// freshly derived traffic, and run the static verifier. Returns "" when
+/// the entry is sound, else newline-terminated diagnostic lines.
+///
+/// The pre-validation matters in release builds: the lowering's own
+/// LS_CHECK guards compile out there, so a cache entry with the wrong
+/// layer-dim count or a bogus placement would index out of bounds long
+/// before the verifier ever saw a schedule.
+std::string audit_entry(const std::string& key_string,
+                        const tune::CacheEntry& entry) {
+  tune::CacheKey key;
+  if (!tune::parse_cache_key(key_string, &key)) {
+    return "        non-canonical cache key\n";
+  }
+  // Cache keys carry the spec's display name (tune_key uses spec.name,
+  // e.g. "ConvNet"), so resolve against both spellings.
+  nn::NetSpec spec;
+  bool net_ok = false;
+  for (const char* cli : {"mlp", "lenet", "convnet", "alexnet", "vgg19"}) {
+    nn::NetSpec s = analytic_net(cli);
+    if (s.name == key.net || key.net == cli) {
+      spec = std::move(s);
+      net_ok = true;
+      break;
+    }
+  }
+  if (!net_ok) return "        unknown net '" + key.net + "'\n";
+
+  std::size_t compute_layers = 0;
+  for (const auto& a : nn::analyze(spec)) {
+    if (a.is_compute()) ++compute_layers;
+  }
+  const tune::Candidate& cand = entry.candidate;
+  if (!cand.layer_dims.empty() && cand.layer_dims.size() != compute_layers) {
+    return "        " + std::to_string(cand.layer_dims.size()) +
+           " layer dims for " + std::to_string(compute_layers) +
+           " compute layers\n";
+  }
+  for (std::size_t i = 0; i < cand.layer_dims.size(); ++i) {
+    if (!sched::dim_compatible(spec, i, cand.layer_dims[i])) {
+      return "        dim '" +
+             std::string(sched::to_string(cand.layer_dims[i])) +
+             "' is illegal for compute layer " + std::to_string(i) + "\n";
+    }
+  }
+  if (!cand.placement.empty()) {
+    if (cand.placement.size() != key.cores) {
+      return "        placement maps " +
+             std::to_string(cand.placement.size()) + " partitions on a " +
+             std::to_string(key.cores) + "-core machine\n";
+    }
+    std::vector<bool> seen(key.cores, false);
+    for (const std::size_t c : cand.placement) {
+      if (c >= key.cores || seen[c]) {
+        return "        placement is not a permutation of the core range\n";
+      }
+      seen[c] = true;
+    }
+  }
+
+  sim::SystemConfig cfg;
+  cfg.cores = key.cores;
+  cfg.noc = key.noc;
+  cfg.noc_clock_divider = key.noc_clock_divider;
+  sched::VerifyReport report;
+  try {
+    const noc::MeshTopology topo = noc::MeshTopology::for_cores(key.cores);
+    const auto traffic = core::traffic_dense(spec, topo, cfg.bytes_per_value);
+    const sched::Schedule schedule =
+        tune::lower_candidate(spec, traffic, cfg, cand, key.strategy);
+    sched::VerifyOptions vopts;
+    vopts.accel = cfg.accel;
+    vopts.accel.dram_bytes_per_cycle =
+        cfg.chip_dram_bytes_per_cycle / static_cast<double>(cfg.cores);
+    vopts.noc = key.noc;
+    report = sched::verify(schedule, vopts);
+  } catch (const std::exception& e) {
+    return "        lowering failed: " + std::string(e.what()) + "\n";
+  }
+  std::string out;
+  for (const sched::Violation& v : report.violations) {
+    out += "        ";
+    out += v.event == sched::kNoEvent
+               ? "schedule ["
+               : "event " + std::to_string(v.event) + " [";
+    out += sched::to_string(v.code);
+    out += "]: " + v.message + "\n";
+  }
+  return out;
+}
+
+/// `ls_experiment verify`: static audit of an entire tuned-schedule cache
+/// file. Exits nonzero on any violation, so a stale or hand-edited cache
+/// fails tier-1 instead of feeding the executor garbage at serving time.
+int cmd_verify(const Args& args) {
+  const std::string path = tuned_cache_path(args);
+  tune::ScheduleCache cache;
+  std::string error;
+  if (!cache.load_file(path, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (cache.entries().empty()) {
+    std::printf("verify: %s has no entries — nothing to audit\n",
+                path.c_str());
+    return 0;
+  }
+
+  std::size_t failures = 0;
+  for (const auto& [key_string, entry] : cache.entries()) {
+    const std::string fail = audit_entry(key_string, entry);
+    if (fail.empty()) {
+      std::printf("  ok    %s\n", key_string.c_str());
+    } else {
+      ++failures;
+      std::printf("  FAIL  %s\n%s", key_string.c_str(), fail.c_str());
+    }
+  }
+  std::printf("verify: %zu/%zu entries ok in %s\n",
+              cache.entries().size() - failures, cache.entries().size(),
+              path.c_str());
+  return failures == 0 ? 0 : 1;
+}
+
 int cmd_profile(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
   sim::SystemConfig cfg;
@@ -562,6 +693,9 @@ void usage() {
       "  profile    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "             [--requests N] [--out profile.json] [--tune-budget N]\n"
       "             [--no-cache] [--tuned-cache store.json] [--no-tuned]\n"
+      "  verify     [--tuned-cache store.json]\n"
+      "             statically audit every cached tuned schedule; exits\n"
+      "             nonzero on any violation\n"
       "global observability flags (any command):\n"
       "  --trace out.json    write a Perfetto/chrome-trace timeline\n"
       "  --metrics out.json  dump the metrics registry (counters, heatmap)\n"
@@ -602,6 +736,8 @@ int main(int argc, char** argv) {
       rc = cmd_tune(args);
     } else if (cmd == "profile") {
       rc = cmd_profile(args);
+    } else if (cmd == "verify") {
+      rc = cmd_verify(args);
     } else {
       usage();
     }

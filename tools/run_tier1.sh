@@ -140,6 +140,19 @@ mkdir -p "$tune_dir"
   | grep -q 'using tuned schedule' || {
   echo "tune smoke: infer did not pick up the tuned schedule" >&2; exit 1; }
 
+# Verify smoke: the static schedule verifier must audit the cache the tune
+# smoke just produced — and the committed store, when present — clean.
+"$build_dir/tools/ls_experiment" verify \
+  --tuned-cache "$tune_dir/tuned_schedules.json" || {
+  echo "verify smoke: tune-smoke cache failed static verification" >&2
+  exit 1; }
+if [ -s "$repo_root/tuned_schedules.json" ]; then
+  "$build_dir/tools/ls_experiment" verify \
+    --tuned-cache "$repo_root/tuned_schedules.json" || {
+    echo "verify smoke: committed cache failed static verification" >&2
+    exit 1; }
+fi
+
 # Bench regression soft gate: diff the fresh dumps against the committed
 # baselines snapshotted above. Timing-sensitive metrics (wall-clock ms)
 # vary across runners, so a regression here warns loudly but does not
