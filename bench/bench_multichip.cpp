@@ -1,0 +1,151 @@
+// Multi-chip scale-out bench: stage-pipelined execution across a package
+// of identical mesh chips (sched::lower_pipelined + per-chip-resource
+// run_stream) vs the same core budget as one flat mesh, in model cycles
+// (deterministic — no wall-clock timing).
+//
+// The headline config is 64 total cores at the embedded-NoC clock
+// (noc_clock_divider = 4): a monolithic 64-core mesh at that operating
+// point is communication-bound — every layer transition floods one big
+// shared NoC — while 4 x 16-core chips keep each transition on a quarter-
+// size mesh and cross chip boundaries once per stage over the package's
+// serial links. That is exactly the scale-out argument: the flat machine's
+// NoC saturates before its cores do, the chip-partitioned one pipelines
+// stages at the bottleneck chip's rate. Compute-dominated nets (AlexNet
+// here) show the cost side: splitting a layer across fewer cores per chip
+// lengthens every stage, and stage imbalance wastes gang time — the bench
+// reports both so the trade is visible.
+//
+//   bench_multichip [--requests N] [--json PATH]
+//
+// `--json` writes the tier-1 artifact (BENCH_multichip.json): one row per
+// (net, chips) point at 64 total cores with throughput, the speedup over
+// the same net's 1-chip row, occupancies, and inter-chip link utilization.
+// The acceptance gate reads the ConvNet 4-chip row's speedup_vs_one_chip
+// (>= 1.3x).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/traffic.hpp"
+#include "nn/model_zoo.hpp"
+#include "sched/schedule.hpp"
+#include "sim/system.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ls;
+
+constexpr std::size_t kTotalCores = 64;
+constexpr double kNocClockDivider = 4.0;  // embedded NoC: comm-bound flat mesh
+
+struct Row {
+  std::string net;
+  std::size_t chips = 0;
+  std::size_t requests = 0;
+  sim::StreamResult s{};
+  double speedup_vs_one_chip = 0.0;  // filled once the 1-chip row exists
+};
+
+Row run_point(const nn::NetSpec& spec, std::size_t chips,
+              std::size_t requests) {
+  sim::SystemConfig cfg;
+  cfg.cores = kTotalCores;
+  cfg.chips = chips;
+  cfg.noc_clock_divider = kNocClockDivider;
+  const sim::CmpSystem system(cfg);
+  // Layer-transition traffic on one chip's mesh (the whole machine when
+  // chips == 1) — the analysis lower_pipelined stages ride on.
+  const auto traffic =
+      core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
+  const sched::Schedule schedule = system.build_schedule(spec, traffic);
+  Row row;
+  row.net = spec.name;
+  row.chips = chips;
+  row.requests = requests;
+  row.s = system.run_stream(schedule, requests);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("bench").value("multichip");
+  w.key("total_cores").value(static_cast<std::uint64_t>(kTotalCores));
+  w.key("noc_clock_divider").value(kNocClockDivider);
+  w.key("rows").begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.key("net").value(r.net);
+    w.key("chips").value(static_cast<std::uint64_t>(r.chips));
+    w.key("cores_per_chip")
+        .value(static_cast<std::uint64_t>(kTotalCores / r.chips));
+    w.key("requests").value(static_cast<std::uint64_t>(r.requests));
+    w.key("single_pass_cycles").value(r.s.single_pass.total_cycles);
+    w.key("makespan_cycles").value(r.s.makespan_cycles);
+    w.key("throughput_per_mcycle").value(r.s.throughput_per_mcycle);
+    w.key("speedup_vs_one_chip").value(r.speedup_vs_one_chip);
+    w.key("compute_occupancy").value(r.s.compute_occupancy);
+    w.key("noc_occupancy").value(r.s.noc_occupancy);
+    w.key("inter_chip_occupancy").value(r.s.inter_chip_occupancy);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.write_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 32;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (requests == 0) requests = 1;
+
+  std::vector<Row> rows;
+  for (const nn::NetSpec& spec : {nn::convnet_spec(), nn::alexnet_spec()}) {
+    const std::size_t first = rows.size();  // this net's 1-chip row
+    for (const std::size_t chips : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+      Row row = run_point(spec, chips, requests);
+      row.speedup_vs_one_chip =
+          rows.size() == first
+              ? 1.0
+              : row.s.throughput_per_mcycle /
+                    rows[first].s.throughput_per_mcycle;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  util::Table t("multi-chip scale-out at " + std::to_string(kTotalCores) +
+                " total cores (noc_clock_divider = 4)");
+  t.set_header({"net", "chips", "1-pass cyc", "makespan", "inf/Mcyc",
+                "vs 1-chip", "core-occ", "noc-occ", "xchip-occ"});
+  for (const Row& r : rows) {
+    t.add_row({r.net, std::to_string(r.chips),
+               std::to_string(r.s.single_pass.total_cycles),
+               std::to_string(r.s.makespan_cycles),
+               util::fmt_double(r.s.throughput_per_mcycle, 2),
+               util::fmt_speedup(r.speedup_vs_one_chip),
+               util::fmt_percent(r.s.compute_occupancy),
+               util::fmt_percent(r.s.noc_occupancy),
+               util::fmt_percent(r.s.inter_chip_occupancy)});
+  }
+  t.print();
+
+  if (!json_path.empty()) {
+    write_json(json_path, rows);
+    std::printf("json written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

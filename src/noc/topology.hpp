@@ -1,11 +1,19 @@
 #pragma once
-// 2D mesh topology: core coordinates and hop distances.
+// 2D mesh topology: core coordinates and hop distances — plus the
+// hierarchical multi-chip generalization (DESIGN.md §4k).
 //
 // The paper's SS_Mask technique keys the group-Lasso strength of weight
 // block (p, c) to the Manhattan hop distance between cores p and c under
 // dimension-ordered routing (Fig. 6(a)), so the distance matrix defined
 // here is shared by the NoC simulator, the traffic/energy models, and the
 // trainer's strength masks.
+//
+// `Topology` scales the picture out: a ChipGrid of identical 2D meshes
+// joined by inter-chip links with their own width/latency class. The flat
+// single-chip case is the degenerate C=1 instance and delegates every
+// query to the inner mesh unchanged, so hop matrices, DOR routes, strength
+// masks, and the energy model stay bit-identical to the pre-hierarchy
+// code.
 
 #include <cstddef>
 #include <stdexcept>
@@ -24,8 +32,12 @@ class MeshTopology {
   MeshTopology(std::size_t cols, std::size_t rows);
 
   /// Near-square mesh for the given core count (16 -> 4x4, 8 -> 4x2,
-  /// 32 -> 8x4). Throws if cores is not expressible as cols x rows with
-  /// cols, rows >= 1.
+  /// 32 -> 8x4). Throws std::invalid_argument when the count is zero or
+  /// when its most-square factorization degenerates to a 1xN chain of 4+
+  /// cores (prime counts >= 5): a chain is not a mesh, and every model
+  /// downstream (DOR routing, bisection cut, SS_Mask distances) would
+  /// silently mis-report on one. Counts of 1-3 cores stay legal — there
+  /// is no non-degenerate alternative at those sizes.
   static MeshTopology for_cores(std::size_t cores);
 
   std::size_t cols() const { return cols_; }
@@ -55,6 +67,74 @@ class MeshTopology {
  private:
   std::size_t cols_;
   std::size_t rows_;
+};
+
+/// Width/latency class of the serial links joining adjacent chips in a
+/// package. Far slower than an on-chip mesh hop: a SerDes crossing pays a
+/// fixed latency and a per-byte serialization cost instead of riding the
+/// 512-bit flit fabric.
+struct InterChipLinkClass {
+  double bytes_per_cycle = 16.0;     ///< serialized link bandwidth
+  std::size_t latency_cycles = 50;   ///< fixed crossing latency (SerDes+pkg)
+  std::size_t links_per_boundary = 1;  ///< parallel lanes per chip boundary
+  double energy_pj_per_byte = 1.0;   ///< off-die signaling energy
+
+  friend bool operator==(const InterChipLinkClass&,
+                         const InterChipLinkClass&) = default;
+};
+
+/// Hierarchical package topology: `num_chips` identical 2D meshes arranged
+/// in a near-square ChipGrid, joined by InterChipLinkClass links between
+/// consecutive chip ids (the stage-pipeline daisy chain). Core ids are
+/// global and chip-major: chip s owns [s*cores_per_chip, (s+1)*cores_per_chip).
+/// Each chip's gateway — the core its boundary links attach to — is its
+/// local core 0.
+class Topology {
+ public:
+  Topology(MeshTopology chip_mesh, std::size_t chips,
+           InterChipLinkClass link = {});
+
+  /// The degenerate single-chip package: all queries delegate to `mesh`.
+  static Topology single_chip(MeshTopology mesh);
+
+  /// Package of `chips` chips of total_cores/chips cores each (near-square
+  /// per-chip meshes via MeshTopology::for_cores). Throws when chips is
+  /// zero or does not divide total_cores.
+  static Topology for_cores(std::size_t total_cores, std::size_t chips,
+                            InterChipLinkClass link = {});
+
+  const MeshTopology& chip_mesh() const { return mesh_; }
+  const InterChipLinkClass& inter_chip() const { return link_; }
+  std::size_t num_chips() const { return chips_; }
+  std::size_t cores_per_chip() const { return mesh_.num_cores(); }
+  std::size_t num_cores() const { return chips_ * mesh_.num_cores(); }
+
+  /// Near-square grid the chips are arranged in (2 -> 2x1, 4 -> 2x2).
+  std::size_t grid_cols() const { return grid_cols_; }
+  std::size_t grid_rows() const { return grid_rows_; }
+
+  std::size_t chip_of(std::size_t core) const;
+  std::size_t local_core(std::size_t core) const;
+  std::size_t global_core(std::size_t chip, std::size_t local) const;
+  std::size_t gateway_core(std::size_t chip) const;
+  bool same_chip(std::size_t a, std::size_t b) const {
+    return chip_of(a) == chip_of(b);
+  }
+
+  /// Manhattan distance between chips in the ChipGrid.
+  std::size_t chip_hops(std::size_t chip_a, std::size_t chip_b) const;
+
+  /// Hop distance between global cores: the plain mesh distance on one
+  /// chip; across chips, the DOR walk to the source gateway, the ChipGrid
+  /// distance, and the walk from the destination gateway.
+  std::size_t hops(std::size_t a, std::size_t b) const;
+
+ private:
+  MeshTopology mesh_;
+  std::size_t chips_;
+  std::size_t grid_cols_;
+  std::size_t grid_rows_;
+  InterChipLinkClass link_;
 };
 
 }  // namespace ls::noc

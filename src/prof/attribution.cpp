@@ -16,6 +16,22 @@ bool is_comm(const sched::Schedule& schedule, sched::EventId e) {
   return schedule.events[e].kind == sched::EventKind::kComm;
 }
 
+/// Dense id of the resource an event occupies, mirroring run_stream's
+/// model: gangs [0, C), per-chip NoCs [C, 2C), boundary links [2C, 3C-1).
+/// A single-chip schedule uses exactly two ids — the historical gang/NoC
+/// pair — so the resource-order chain is unchanged there.
+std::size_t resource_of(const sched::Schedule& schedule, sched::EventId e) {
+  const sched::Event& ev = schedule.events[e];
+  const std::size_t C = schedule.chips;
+  if (ev.kind == sched::EventKind::kCompute) return ev.chip;
+  if (!ev.inter_chip) return C + ev.chip;
+  return 2 * C + (ev.chip - 1);
+}
+
+bool is_inter_chip(const sched::Schedule& schedule, sched::EventId e) {
+  return schedule.events[e].inter_chip;
+}
+
 /// (request, event) -> timeline index. Events are < schedule.events.size()
 /// so a flat key is collision-free.
 std::unordered_map<std::uint64_t, std::size_t> index_items(
@@ -43,20 +59,19 @@ StreamAttribution attribute_stream(const sched::Schedule& schedule,
   const std::uint64_t E = schedule.events.size();
   const auto by_key = index_items(schedule, timeline);
 
-  // Resource predecessor/successor: the adjacent item of the same kind in
-  // dispatch order (dispatch order sequences each resource).
+  // Resource predecessor/successor: the adjacent item on the same resource
+  // in dispatch order (dispatch order sequences each resource).
   constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
   std::vector<std::size_t> res_pred(n, kNone);
   std::vector<std::size_t> res_succ(n, kNone);
   {
-    std::size_t last_comm = kNone;
-    std::size_t last_compute = kNone;
+    std::vector<std::size_t> last(3 * std::max<std::size_t>(schedule.chips, 1),
+                                  kNone);
     for (std::size_t i = 0; i < n; ++i) {
-      std::size_t& last =
-          is_comm(schedule, items[i].event) ? last_comm : last_compute;
-      res_pred[i] = last;
-      if (last != kNone) res_succ[last] = i;
-      last = i;
+      std::size_t& l = last[resource_of(schedule, items[i].event)];
+      res_pred[i] = l;
+      if (l != kNone) res_succ[l] = i;
+      l = i;
     }
   }
 
@@ -76,14 +91,22 @@ StreamAttribution attribute_stream(const sched::Schedule& schedule,
   std::size_t cur = peak;
   bool entered_via_dep = false;
   sched::EventKind dep_kind = sched::EventKind::kCompute;
+  bool dep_inter_chip = false;
   while (true) {
     const sim::StreamTimelineItem& it = items[cur];
     const std::uint64_t dur = it.finish_cycle - it.start_cycle;
     const bool comm = is_comm(schedule, it.event);
+    const bool inter = is_inter_chip(schedule, it.event);
     if (entered_via_dep) {
-      (dep_kind == sched::EventKind::kComm
-           ? out.blame.dep_stall_on_comm_cycles
-           : out.blame.dep_stall_on_compute_cycles) += dur;
+      if (dep_inter_chip) {
+        out.blame.dep_stall_on_inter_chip_cycles += dur;
+      } else {
+        (dep_kind == sched::EventKind::kComm
+             ? out.blame.dep_stall_on_comm_cycles
+             : out.blame.dep_stall_on_compute_cycles) += dur;
+      }
+    } else if (inter) {
+      out.blame.inter_chip_cycles += dur;
     } else {
       (comm ? out.blame.noc_cycles : out.blame.compute_cycles) += dur;
     }
@@ -119,6 +142,7 @@ StreamAttribution attribute_stream(const sched::Schedule& schedule,
       break;
     }
     dep_kind = schedule.events[items[via].event].kind;
+    dep_inter_chip = is_inter_chip(schedule, items[via].event);
     cur = via;
     entered_via_dep = true;
   }

@@ -2,9 +2,11 @@
 // Critical-path analysis and makespan blame over executed schedules
 // (DESIGN.md §4h "Profiling & attribution").
 //
-// run_stream's two-resource list scheduler is work-conserving: an item
-// starts at max(ready, resource_free), so every item's start coincides
-// with either its resource predecessor's finish or a dependency's finish.
+// run_stream's per-chip-resource list scheduler (one core gang + one NoC
+// per chip, one serial link per chip boundary; a single gang + NoC on a
+// flat machine) is work-conserving: an item starts at
+// max(ready, resource_free), so every item's start coincides with either
+// its resource predecessor's finish or a dependency's finish.
 // That makes the critical chain *gapless* — walking backward from the
 // item that finishes at the makespan always lands on a predecessor whose
 // finish equals the current start, down to cycle 0. The chain's segments
@@ -15,6 +17,8 @@
 //     resource: the cores were the bottleneck during it,
 //   * noc            — a comm segment reached through the NoC resource:
 //     cross-request burst queueing was the bottleneck,
+//   * inter_chip     — an inter-chip transfer reached through its boundary
+//     link: the serial link itself was the bottleneck,
 //   * dep_stall_on_* — a segment reached through a dependency edge: the
 //     successor's resource sat free while this predecessor (compute or
 //     comm) held the chain. For a single-request stream this bucket's
@@ -37,12 +41,17 @@ namespace ls::prof {
 struct BlameBreakdown {
   std::uint64_t compute_cycles = 0;
   std::uint64_t noc_cycles = 0;
+  /// Chip-boundary serial-link occupancy on the chain (multi-chip only).
+  std::uint64_t inter_chip_cycles = 0;
   std::uint64_t dep_stall_on_compute_cycles = 0;
   std::uint64_t dep_stall_on_comm_cycles = 0;
+  /// Chain held by an inter-chip transfer a successor waited on.
+  std::uint64_t dep_stall_on_inter_chip_cycles = 0;
 
   std::uint64_t total() const {
-    return compute_cycles + noc_cycles + dep_stall_on_compute_cycles +
-           dep_stall_on_comm_cycles;
+    return compute_cycles + noc_cycles + inter_chip_cycles +
+           dep_stall_on_compute_cycles + dep_stall_on_comm_cycles +
+           dep_stall_on_inter_chip_cycles;
   }
   friend bool operator==(const BlameBreakdown&,
                          const BlameBreakdown&) = default;
@@ -98,7 +107,9 @@ StreamAttribution attribute_stream(const sched::Schedule& schedule,
 
 /// Serial-timeline blame for one single-pass execution: compute cycles
 /// are compute blame, blocking communication is dependency stall on comm
-/// (the cores sit idle while the burst drains). Sums to total_cycles.
+/// (the cores sit idle while the burst drains; inter-chip transfer time is
+/// folded in — the serial pass has no resource overlap to distinguish).
+/// Sums to total_cycles.
 BlameBreakdown attribute_single_pass(const sim::InferenceResult& result);
 
 /// Per-request latency decomposition of an executed stream.

@@ -13,10 +13,14 @@ void write_blame(util::JsonWriter& w, const BlameBreakdown& b) {
   w.value(b.compute_cycles);
   w.key("noc_cycles");
   w.value(b.noc_cycles);
+  w.key("inter_chip_cycles");
+  w.value(b.inter_chip_cycles);
   w.key("dep_stall_on_compute_cycles");
   w.value(b.dep_stall_on_compute_cycles);
   w.key("dep_stall_on_comm_cycles");
   w.value(b.dep_stall_on_comm_cycles);
+  w.key("dep_stall_on_inter_chip_cycles");
+  w.value(b.dep_stall_on_inter_chip_cycles);
   w.key("total_cycles");
   w.value(b.total());
   w.end_object();

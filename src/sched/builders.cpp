@@ -499,6 +499,154 @@ Schedule lower(const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
   return schedule;
 }
 
+std::vector<std::size_t> partition_stages(const nn::NetSpec& spec,
+                                          std::size_t chips) {
+  std::vector<std::uint64_t> macs;
+  for (const nn::LayerAnalysis& a : nn::analyze(spec)) {
+    if (a.is_compute()) macs.push_back(a.macs);
+  }
+  const std::size_t n = macs.size();
+  LS_CHECK_MSG(chips >= 1, "partition_stages('%s'): zero chips",
+               spec.name.c_str());
+  LS_CHECK_MSG(n >= chips,
+               "partition_stages('%s'): %zu compute layers cannot fill %zu "
+               "pipeline stages",
+               spec.name.c_str(), n, chips);
+  std::uint64_t total = 0;
+  for (const std::uint64_t m : macs) total += m;
+
+  // Greedy prefix-sum cuts at total*(s+1)/chips, with a forced cut once
+  // the remaining layers only just cover the remaining stages — which
+  // guarantees every stage owns at least one layer.
+  std::vector<std::size_t> stages(n, 0);
+  std::size_t s = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    stages[i] = s;
+    acc += macs[i];
+    const std::size_t remaining_layers = n - 1 - i;
+    const std::size_t remaining_stages = chips - 1 - s;
+    if (s + 1 < chips && (remaining_layers == remaining_stages ||
+                          acc * chips >= total * (s + 1))) {
+      ++s;
+    }
+  }
+  return stages;
+}
+
+Schedule lower_pipelined(const nn::NetSpec& spec,
+                         const core::InferenceTraffic& traffic,
+                         const BuildOptions& opts, std::size_t chips,
+                         const core::SparsityProfile* sparsity,
+                         Strategy strategy) {
+  LS_CHECK_MSG(chips >= 1, "lower_pipelined('%s'): zero chips",
+               spec.name.c_str());
+  if (chips == 1) return lower(spec, traffic, opts, sparsity, strategy);
+  LS_CHECK_MSG(opts.placement.empty() || identity_placement(opts.placement),
+               "lower_pipelined('%s'): placement permutations are per-chip "
+               "concepts; use the identity on multi-chip schedules",
+               spec.name.c_str());
+
+  const std::vector<std::size_t> stages = partition_stages(spec, chips);
+  const std::size_t Pc = opts.cores;  // cores per chip
+
+  // Channel splits reduce-scatter on the *next* transition; a gateway
+  // link cannot carry that collective, so the last layer of every stage
+  // must not be channel-split.
+  if constexpr (check::kEnabled) {
+    for (std::size_t li = 0; li + 1 < stages.size(); ++li) {
+      LS_CHECK_MSG(stages[li] == stages[li + 1] || opts.layer_dims.empty() ||
+                       opts.layer_dims[li] != PartitionDim::kChannel,
+                   "lower_pipelined('%s'): compute layer %zu is "
+                   "channel-split but ends pipeline stage %zu",
+                   spec.name.c_str(), li, stages[li]);
+    }
+  }
+
+  // One per-chip lowering of the whole net, then stage-by-stage relocation
+  // onto the chip-major global core ranges.
+  const Schedule base = lower(spec, traffic, opts, sparsity, strategy);
+
+  std::vector<std::size_t> in_bytes_by_layer;
+  for (const nn::LayerAnalysis& a : nn::analyze(spec)) {
+    if (a.is_compute()) {
+      in_bytes_by_layer.push_back(a.in.numel() * opts.bytes_per_value);
+    }
+  }
+
+  Schedule out;
+  out.net_name = base.net_name;
+  out.strategy = base.strategy;
+  out.cores = Pc * chips;
+  out.chips = chips;
+
+  // Rebuild the linear event chain: every compute layer contributes an
+  // optional comm event plus its compute event, with the same dependency
+  // shape lower() emits (comm <- prev compute, compute <- comm + prev
+  // compute).
+  std::size_t li = 0;
+  const Event* pending_comm = nullptr;
+  for (const Event& e : base.events) {
+    if (e.kind == EventKind::kComm) {
+      pending_comm = &e;
+      continue;
+    }
+    const std::size_t s = stages[li];
+    const std::size_t core_base = s * Pc;
+    const bool have_prev = !out.events.empty();
+    const EventId prev_compute = have_prev ? out.events.size() - 1 : 0;
+    const bool boundary = li > 0 && stages[li - 1] != s;
+
+    Event comm;
+    comm.kind = EventKind::kComm;
+    comm.layer_name = e.layer_name;
+    comm.overlap_with_prev_compute = opts.overlap_comm;
+    comm.chip = s;
+    if (boundary) {
+      // Stage boundary: the whole consumer input crosses the package once,
+      // gateway to gateway, whatever burst the per-chip lowering had here.
+      comm.inter_chip = true;
+      const std::size_t bytes = in_bytes_by_layer[li];
+      comm.messages.push_back({(s - 1) * Pc, s * Pc, bytes, 0});
+      comm.traffic_bytes = bytes;
+    } else if (pending_comm != nullptr) {
+      // Intra-stage transition: the per-chip mesh burst, relocated onto
+      // this stage's chip.
+      comm.messages.reserve(pending_comm->messages.size());
+      for (const noc::Message& m : pending_comm->messages) {
+        comm.messages.push_back(
+            {core_base + m.src, core_base + m.dst, m.bytes, 0});
+      }
+      comm.traffic_bytes = pending_comm->traffic_bytes;
+    }
+    const bool have_comm = !comm.messages.empty();
+    if (have_comm) {
+      if (have_prev) comm.deps.push_back(prev_compute);
+      out.events.push_back(std::move(comm));
+    }
+
+    Event compute;
+    compute.kind = EventKind::kCompute;
+    compute.layer_name = e.layer_name;
+    compute.partition_dim = e.partition_dim;
+    compute.macs_discounted = e.macs_discounted;
+    compute.chip = s;
+    if (have_comm) compute.deps.push_back(out.events.size() - 1);
+    if (have_prev) compute.deps.push_back(prev_compute);
+    compute.per_core_work.assign(out.cores, accel::LayerPartitionWork{});
+    for (std::size_t c = 0; c < Pc; ++c) {
+      compute.per_core_work[core_base + c] = e.per_core_work[c];
+    }
+    out.events.push_back(std::move(compute));
+
+    pending_comm = nullptr;
+    ++li;
+  }
+
+  validate_against(out, spec);
+  return out;
+}
+
 Schedule build_traditional(const nn::NetSpec& spec,
                            const core::InferenceTraffic& dense_traffic,
                            const BuildOptions& opts) {

@@ -100,4 +100,34 @@ Schedule build_hybrid(const nn::NetSpec& grouped_spec,
                       const BuildOptions& opts,
                       const core::SparsityProfile* sparsity);
 
+// ---------------------------------------------------------------------------
+// Multi-chip stage pipelining (DESIGN.md §4k).
+
+/// Stage-partitions the net's compute layers across `chips` pipeline
+/// stages: returns one stage id per compute layer (in layer order),
+/// contiguous and non-decreasing with every stage non-empty, balanced by
+/// MAC prefix sums so stages carry roughly equal compute. Requires at
+/// least `chips` compute layers (invariant class 9 in checked builds).
+std::vector<std::size_t> partition_stages(const nn::NetSpec& spec,
+                                          std::size_t chips);
+
+/// Multi-chip lowering: runs the shared `lower()` at the per-chip core
+/// count (opts.cores = cores per chip; `traffic` must be the per-chip-mesh
+/// analysis at that count), then maps each pipeline stage onto its chip's
+/// chip-major core range. Intra-stage transitions keep their mesh bursts,
+/// localized to the owning chip; stage-boundary transitions are replaced
+/// by a single gateway-to-gateway inter-chip transfer of the consumer
+/// layer's unique input activations (the serial link carries each byte
+/// once — no per-core fan-out off-die). The result spans
+/// chips * opts.cores cores with Schedule::chips = chips; chips == 1
+/// degenerates to `lower()` exactly. opts.placement must be empty or the
+/// identity (placement permutations are per-chip-mesh concepts), and a
+/// channel split may not sit on the last layer of any stage (its
+/// reduce-scatter cannot ride a gateway link).
+Schedule lower_pipelined(const nn::NetSpec& spec,
+                         const core::InferenceTraffic& traffic,
+                         const BuildOptions& opts, std::size_t chips,
+                         const core::SparsityProfile* sparsity = nullptr,
+                         Strategy strategy = Strategy::kTraditional);
+
 }  // namespace ls::sched

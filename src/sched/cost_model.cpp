@@ -83,32 +83,65 @@ std::uint64_t estimate_burst(const noc::MeshNocSimulator& sim,
 
 }  // namespace
 
+std::uint64_t inter_chip_transfer_cycles(const noc::InterChipLinkClass& link,
+                                         std::uint64_t bytes) {
+  const double bw =
+      link.bytes_per_cycle * static_cast<double>(link.links_per_boundary);
+  LS_CHECK_MSG(bw > 0.0, "inter-chip link has zero bandwidth");
+  return link.latency_cycles +
+         static_cast<std::uint64_t>(
+             std::ceil(static_cast<double>(bytes) / bw));
+}
+
 CycleEstimate estimate_cycles(const Schedule& schedule,
                               const CostModelConfig& cfg) {
   LS_CHECK_MSG(schedule.cores > 0, "estimate_cycles: schedule '%s' has no "
                "cores", schedule.net_name.c_str());
-  const noc::MeshTopology topo =
-      noc::MeshTopology::for_cores(schedule.cores);
+  LS_CHECK_MSG(schedule.chips > 0 && schedule.cores % schedule.chips == 0,
+               "estimate_cycles: schedule '%s' has %zu chips over %zu cores",
+               schedule.net_name.c_str(), schedule.chips, schedule.cores);
+  // Bursts ride each chip's own mesh; on a single-chip schedule this is
+  // exactly the historical whole-machine mesh.
+  const std::size_t cores_per_chip = schedule.cores / schedule.chips;
+  const noc::MeshTopology topo = noc::MeshTopology::for_cores(cores_per_chip);
   const noc::MeshNocSimulator sim(topo, cfg.noc);
   // Same per-core DRAM-share construction as CmpSystem: the compute half
-  // of the estimate is bit-identical to the executor's numbers.
+  // of the estimate is bit-identical to the executor's numbers. Every chip
+  // has its own DRAM channel, shared by its cores.
   accel::AccelConfig per_core = cfg.accel;
   per_core.dram_bytes_per_cycle =
-      cfg.chip_dram_bytes_per_cycle / static_cast<double>(schedule.cores);
+      cfg.chip_dram_bytes_per_cycle / static_cast<double>(cores_per_chip);
   const accel::CoreModel core_model(per_core);
 
   CycleEstimate est;
   est.events.resize(schedule.events.size());
   std::uint64_t prev_compute = 0;
+  std::vector<noc::Message> local;
   for (std::size_t i = 0; i < schedule.events.size(); ++i) {
     const Event& e = schedule.events[i];
     if (e.kind == EventKind::kComm) {
       // prev_compute still holds the *previous* layer's compute here — the
       // consumer compute event that follows is what updates it — so the
       // overlap arithmetic matches CmpSystem::execute exactly.
-      const std::uint64_t raw = static_cast<std::uint64_t>(
-          static_cast<double>(estimate_burst(sim, e.messages)) *
-          cfg.noc_clock_divider);
+      std::uint64_t raw = 0;
+      if (e.inter_chip) {
+        raw = inter_chip_transfer_cycles(cfg.inter_chip, e.traffic_bytes);
+      } else if (schedule.chips > 1) {
+        // Localize the burst onto its owning chip's mesh coordinates.
+        const std::size_t base = e.chip * cores_per_chip;
+        local.clear();
+        local.reserve(e.messages.size());
+        for (const noc::Message& m : e.messages) {
+          local.push_back({m.src - base, m.dst - base, m.bytes, 0});
+        }
+        raw = static_cast<std::uint64_t>(
+            static_cast<double>(estimate_burst(sim, local)) *
+            cfg.noc_clock_divider);
+      } else {
+        raw = static_cast<std::uint64_t>(
+            static_cast<double>(estimate_burst(sim, e.messages)) *
+            cfg.noc_clock_divider);
+      }
       std::uint64_t blocking = raw;
       if (e.overlap_with_prev_compute) {
         blocking = raw > prev_compute ? raw - prev_compute : 0;

@@ -26,6 +26,7 @@
 
 #include "accel/core_model.hpp"
 #include "noc/simulator.hpp"
+#include "noc/topology.hpp"
 #include "sched/schedule.hpp"
 
 namespace ls::sched {
@@ -35,12 +36,25 @@ namespace ls::sched {
 struct CostModelConfig {
   accel::AccelConfig accel{};
   /// Chip-level DRAM bandwidth in bytes per core cycle, divided across the
-  /// P cores exactly like CmpSystem's constructor does.
+  /// cores of one chip exactly like CmpSystem's constructor does (each
+  /// chip of a multi-chip package has its own channel).
   double chip_dram_bytes_per_cycle = 12.8;
   noc::NocConfig noc{};
-  /// Core cycles per NoC cycle (scales every comm estimate).
+  /// Core cycles per NoC cycle (scales every on-chip comm estimate).
   double noc_clock_divider = 1.0;
+  /// Width/latency class of the package's chip-boundary links (multi-chip
+  /// schedules only). Inter-chip transfers are priced in core cycles
+  /// directly — the serial link has its own clock domain, so the NoC
+  /// divider does not apply to it.
+  noc::InterChipLinkClass inter_chip{};
 };
+
+/// Analytic core-cycle price of one gateway-to-gateway transfer: the fixed
+/// crossing latency plus serialization over the boundary's parallel lanes.
+/// Shared by the cost model, the executor, and run_stream so the three
+/// views of an inter-chip event always agree.
+std::uint64_t inter_chip_transfer_cycles(const noc::InterChipLinkClass& link,
+                                         std::uint64_t bytes);
 
 /// Per-event view of the estimate, parallel to Schedule::events.
 struct EventEstimate {

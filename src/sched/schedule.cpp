@@ -80,6 +80,9 @@ void validate(const Schedule& schedule) {
   if constexpr (check::kEnabled) {
     LS_CHECK_MSG(schedule.cores > 0, "schedule '%s' has zero cores",
                  schedule.net_name.c_str());
+    LS_CHECK_MSG(schedule.chips > 0 && schedule.cores % schedule.chips == 0,
+                 "schedule '%s': %zu chips do not evenly divide %zu cores",
+                 schedule.net_name.c_str(), schedule.chips, schedule.cores);
     if (!schedule.placement.empty()) {
       // Invariant class 9: a recorded placement must be a bijection of
       // 0..cores-1 — anything else silently drops or duplicates partitions.
@@ -102,6 +105,19 @@ void validate(const Schedule& schedule) {
       LS_CHECK_MSG(!e.layer_name.empty(),
                    "schedule '%s': event %zu has no layer name",
                    schedule.net_name.c_str(), id);
+      LS_CHECK_MSG(e.chip < schedule.chips,
+                   "schedule '%s': event %zu ('%s') claims chip %zu on a "
+                   "%zu-chip package",
+                   schedule.net_name.c_str(), id, e.layer_name.c_str(),
+                   e.chip, schedule.chips);
+      LS_CHECK_MSG(!e.inter_chip || e.kind == EventKind::kComm,
+                   "schedule '%s': event %zu ('%s') is inter-chip but not "
+                   "a comm event",
+                   schedule.net_name.c_str(), id, e.layer_name.c_str());
+      LS_CHECK_MSG(!e.inter_chip || e.chip > 0,
+                   "schedule '%s': inter-chip event %zu ('%s') enters chip "
+                   "0 — there is no boundary before the first chip",
+                   schedule.net_name.c_str(), id, e.layer_name.c_str());
       for (const EventId dep : e.deps) {
         LS_CHECK_MSG(dep < id,
                      "schedule '%s': event %zu ('%s') depends on %zu — deps "
@@ -185,6 +201,11 @@ void to_json(const Schedule& schedule, util::JsonWriter& w,
   w.key("net").value(schedule.net_name);
   w.key("strategy").value(to_string(schedule.strategy));
   w.key("cores").value(static_cast<std::uint64_t>(schedule.cores));
+  // Single-chip dumps stay byte-identical to the pre-hierarchy format:
+  // chip fields only appear once a schedule actually spans chips.
+  if (schedule.chips > 1) {
+    w.key("chips").value(static_cast<std::uint64_t>(schedule.chips));
+  }
   if (!schedule.placement.empty()) {
     w.key("placement");
     w.begin_array();
@@ -208,6 +229,12 @@ void to_json(const Schedule& schedule, util::JsonWriter& w,
     w.key("id").value(static_cast<std::uint64_t>(id));
     w.key("kind").value(to_string(e.kind));
     w.key("layer").value(e.layer_name);
+    if (schedule.chips > 1) {
+      w.key("chip").value(static_cast<std::uint64_t>(e.chip));
+      if (e.kind == EventKind::kComm) {
+        w.key("inter_chip").value(e.inter_chip);
+      }
+    }
     if (estimate != nullptr && id < estimate->events.size()) {
       // The analytic scorer's view of this event: what it contributes to
       // the serial timeline (after overlap) and, for comm events, the

@@ -83,6 +83,16 @@ struct Event {
   std::string layer_name;
   /// Events that must complete first (always earlier in the list).
   std::vector<EventId> deps;
+  /// Pipeline stage / chip this event executes on (multi-chip schedules,
+  /// DESIGN.md §4k). Always 0 on single-chip schedules. A compute event
+  /// runs on chip `chip`'s core gang; an on-chip comm event rides chip
+  /// `chip`'s mesh; an inter-chip comm event crosses the boundary *into*
+  /// chip `chip` (from chip-1's gateway to chip's gateway).
+  std::size_t chip = 0;
+  /// Comm events only: this burst crosses a chip boundary over the
+  /// package's InterChipLinkClass serial link instead of a mesh. Its one
+  /// message must run gateway(chip-1) -> gateway(chip).
+  bool inter_chip = false;
 
   // --- kComm payload ------------------------------------------------------
   /// The layer-transition burst, in injection order (order matters to the
@@ -111,6 +121,10 @@ struct Schedule {
   std::string net_name;
   Strategy strategy = Strategy::kTraditional;
   std::size_t cores = 0;
+  /// Chips the schedule spans (cores are chip-major: chip s owns cores
+  /// [s*cores/chips, (s+1)*cores/chips)). 1 = the flat single-chip case,
+  /// whose schedules are byte-identical to the pre-hierarchy IR.
+  std::size_t chips = 1;
   /// Partition -> physical-core permutation the lowering applied (empty =
   /// identity). Events already carry physical core ids; this records the
   /// mapping for dumps and for invariant class 9 (bijectivity).

@@ -57,6 +57,8 @@ const char* to_string(VerifyCode code) {
       return "capacity-overflow";
     case VerifyCode::kNondeterministicReduction:
       return "nondeterministic-reduction";
+    case VerifyCode::kChipBoundaryViolation:
+      return "chip-boundary-violation";
   }
   return "?";
 }
@@ -91,6 +93,20 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
   }
   const std::size_t P = schedule.cores;
 
+  // --- Chip hierarchy shape ----------------------------------------------
+  if (schedule.chips == 0 || P % schedule.chips != 0) {
+    out.add(VerifyCode::kChipBoundaryViolation, kNoEvent,
+            "%zu chips do not evenly divide %zu cores", schedule.chips, P);
+    return report;  // the per-chip core ranges below would be meaningless
+  }
+  const std::size_t chips = schedule.chips;
+  const std::size_t cpc = P / chips;  // cores per chip (chip-major ranges)
+  if (chips > 1 && !schedule.placement.empty()) {
+    out.add(VerifyCode::kChipBoundaryViolation, kNoEvent,
+            "multi-chip schedules use the identity placement; permutations "
+            "are per-chip-mesh concepts");
+  }
+
   // --- Placement bijectivity and the inverse map -------------------------
   // inv[core] = partition the lowering mapped onto `core`; identity when no
   // permutation was recorded. The burst-order check runs in partition
@@ -122,17 +138,28 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
     }
   }
 
-  // The mesh every route must stay on. for_cores only throws on zero
-  // cores, which was rejected above.
-  const noc::MeshTopology mesh = noc::MeshTopology::for_cores(P);
+  // The mesh every on-chip route must stay on: each chip's own mesh —
+  // which on a single-chip schedule is exactly the historical whole-machine
+  // mesh. for_cores only throws on zero cores (rejected above) and on 1xN
+  // chain counts, which were never legal machine shapes here either.
+  const noc::MeshTopology mesh = noc::MeshTopology::for_cores(cpc);
 
   // Walk events once, tracking the most recent compute event (the producer
-  // a comm burst drains from).
+  // a comm burst drains from) and the pipeline-stage chip sequence.
   const Event* producer = nullptr;
   const Event* last_compute = nullptr;
   EventId last_compute_id = kNoEvent;
+  std::size_t last_compute_chip = 0;
+  std::vector<bool> chip_seen(chips, false);
   for (EventId id = 0; id < schedule.events.size(); ++id) {
     const Event& e = schedule.events[id];
+
+    if (e.chip >= chips) {
+      out.add(VerifyCode::kChipBoundaryViolation, id,
+              "event '%s' claims chip %zu on a %zu-chip package",
+              e.layer_name.c_str(), e.chip, chips);
+      continue;  // every chip-range check below would misfire
+    }
 
     if (e.layer_name.empty()) {
       out.add(VerifyCode::kUnpairedEvent, id, "event has no layer name");
@@ -170,6 +197,48 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
                 "from",
                 e.layer_name.c_str());
       }
+      if (consumer != nullptr && consumer->chip != e.chip) {
+        out.add(VerifyCode::kChipBoundaryViolation, id,
+                "comm event '%s' runs on chip %zu but feeds a compute "
+                "event on chip %zu",
+                e.layer_name.c_str(), e.chip, consumer->chip);
+      }
+
+      if (e.inter_chip) {
+        // An inter-chip transfer is a single gateway-to-gateway message
+        // entering chip e.chip from its predecessor: bytes cross chip
+        // boundaries only at gateway links.
+        if (e.chip == 0) {
+          out.add(VerifyCode::kChipBoundaryViolation, id,
+                  "inter-chip event '%s' enters chip 0 — there is no "
+                  "boundary before the first chip",
+                  e.layer_name.c_str());
+        } else if (e.messages.size() != 1) {
+          out.add(VerifyCode::kChipBoundaryViolation, id,
+                  "inter-chip event '%s' carries %zu messages — the "
+                  "serial link carries one gateway-to-gateway transfer",
+                  e.layer_name.c_str(), e.messages.size());
+        } else {
+          const noc::Message& msg = e.messages.front();
+          const std::size_t want_src = (e.chip - 1) * cpc;
+          const std::size_t want_dst = e.chip * cpc;
+          if (msg.src != want_src || msg.dst != want_dst) {
+            out.add(VerifyCode::kChipBoundaryViolation, id,
+                    "inter-chip message %zu -> %zu is not the gateway "
+                    "link %zu -> %zu",
+                    msg.src, msg.dst, want_src, want_dst);
+          }
+        }
+        std::size_t ic_bytes = 0;
+        for (const noc::Message& msg : e.messages) ic_bytes += msg.bytes;
+        if (ic_bytes != e.traffic_bytes) {
+          out.add(VerifyCode::kByteTotalMismatch, id,
+                  "comm event '%s' declares %zu bytes but its messages "
+                  "carry %zu",
+                  e.layer_name.c_str(), e.traffic_bytes, ic_bytes);
+        }
+        continue;  // mesh-route/orphan/order checks are on-chip concepts
+      }
 
       // After a channel-split producer the burst carries the reduce-scatter
       // back to the kernel-wise layout: its endpoints are kernel-range
@@ -186,13 +255,28 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
       bool prev_on_mesh = false;
       std::size_t prev_src = 0;
       std::size_t prev_dst = 0;
+      const std::size_t base = e.chip * cpc;
       for (std::size_t m = 0; m < e.messages.size(); ++m) {
         const noc::Message& msg = e.messages[m];
         bytes += msg.bytes;
+        // On-chip bursts stay inside their chip's core range; the route
+        // check below then runs in chip-local coordinates (base == 0 on
+        // single-chip schedules, where this is the historical check).
+        if (schedule.chips > 1 &&
+            (msg.src < base || msg.src >= base + cpc || msg.dst < base ||
+             msg.dst >= base + cpc)) {
+          out.add(VerifyCode::kChipBoundaryViolation, id,
+                  "message %zu (%zu -> %zu) leaves chip %zu's core range "
+                  "[%zu, %zu) without an inter-chip event",
+                  m, msg.src, msg.dst, e.chip, base, base + cpc);
+          prev_on_mesh = false;
+          continue;
+        }
         // Route validity: the XY/YX dimension-ordered path exists iff both
         // endpoints map to mesh coordinates — DOR hops between in-bounds
         // coordinates never leave the rectangle.
-        if (msg.src >= mesh.num_cores() || msg.dst >= mesh.num_cores()) {
+        if (msg.src - base >= mesh.num_cores() ||
+            msg.dst - base >= mesh.num_cores()) {
           out.add(VerifyCode::kOffMeshRoute, id,
                   "message %zu (%zu -> %zu) cannot be %s-routed on the "
                   "%zux%zu mesh",
@@ -272,6 +356,28 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
           }
         }
       }
+      if (schedule.chips > 1) {
+        const std::size_t base = e.chip * cpc;
+        for (std::size_t c = 0; c < e.per_core_work.size(); ++c) {
+          if (!idle(e.per_core_work[c]) && (c < base || c >= base + cpc)) {
+            out.add(VerifyCode::kChipBoundaryViolation, id,
+                    "compute event '%s' assigns work to core %zu outside "
+                    "chip %zu's core range [%zu, %zu)",
+                    e.layer_name.c_str(), c, e.chip, base, base + cpc);
+            break;
+          }
+        }
+      }
+      // Stage/chip bijectivity, half 1: the compute sequence visits chips
+      // in non-decreasing order (stages are contiguous layer runs).
+      if (e.chip < last_compute_chip) {
+        out.add(VerifyCode::kChipBoundaryViolation, id,
+                "compute event '%s' runs on chip %zu after chip %zu — "
+                "pipeline stages must map to non-decreasing chip ids",
+                e.layer_name.c_str(), e.chip, last_compute_chip);
+      }
+      chip_seen[e.chip] = true;
+      last_compute_chip = e.chip;
       producer = &e;
       last_compute = &e;
       last_compute_id = id;
@@ -283,6 +389,18 @@ VerifyReport verify(const Schedule& schedule, const VerifyOptions& options) {
             "last compute event '%s' is channel-split — its partial-sum "
             "reduce-scatter has no following transition to ride on",
             last_compute->layer_name.c_str());
+  }
+  // Stage/chip bijectivity, half 2: the stage map is onto — every chip of
+  // a multi-chip package owns at least one compute event.
+  if (chips > 1) {
+    for (std::size_t s = 0; s < chips; ++s) {
+      if (!chip_seen[s]) {
+        out.add(VerifyCode::kChipBoundaryViolation, kNoEvent,
+                "no pipeline stage maps to chip %zu — every chip must own "
+                "at least one compute layer",
+                s);
+      }
+    }
   }
   return report;
 }
@@ -361,6 +479,18 @@ EventId corrupt(Schedule* s, Corruption kind) {
                    "corrupt(): burst too small to reorder");
       std::swap(msgs.front(), msgs.back());
       return id;
+    }
+    case Corruption::kChipBoundaryViolation: {
+      // Bend the first inter-chip transfer off its destination gateway
+      // (onto the gateway's mesh neighbour on the same chip).
+      for (EventId id = 0; id < s->events.size(); ++id) {
+        Event& e = s->events[id];
+        if (e.kind != EventKind::kComm || !e.inter_chip) continue;
+        e.messages.front().dst += 1;
+        return id;
+      }
+      LS_CHECK_MSG(false, "corrupt(): schedule has no inter-chip event");
+      return kNoEvent;
     }
   }
   return kNoEvent;

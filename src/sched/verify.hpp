@@ -38,7 +38,13 @@
 //     emission order every builder uses; duplicates or inversions would
 //     make the channel-split reduce-scatter's accumulation order
 //     ambiguous. A channel-split compute event must also not be last (its
-//     reduce-scatter rides on the next layer transition).
+//     reduce-scatter rides on the next layer transition),
+//   * chip hierarchy    — multi-chip schedules only: compute chip ids form
+//     a non-decreasing onto map of pipeline stages over 0..chips-1, work
+//     and on-chip bursts stay inside their chip's chip-major core range,
+//     routes are checked on the per-chip mesh, and every inter-chip
+//     transfer is a single gateway(chip-1) -> gateway(chip) message —
+//     bytes cross chip boundaries only at gateway links.
 //
 // Violations are collected into a VerifyReport — code, event id, message —
 // never thrown or aborted, so callers decide: CmpSystem::execute rejects
@@ -76,6 +82,11 @@ enum class VerifyCode {
   kCapacityOverflow,
   // Burst ordering / reduce-scatter determinism precondition broken.
   kNondeterministicReduction,
+  // Multi-chip stage/chip structure broken: chip ids not a non-decreasing
+  // onto map of pipeline stages, work or on-chip bursts leaking across a
+  // chip's core range, or an inter-chip transfer not shaped
+  // gateway(chip-1) -> gateway(chip).
+  kChipBoundaryViolation,
 };
 
 /// Stable kebab-case rule name ("cyclic-dependence", ...), used in
@@ -127,6 +138,9 @@ enum class Corruption {
   kOffMeshRoute,
   kCapacityOverflow,
   kNondeterministicReduction,
+  /// Multi-chip schedules only: bends an inter-chip message off its
+  /// destination gateway.
+  kChipBoundaryViolation,
 };
 
 /// Seeds exactly one `kind` corruption into an otherwise-valid schedule

@@ -13,6 +13,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/builders.hpp"
+#include "sched/cost_model.hpp"
 #include "sched/verify.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -66,14 +67,28 @@ void name_sim_tracks(std::size_t P) {
   tr.set_virtual_thread_name(obs::kSimPid, P, "noc");
 }
 
+// The mesh every schedule event runs on is one chip's; chips must tile the
+// core count exactly (chip-major core numbering has no remainder chip).
+std::size_t cores_per_chip_checked(const SystemConfig& cfg) {
+  if (cfg.chips == 0 || cfg.cores % cfg.chips != 0) {
+    throw std::invalid_argument(
+        "CmpSystem: " + std::to_string(cfg.chips) +
+        " chips cannot tile " + std::to_string(cfg.cores) + " cores");
+  }
+  return cfg.cores / cfg.chips;
+}
+
 }  // namespace
 
 CmpSystem::CmpSystem(const SystemConfig& cfg)
-    : cfg_(cfg), topo_(noc::MeshTopology::for_cores(cfg.cores)) {
-  // Each streaming core gets an equal share of the memory channel.
+    : cfg_(cfg),
+      topo_(noc::MeshTopology::for_cores(cores_per_chip_checked(cfg))),
+      package_(topo_, cfg.chips, cfg.inter_chip) {
+  // Each streaming core gets an equal share of its chip's memory channel
+  // (every chip has its own — the whole machine's share when chips == 1).
   accel::AccelConfig per_core = cfg_.accel;
   per_core.dram_bytes_per_cycle =
-      cfg_.chip_dram_bytes_per_cycle / static_cast<double>(cfg_.cores);
+      cfg_.chip_dram_bytes_per_cycle / static_cast<double>(topo_.num_cores());
   core_model_ = accel::CoreModel(per_core);
 }
 
@@ -81,13 +96,18 @@ sched::Schedule CmpSystem::build_schedule(
     const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
     const core::SparsityProfile* sparsity) const {
   sched::BuildOptions opts;
-  opts.cores = cfg_.cores;
+  opts.cores = topo_.num_cores();  // per chip == cfg_.cores when chips == 1
   opts.bytes_per_value = cfg_.bytes_per_value;
   opts.overlap_comm = cfg_.overlap_comm;
   opts.sparse_cycle_model = cfg_.sparse_cycle_model;
-  return sched::lower(spec, traffic, opts, sparsity,
-                      sparsity != nullptr ? sched::Strategy::kSparsified
-                                          : sched::Strategy::kTraditional);
+  const sched::Strategy strategy = sparsity != nullptr
+                                       ? sched::Strategy::kSparsified
+                                       : sched::Strategy::kTraditional;
+  if (cfg_.chips > 1) {
+    return sched::lower_pipelined(spec, traffic, opts, cfg_.chips, sparsity,
+                                  strategy);
+  }
+  return sched::lower(spec, traffic, opts, sparsity, strategy);
 }
 
 InferenceResult CmpSystem::run_inference(
@@ -111,6 +131,12 @@ InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
         "schedule '" + schedule.net_name + "' targets " +
         std::to_string(schedule.cores) + " cores but this system has " +
         std::to_string(cfg_.cores));
+  }
+  if (schedule.chips != cfg_.chips) {
+    throw std::invalid_argument(
+        "schedule '" + schedule.net_name + "' targets " +
+        std::to_string(schedule.chips) + " chips but this system has " +
+        std::to_string(cfg_.chips));
   }
   sched::VerifyOptions vopts;
   vopts.accel = core_model_.config();
@@ -138,15 +164,36 @@ InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
   // through the memoizing burst cache unless disabled), then assemble the
   // timeline serially — the overlap ablation needs the previous layer's
   // compute time.
+  // Inter-chip transfers never touch the flit simulator — they are priced
+  // analytically on the serial link during assembly below. Multi-chip
+  // on-chip bursts are localized onto their chip's mesh coordinates first;
+  // single-chip schedules pass the event's message vector through
+  // untouched, so burst-cache keys (and stats) stay bit-identical to the
+  // flat machine.
   std::vector<noc::NocStats> burst_stats(schedule.events.size());
+  std::vector<std::vector<noc::Message>> localized;
+  if (schedule.chips > 1) {
+    localized.resize(schedule.events.size());
+    const std::size_t cpc = topo_.num_cores();
+    for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+      const sched::Event& e = schedule.events[i];
+      if (e.kind != sched::EventKind::kComm || e.inter_chip) continue;
+      const std::size_t base = e.chip * cpc;
+      localized[i].reserve(e.messages.size());
+      for (const noc::Message& m : e.messages) {
+        localized[i].push_back({m.src - base, m.dst - base, m.bytes, 0});
+      }
+    }
+  }
   util::parallel_for(0, schedule.events.size(), [&](std::size_t i) {
     const sched::Event& e = schedule.events[i];
-    if (e.kind != sched::EventKind::kComm) return;
+    if (e.kind != sched::EventKind::kComm || e.inter_chip) return;
+    const auto& msgs = schedule.chips > 1 ? localized[i] : e.messages;
     burst_stats[i] =
         cfg_.noc_result_cache
-            ? noc::NocRunCache::instance().run(noc_sim, e.messages,
+            ? noc::NocRunCache::instance().run(noc_sim, msgs,
                                                200'000'000ull, stream_epoch)
-            : noc_sim.run(e.messages);
+            : noc_sim.run(msgs);
   });
 
   InferenceResult result;
@@ -167,7 +214,16 @@ InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
     tl.layer_name = e.layer_name;
 
     // --- Communication into this layer --------------------------------
-    if (pending_comm != nullptr) {
+    if (pending_comm != nullptr && pending_comm->inter_chip) {
+      // Gateway-to-gateway transfer: priced analytically on the boundary
+      // link (its own clock domain — the NoC divider does not apply) with
+      // per-byte wire energy; no flit simulation.
+      tl.comm_cycles = sched::inter_chip_transfer_cycles(
+          cfg_.inter_chip, pending_comm->traffic_bytes);
+      tl.traffic_bytes = pending_comm->traffic_bytes;
+      tl.noc_energy_pj = static_cast<double>(pending_comm->traffic_bytes) *
+                         cfg_.inter_chip.energy_pj_per_byte;
+    } else if (pending_comm != nullptr) {
       // The flit-level simulation and the schedule's burst must account
       // for the same traffic: the simulator's flit count is exactly the
       // packetization of the comm event's messages (validate() already
@@ -194,7 +250,9 @@ InferenceResult CmpSystem::execute(const sched::Schedule& schedule,
           cfg_.noc_clock_divider);
       tl.traffic_bytes = pending_comm->traffic_bytes;
       tl.noc_energy_pj =
-          noc::energy_from_stats(tl.noc_stats, cfg_.noc_energy, P).total_pj();
+          noc::energy_from_stats(tl.noc_stats, cfg_.noc_energy,
+                                 topo_.num_cores())  // routers on one chip
+              .total_pj();
     }
     tl.blocking_comm_cycles = tl.comm_cycles;
     if (pending_comm != nullptr && pending_comm->overlap_with_prev_compute) {
@@ -278,19 +336,25 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
     }
   }
 
-  // Two-resource list scheduling: the core gang runs one compute event at a
-  // time, the NoC one burst at a time. Work-conserving greedy: always start
-  // the pending event with the earliest feasible start (deps done and its
-  // resource free); lower request index breaks ties, so older requests
-  // drain first. Each request has exactly one pending event (its events
-  // chain), so the candidate set is tiny.
+  // Per-chip-resource list scheduling: each chip's core gang runs one
+  // compute event at a time, each chip's NoC one burst at a time, and each
+  // chip boundary's serial link one inter-chip transfer at a time (one
+  // gang + one NoC total on a single-chip system — the historical
+  // two-resource model, decision for decision). Work-conserving greedy:
+  // always start the pending event with the earliest feasible start (deps
+  // done and its resource free); lower request index breaks ties, so older
+  // requests drain first. Each request has exactly one pending event (its
+  // events chain), so the candidate set is tiny.
+  const std::size_t C = schedule.chips;
   std::vector<std::vector<std::uint64_t>> end(
       requests, std::vector<std::uint64_t>(E, 0));
   std::vector<std::size_t> next(requests, 0);
-  std::uint64_t cores_free = 0;
-  std::uint64_t noc_free = 0;
+  std::vector<std::uint64_t> gang_free(C, 0);
+  std::vector<std::uint64_t> noc_free(C, 0);
+  std::vector<std::uint64_t> link_free(C > 1 ? C - 1 : 0, 0);
   std::uint64_t core_busy = 0;
   std::uint64_t noc_busy = 0;
+  std::uint64_t link_busy = 0;
   std::uint64_t makespan = 0;
   // Per-core compute spans for the stream trace (recomputed once per
   // event; the executor does not retain them).
@@ -326,7 +390,9 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
         ready = std::max(ready, end[r][dep]);
       }
       const std::uint64_t res_free =
-          e.kind == sched::EventKind::kComm ? noc_free : cores_free;
+          e.kind == sched::EventKind::kComm
+              ? (e.inter_chip ? link_free[e.chip - 1] : noc_free[e.chip])
+              : gang_free[e.chip];
       const std::uint64_t start = std::max(ready, res_free);
       if (start < best_start) {
         best_start = start;
@@ -347,8 +413,13 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
                                       obs::kSimPid);
     }
     if (e.kind == sched::EventKind::kComm) {
-      noc_free = finish;
-      noc_busy += dur[id];
+      if (e.inter_chip) {
+        link_free[e.chip - 1] = finish;
+        link_busy += dur[id];
+      } else {
+        noc_free[e.chip] = finish;
+        noc_busy += dur[id];
+      }
       if (tracing && dur[id] > 0) {
         char args[64];
         std::snprintf(args, sizeof(args), "{\"request\":%zu}", best_r);
@@ -359,7 +430,7 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
         pending_flow[best_r] = {true, best_start, finish};
       }
     } else {
-      cores_free = finish;
+      gang_free[e.chip] = finish;
       core_busy += dur[id];
       if (tracing) {
         char args[64];
@@ -412,10 +483,20 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
   if (makespan > 0) {
     out.throughput_per_mcycle =
         static_cast<double>(requests) * 1e6 / static_cast<double>(makespan);
-    out.compute_occupancy =
-        static_cast<double>(core_busy) / static_cast<double>(makespan);
-    out.noc_occupancy =
-        static_cast<double>(noc_busy) / static_cast<double>(makespan);
+    // Multi-chip occupancies average over the C gangs / C NoCs / C-1
+    // boundary links; C == 1 reduces to the historical single-resource
+    // busy fractions exactly.
+    out.compute_occupancy = static_cast<double>(core_busy) /
+                            (static_cast<double>(makespan) *
+                             static_cast<double>(C));
+    out.noc_occupancy = static_cast<double>(noc_busy) /
+                        (static_cast<double>(makespan) *
+                         static_cast<double>(C));
+    if (C > 1) {
+      out.inter_chip_occupancy = static_cast<double>(link_busy) /
+                                 (static_cast<double>(makespan) *
+                                  static_cast<double>(C - 1));
+    }
     // Back-to-back reference: n serialized non-overlapped passes (full
     // drain charged per layer, which is what core_busy + noc_busy sum to
     // for one request).
@@ -436,6 +517,7 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
   reg.counter("stream.makespan_cycles").inc(makespan);
   reg.counter("stream.core_busy_cycles").inc(core_busy);
   reg.counter("stream.noc_busy_cycles").inc(noc_busy);
+  reg.counter("stream.inter_chip_busy_cycles").inc(link_busy);
   reg.gauge("stream.last_requests").set(static_cast<double>(requests));
   reg.gauge("stream.last_makespan_cycles").set(static_cast<double>(makespan));
   reg.gauge("stream.last_core_busy_cycles")
@@ -444,6 +526,7 @@ StreamResult CmpSystem::run_stream(const sched::Schedule& schedule,
   reg.gauge("stream.throughput_per_mcycle").set(out.throughput_per_mcycle);
   reg.gauge("stream.compute_occupancy").set(out.compute_occupancy);
   reg.gauge("stream.noc_occupancy").set(out.noc_occupancy);
+  reg.gauge("stream.inter_chip_occupancy").set(out.inter_chip_occupancy);
   if (!out.request_finish_cycle.empty()) {
     std::vector<double> latencies;
     latencies.reserve(requests);

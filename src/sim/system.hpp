@@ -32,13 +32,22 @@
 #include "core/traffic.hpp"
 #include "noc/energy.hpp"
 #include "noc/simulator.hpp"
+#include "noc/topology.hpp"
 #include "nn/layer_spec.hpp"
 #include "sched/schedule.hpp"
 
 namespace ls::sim {
 
 struct SystemConfig {
-  std::size_t cores = 16;
+  std::size_t cores = 16;  ///< total cores across all chips
+  /// Chips in the package (DESIGN.md §4k). Each chip is its own
+  /// cores/chips-core mesh with its own DRAM channel; chips are joined by
+  /// `inter_chip` serial links and execute pipeline stages of a multi-chip
+  /// schedule. 1 = the flat single-chip machine, bit-identical to the
+  /// pre-hierarchy system.
+  std::size_t chips = 1;
+  /// Width/latency class of the chip-boundary links (chips > 1 only).
+  noc::InterChipLinkClass inter_chip{};
   accel::AccelConfig accel{};
   noc::NocConfig noc{};
   noc::EnergyConfig noc_energy{};
@@ -141,10 +150,13 @@ struct StreamResult {
   std::vector<std::uint64_t> request_finish_cycle;
   /// Inferences per 1e6 cycles over the whole stream.
   double throughput_per_mcycle = 0.0;
-  /// Busy fraction of the core gang / the NoC over the makespan — how full
-  /// the software pipeline keeps each resource.
+  /// Busy fraction of the core gangs / the NoCs over the makespan — how
+  /// full the software pipeline keeps each resource. Multi-chip systems
+  /// average across chips (each chip is its own gang + NoC).
   double compute_occupancy = 0.0;
   double noc_occupancy = 0.0;
+  /// Busy fraction of the chip-boundary links (0 on single-chip systems).
+  double inter_chip_occupancy = 0.0;
   /// makespan of n back-to-back non-overlapped single passes divided by
   /// the streamed makespan (>1 means pipelining won).
   double speedup_vs_back_to_back = 0.0;
@@ -167,6 +179,9 @@ class CmpSystem {
 
   /// Lowers spec + traffic (+ profile) into a Schedule using this system's
   /// configuration (cores, bytes/value, overlap policy, sparse model).
+  /// Multi-chip systems lower via sched::lower_pipelined — `traffic` must
+  /// then be the layer-transition analysis at cores/chips cores (the
+  /// per-chip mesh every stage runs on).
   sched::Schedule build_schedule(
       const nn::NetSpec& spec, const core::InferenceTraffic& traffic,
       const core::SparsityProfile* sparsity = nullptr) const;
@@ -189,11 +204,15 @@ class CmpSystem {
                           StreamTimeline* timeline = nullptr) const;
 
   const SystemConfig& config() const { return cfg_; }
+  /// One chip's mesh (== the whole machine when chips == 1).
   const noc::MeshTopology& topology() const { return topo_; }
+  /// The full package: per-chip mesh + chip grid + boundary link class.
+  const noc::Topology& package() const { return package_; }
 
  private:
   SystemConfig cfg_;
   noc::MeshTopology topo_;
+  noc::Topology package_;
   accel::CoreModel core_model_;
 };
 

@@ -14,22 +14,22 @@
 namespace ls::tune {
 
 std::string cache_key_string(const CacheKey& key) {
-  char buf[160];
+  char buf[176];
   // %g keeps the divider canonical (1, 1.5, 2 ...) without trailing zeros.
   std::snprintf(buf, sizeof(buf),
                 "|cores=%zu|%s|noc=fb%zu,mp%zu,vc%zu,vd%zu,rl%zu,pc%zu,%s"
-                "|div=%g",
+                "|div=%g|chips=%zu",
                 key.cores, sched::to_string(key.strategy),
                 key.noc.flit_bytes, key.noc.max_packet_flits, key.noc.vcs,
                 key.noc.vc_depth, key.noc.router_latency,
                 key.noc.phys_channels,
                 key.noc.routing == noc::Routing::kXY ? "xy" : "yx",
-                key.noc_clock_divider);
+                key.noc_clock_divider, key.chips);
   return key.net + buf;
 }
 
 bool parse_cache_key(const std::string& key_string, CacheKey* out) {
-  // net|cores=N|strategy|noc=fbA,mpB,vcC,vdD,rlE,pcF,ROUTE|div=G
+  // net|cores=N|strategy|noc=fbA,mpB,vcC,vdD,rlE,pcF,ROUTE|div=G|chips=H
   std::vector<std::string> parts;
   std::size_t start = 0;
   for (std::size_t pos = key_string.find('|'); pos != std::string::npos;
@@ -38,7 +38,7 @@ bool parse_cache_key(const std::string& key_string, CacheKey* out) {
     start = pos + 1;
   }
   parts.push_back(key_string.substr(start));
-  if (parts.size() != 5 || parts[0].empty()) return false;
+  if (parts.size() != 6 || parts[0].empty()) return false;
 
   CacheKey key;
   key.net = parts[0];
@@ -73,6 +73,9 @@ bool parse_cache_key(const std::string& key_string, CacheKey* out) {
   if (std::sscanf(parts[4].c_str(), "div=%lf", &key.noc_clock_divider) != 1) {
     return false;
   }
+  if (std::sscanf(parts[5].c_str(), "chips=%zu", &key.chips) != 1) {
+    return false;
+  }
   // Canonical-form check: anything that does not round-trip byte-identically
   // (stray whitespace, non-%g divider spelling, net names containing '|')
   // is rejected rather than silently normalized.
@@ -93,7 +96,9 @@ void ScheduleCache::put(const CacheKey& key, CacheEntry entry) {
 std::string ScheduleCache::to_json() const {
   util::JsonWriter w;
   w.begin_object();
-  w.key("version").value(std::uint64_t{1});
+  // Version 2: keys carry the package chip count (|chips=H). Version 1
+  // stores predate the multi-chip hierarchy and are rejected on load.
+  w.key("version").value(std::uint64_t{2});
   w.key("entries");
   w.begin_object();
   for (const auto& [key, e] : entries_) {  // std::map: sorted, canonical
@@ -133,8 +138,11 @@ bool ScheduleCache::from_json(std::string_view text, std::string* error) {
   std::string parse_error;
   if (!util::parse_json(text, &doc, &parse_error)) return fail(parse_error);
   const util::JsonValue* version = doc.find("version");
-  if (version == nullptr || version->as_u64() != 1) {
-    return fail("missing or unsupported version");
+  if (version == nullptr) return fail("missing version");
+  if (version->as_u64() != 2) {
+    return fail("format version " + std::to_string(version->as_u64()) +
+                " but this build expects 2 (keys gained a chips dimension) "
+                "— delete the stale store and retune");
   }
   const util::JsonValue* entries = doc.find("entries");
   if (entries == nullptr ||

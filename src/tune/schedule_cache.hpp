@@ -3,8 +3,8 @@
 //
 // A tuned schedule is worth persisting: the search costs seconds, the
 // answer is a few dozen bytes, and it is valid for exactly one
-// (net, cores, strategy, NoC configuration) point — that tuple is the
-// cache key. `ls_experiment tune` writes entries; `ls_experiment infer` /
+// (net, cores, chips, strategy, NoC configuration) point — that tuple is
+// the cache key. `ls_experiment tune` writes entries; `ls_experiment infer` /
 // `stream` look their configuration up and transparently execute the tuned
 // schedule on a hit, falling back bit-exactly to the untuned kernel-wise
 // path on a miss.
@@ -30,14 +30,18 @@ namespace ls::tune {
 /// NoC configuration must never be served for another.
 struct CacheKey {
   std::string net;
-  std::size_t cores = 0;
+  std::size_t cores = 0;  ///< total cores across all chips
   sched::Strategy strategy = sched::Strategy::kTraditional;
   noc::NocConfig noc{};
   double noc_clock_divider = 1.0;
+  std::size_t chips = 1;  ///< package chip count (1 = flat machine)
 };
 
 /// Canonical key string, e.g.
-/// "alexnet|cores=64|traditional|noc=fb64,mp20,vc3,vd4,rl3,pc2,xy|div=1".
+/// "alexnet|cores=64|traditional|noc=fb64,mp20,vc3,vd4,rl3,pc2,xy|div=1|chips=1".
+/// The trailing chips part is why the on-disk format is version 2: a
+/// version-1 store (no chips dimension in its keys) must be rejected
+/// loudly, not silently served for the wrong package shape.
 std::string cache_key_string(const CacheKey& key);
 
 /// Inverse of cache_key_string: parses a canonical key string back into

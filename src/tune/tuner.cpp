@@ -44,8 +44,19 @@ class Search {
       layers += a.is_compute() ? 1 : 0;
     }
     legal_dims_.resize(layers);
+    // Multi-chip: a channel split's reduce-scatter rides on the next layer
+    // transition, which does not exist across a stage boundary — exclude
+    // kChannel on stage-ending layers so every candidate stays lowerable.
+    std::vector<std::size_t> stages;
+    if (system.chips > 1) {
+      stages = sched::partition_stages(spec, system.chips);
+    }
     for (std::size_t li = 0; li < layers; ++li) {
+      const bool stage_end =
+          !stages.empty() &&
+          (li + 1 == layers || stages[li + 1] != stages[li]);
       for (const sched::PartitionDim d : kAllDims) {
+        if (stage_end && d == sched::PartitionDim::kChannel) continue;
         if (sched::dim_compatible(spec, li, d)) legal_dims_[li].push_back(d);
       }
     }
@@ -65,7 +76,10 @@ class Search {
   Candidate baseline() const {
     Candidate c;
     c.layer_dims.assign(layers(), sched::PartitionDim::kKernel);
-    c.placement = identity(system_.cores);
+    // Placement permutes one chip's mesh (== the whole machine when
+    // chips == 1); stage-pipelined lowering requires it to stay identity,
+    // so multi-chip searches freeze this knob (dims + overlap only).
+    c.placement = identity(system_.cores / system_.chips);
     c.overlap_comm = system_.overlap_comm;
     return c;
   }
@@ -76,9 +90,11 @@ class Search {
       const auto& legal = legal_dims_[li];
       c.layer_dims[li] = legal[rng_.uniform_index(legal.size())];
     }
-    // Fisher-Yates with the search rng — deterministic under the seed.
-    for (std::size_t i = c.placement.size(); i > 1; --i) {
-      std::swap(c.placement[i - 1], c.placement[rng_.uniform_index(i)]);
+    if (system_.chips == 1) {
+      // Fisher-Yates with the search rng — deterministic under the seed.
+      for (std::size_t i = c.placement.size(); i > 1; --i) {
+        std::swap(c.placement[i - 1], c.placement[rng_.uniform_index(i)]);
+      }
     }
     if (cfg_.search_overlap) c.overlap_comm = rng_.bernoulli(0.5);
     return c;
@@ -88,14 +104,16 @@ class Search {
   Candidate mutate(const Candidate& c) {
     Candidate m = c;
     // Move mix: dims are the high-value knob, placement swaps explore the
-    // mesh mapping, the overlap flip is one bit (when searchable).
-    const std::uint64_t move =
-        rng_.uniform_index(cfg_.search_overlap ? 6 : 5);
+    // mesh mapping (single-chip only — see baseline()), the overlap flip
+    // is one bit (when searchable).
+    const std::size_t placement_moves = system_.chips == 1 ? 2 : 0;
+    const std::uint64_t move = rng_.uniform_index(
+        3 + placement_moves + (cfg_.search_overlap ? 1 : 0));
     if (move < 3) {
       const std::size_t li = rng_.uniform_index(layers());
       const auto& legal = legal_dims_[li];
       m.layer_dims[li] = legal[rng_.uniform_index(legal.size())];
-    } else if (move < 5) {
+    } else if (move < 3 + placement_moves) {
       const std::size_t a = rng_.uniform_index(m.placement.size());
       const std::size_t b = rng_.uniform_index(m.placement.size());
       std::swap(m.placement[a], m.placement[b]);
@@ -125,6 +143,7 @@ sched::CostModelConfig cost_model_for(const sim::SystemConfig& system) {
   cost.chip_dram_bytes_per_cycle = system.chip_dram_bytes_per_cycle;
   cost.noc = system.noc;
   cost.noc_clock_divider = system.noc_clock_divider;
+  cost.inter_chip = system.inter_chip;
   return cost;
 }
 
@@ -133,13 +152,20 @@ sched::Schedule lower_candidate(const nn::NetSpec& spec,
                                 const sim::SystemConfig& system,
                                 const Candidate& candidate,
                                 sched::Strategy strategy) {
+  LS_CHECK_MSG(system.chips > 0 && system.cores % system.chips == 0,
+               "lower_candidate: %zu chips cannot tile %zu cores",
+               system.chips, system.cores);
   sched::BuildOptions opts;
-  opts.cores = system.cores;
+  opts.cores = system.cores / system.chips;  // one chip's mesh
   opts.bytes_per_value = system.bytes_per_value;
   opts.overlap_comm = candidate.overlap_comm;
   opts.sparse_cycle_model = false;
   opts.layer_dims = candidate.layer_dims;
   opts.placement = candidate.placement;
+  if (system.chips > 1) {
+    return sched::lower_pipelined(spec, traffic, opts, system.chips, nullptr,
+                                  strategy);
+  }
   return sched::lower(spec, traffic, opts, nullptr, strategy);
 }
 
@@ -248,7 +274,8 @@ TuneOutcome tune(const nn::NetSpec& spec,
     sched::VerifyOptions vopts;
     vopts.accel = system.accel;
     vopts.accel.dram_bytes_per_cycle =
-        system.chip_dram_bytes_per_cycle / static_cast<double>(system.cores);
+        system.chip_dram_bytes_per_cycle /
+        static_cast<double>(system.cores / system.chips);
     vopts.noc = system.noc;
     for (const auto& [est, cand] : finalists) {
       obs::Span vspan;

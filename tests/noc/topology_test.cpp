@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace ls::noc {
 namespace {
 
@@ -108,6 +110,108 @@ TEST(MeshTopology, SingleCoreDegenerate) {
   const MeshTopology topo = MeshTopology::for_cores(1);
   EXPECT_EQ(topo.mean_hops(), 0.0);
   EXPECT_EQ(topo.hops(0, 0), 0u);
+}
+
+TEST(MeshTopology, ForCoresRejectsChainDegenerates) {
+  // Prime counts >= 5 only factor as 1xN chains; for_cores must refuse
+  // them with a message naming the count instead of silently building a
+  // chain that every mesh-shaped model downstream would mis-report on.
+  for (const std::size_t cores : {5ul, 7ul, 11ul, 13ul, 17ul, 101ul}) {
+    try {
+      MeshTopology::for_cores(cores);
+      FAIL() << "for_cores(" << cores << ") accepted a 1xN chain";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(std::to_string(cores)),
+                std::string::npos)
+          << "message does not name the count: " << e.what();
+    }
+  }
+  // Tiny counts have no non-degenerate shape and stay legal.
+  EXPECT_EQ(MeshTopology::for_cores(2).num_cores(), 2u);
+  EXPECT_EQ(MeshTopology::for_cores(3).num_cores(), 3u);
+  // Composite counts still resolve to their near-square factorization.
+  EXPECT_EQ(MeshTopology::for_cores(6).rows(), 2u);
+}
+
+TEST(MeshTopology, MetricHelpersOnDegenerateAndNonSquareShapes) {
+  // 1x1: no pairs, no cut, zero diameter.
+  const MeshTopology single(1, 1);
+  EXPECT_EQ(single.mean_hops(), 0.0);
+  EXPECT_EQ(single.diameter(), 0u);
+  EXPECT_EQ(single.bisection_links(), 1u);
+
+  // 1xN chain (directly constructed; for_cores refuses to build one):
+  // diameter N-1, one link crosses the mid-cut, mean hops (N+1)/3.
+  const MeshTopology chain(5, 1);
+  EXPECT_EQ(chain.diameter(), 4u);
+  EXPECT_EQ(chain.bisection_links(), 1u);
+  EXPECT_NEAR(chain.mean_hops(), 2.0, 1e-12);
+
+  // Non-square 4x2: diameter (4-1)+(2-1), the vertical mid-cut crosses
+  // the 2 rows, and mean hops matches the brute-force expectation.
+  const MeshTopology rect(4, 2);
+  EXPECT_EQ(rect.diameter(), 4u);
+  EXPECT_EQ(rect.bisection_links(), 2u);
+  double total = 0.0;
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (a != b) total += static_cast<double>(rect.hops(a, b));
+    }
+  }
+  EXPECT_NEAR(rect.mean_hops(), total / (8.0 * 7.0), 1e-12);
+}
+
+TEST(Topology, SingleChipDegenerateMatchesMesh) {
+  const Topology pkg = Topology::for_cores(16, 1);
+  const MeshTopology mesh = MeshTopology::for_cores(16);
+  EXPECT_EQ(pkg.num_chips(), 1u);
+  EXPECT_EQ(pkg.num_cores(), 16u);
+  EXPECT_EQ(pkg.cores_per_chip(), 16u);
+  for (std::size_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(pkg.chip_of(a), 0u);
+    EXPECT_EQ(pkg.local_core(a), a);
+    for (std::size_t b = 0; b < 16; ++b) {
+      EXPECT_EQ(pkg.hops(a, b), mesh.hops(a, b));
+    }
+  }
+}
+
+TEST(Topology, ChipMajorCoreNumbering) {
+  const Topology pkg = Topology::for_cores(64, 4);
+  EXPECT_EQ(pkg.cores_per_chip(), 16u);
+  EXPECT_EQ(pkg.grid_cols(), 2u);
+  EXPECT_EQ(pkg.grid_rows(), 2u);
+  EXPECT_EQ(pkg.chip_of(0), 0u);
+  EXPECT_EQ(pkg.chip_of(15), 0u);
+  EXPECT_EQ(pkg.chip_of(16), 1u);
+  EXPECT_EQ(pkg.chip_of(63), 3u);
+  EXPECT_EQ(pkg.local_core(17), 1u);
+  EXPECT_EQ(pkg.global_core(2, 5), 37u);
+  EXPECT_EQ(pkg.gateway_core(0), 0u);
+  EXPECT_EQ(pkg.gateway_core(3), 48u);
+  EXPECT_TRUE(pkg.same_chip(16, 31));
+  EXPECT_FALSE(pkg.same_chip(15, 16));
+  EXPECT_THROW(pkg.chip_of(64), std::out_of_range);
+  EXPECT_THROW(pkg.global_core(4, 0), std::out_of_range);
+}
+
+TEST(Topology, CrossChipHopsGoThroughGateways) {
+  const Topology pkg = Topology::for_cores(32, 2);  // two 4x4 chips, 2x1 grid
+  // Same chip: plain mesh distance.
+  EXPECT_EQ(pkg.hops(0, 5), MeshTopology::for_cores(16).hops(0, 5));
+  // Gateway to gateway of the adjacent chip: just the package crossing.
+  EXPECT_EQ(pkg.hops(0, 16), 1u);
+  // Interior core to interior core: walk to gateway, cross, walk out.
+  const MeshTopology mesh = MeshTopology::for_cores(16);
+  EXPECT_EQ(pkg.hops(5, 16 + 10), mesh.hops(5, 0) + 1 + mesh.hops(0, 10));
+  EXPECT_EQ(pkg.chip_hops(0, 1), 1u);
+  EXPECT_EQ(pkg.chip_hops(1, 1), 0u);
+}
+
+TEST(Topology, RejectsBadShapes) {
+  EXPECT_THROW(Topology::for_cores(16, 0), std::invalid_argument);
+  EXPECT_THROW(Topology::for_cores(17, 2), std::invalid_argument);
+  EXPECT_THROW(Topology::for_cores(0, 1), std::invalid_argument);
 }
 
 }  // namespace

@@ -241,7 +241,28 @@ TEST(ScheduleCache, KeyIsolatesConfigurations) {
   other_strategy.strategy = sched::Strategy::kSparsified;
   EXPECT_EQ(cache.find(other_strategy), nullptr);
 
+  tune::CacheKey other_chips = key_for(p);
+  other_chips.cores = 64;
+  other_chips.chips = 4;
+  EXPECT_EQ(cache.find(other_chips), nullptr);
+
   EXPECT_NE(cache.find(key_for(p)), nullptr);
+}
+
+TEST(ScheduleCache, KeyStringRoundTripsChipsDimension) {
+  tune::CacheKey key = key_for(convnet16());
+  key.cores = 64;
+  key.chips = 4;
+  const std::string s = tune::cache_key_string(key);
+  EXPECT_NE(s.find("|chips=4"), std::string::npos) << s;
+  tune::CacheKey parsed;
+  ASSERT_TRUE(tune::parse_cache_key(s, &parsed)) << s;
+  EXPECT_EQ(parsed.chips, 4u);
+  EXPECT_EQ(parsed.cores, 64u);
+  EXPECT_EQ(tune::cache_key_string(parsed), s);
+  // The flat default spells chips=1 explicitly — no ambiguous legacy form.
+  EXPECT_NE(tune::cache_key_string(key_for(convnet16())).find("|chips=1"),
+            std::string::npos);
 }
 
 TEST(ScheduleCache, MissingFileLoadsEmpty) {
@@ -257,11 +278,37 @@ TEST(ScheduleCache, MalformedStoreIsRejected) {
   std::string error;
   EXPECT_FALSE(cache.from_json("{not json", &error));
   EXPECT_FALSE(error.empty());
-  EXPECT_FALSE(cache.from_json("{\"version\":2,\"entries\":{}}", &error));
+  EXPECT_FALSE(cache.from_json("{\"version\":3,\"entries\":{}}", &error));
   EXPECT_FALSE(cache.from_json("{\"entries\":{}}", &error));
   // A well-formed document still loads after failures.
-  EXPECT_TRUE(cache.from_json("{\"version\":1,\"entries\":{}}", &error));
+  EXPECT_TRUE(cache.from_json("{\"version\":2,\"entries\":{}}", &error));
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScheduleCache, StaleVersion1StoreRejectedLoudly) {
+  // A pre-chips store exactly as version-1 builds wrote it: version 1 and
+  // five-part keys with no chips field. It must be a loud miss — rejected
+  // with a message naming the found and expected versions and telling the
+  // operator to retune — never silently reinterpreted.
+  const std::string v1_store =
+      "{\"version\":1,\"entries\":{"
+      "\"ConvNet|cores=16|traditional|noc=2,1,4,1|div=1\":{"
+      "\"layer_dims\":[\"kernel\",\"kernel\",\"kernel\",\"kernel\","
+      "\"kernel\"],"
+      "\"placement\":[0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15],"
+      "\"overlap\":false,\"est_cycles\":1000,\"sim_cycles\":1100,"
+      "\"baseline_sim_cycles\":1200,\"seed\":1,\"budget\":100}}}";
+  tune::ScheduleCache cache;
+  std::string error;
+  EXPECT_FALSE(cache.from_json(v1_store, &error));
+  EXPECT_NE(error.find("version 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("expects 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("retune"), std::string::npos) << error;
+  EXPECT_EQ(cache.size(), 0u);
+  // The old five-part key itself no longer parses as canonical.
+  tune::CacheKey parsed;
+  EXPECT_FALSE(tune::parse_cache_key(
+      "ConvNet|cores=16|traditional|noc=2,1,4,1|div=1", &parsed));
 }
 
 }  // namespace

@@ -12,6 +12,13 @@
 //   ls_experiment stream --net convnet --cores 16 --requests 8
 //   ls_experiment tune --net convnet --cores 64 --budget 2000 --seed 7
 //
+// Multi-chip packages: `--chips C` on infer/stream/tune/profile splits the
+// --cores total across C identical chips (C must divide it), lowers the
+// net as a stage pipeline via sched::lower_pipelined, and prices stage
+// boundaries on the package's serial inter-chip links. The default
+// `--chips 1` is the flat machine, bit-identical to builds before the
+// hierarchy existed.
+//
 // Tuned schedules: `tune` searches per-layer partition dims x core
 // placement x overlap on the analytic cost model, validates the winners
 // flit-level, and records the best in a JSON schedule cache
@@ -214,6 +221,23 @@ int cmd_pipeline(const Args& args) {
   return 0;
 }
 
+/// Applies the shared --cores / --chips / --no-cache knobs. CmpSystem's
+/// constructor rejects a chip count that cannot tile the cores.
+void apply_system_args(const Args& args, sim::SystemConfig* cfg) {
+  cfg->cores = static_cast<std::size_t>(args.num("cores", 16));
+  cfg->chips = static_cast<std::size_t>(args.num("chips", 1));
+  if (args.flag("no-cache")) cfg->noc_result_cache = false;
+}
+
+std::string system_desc(const sim::SystemConfig& cfg) {
+  std::string out = std::to_string(cfg.cores) + " cores";
+  if (cfg.chips > 1) {
+    out += " (" + std::to_string(cfg.chips) + " chips x " +
+           std::to_string(cfg.cores / cfg.chips) + ")";
+  }
+  return out;
+}
+
 std::string tuned_cache_path(const Args& args) {
   const std::string flag = args.str("tuned-cache", "");
   if (!flag.empty()) return flag;
@@ -230,6 +254,7 @@ tune::CacheKey tune_key(const nn::NetSpec& spec,
   key.strategy = sched::Strategy::kTraditional;
   key.noc = cfg.noc;
   key.noc_clock_divider = cfg.noc_clock_divider;
+  key.chips = cfg.chips;
   return key;
 }
 
@@ -268,9 +293,8 @@ sched::Schedule schedule_for_run(const Args& args, const nn::NetSpec& spec,
 int cmd_infer(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "alexnet"));
   sim::SystemConfig cfg;
-  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  apply_system_args(args, &cfg);
   cfg.overlap_comm = args.flag("overlap");
-  if (args.flag("no-cache")) cfg.noc_result_cache = false;
   const sim::CmpSystem system(cfg);
   const auto traffic =
       core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
@@ -299,8 +323,7 @@ int cmd_infer(const Args& args) {
   }
   const sim::InferenceResult r = system.execute(schedule);
 
-  util::Table t(spec.name + " inference on " + std::to_string(cfg.cores) +
-                " cores");
+  util::Table t(spec.name + " inference on " + system_desc(cfg));
   t.set_header({"layer", "compute-cyc", "comm-cyc", "blocking-cyc", "traffic",
                 "noc-energy"});
   for (const auto& tl : r.layers) {
@@ -339,8 +362,7 @@ int cmd_infer(const Args& args) {
 int cmd_stream(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
   sim::SystemConfig cfg;
-  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
-  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  apply_system_args(args, &cfg);
   const auto requests = static_cast<std::size_t>(args.num("requests", 8));
   const sim::CmpSystem system(cfg);
   const auto traffic =
@@ -350,7 +372,7 @@ int cmd_stream(const Args& args) {
   const sim::StreamResult s = system.run_stream(schedule, requests);
 
   util::Table t(spec.name + " stream of " + std::to_string(requests) +
-                " requests on " + std::to_string(cfg.cores) + " cores");
+                " requests on " + system_desc(cfg));
   t.set_header({"metric", "value"});
   t.add_row({"single-pass latency",
              std::to_string(s.single_pass.total_cycles) + " cyc"});
@@ -360,6 +382,10 @@ int cmd_stream(const Args& args) {
                                " inf/Mcyc"});
   t.add_row({"core occupancy", util::fmt_percent(s.compute_occupancy)});
   t.add_row({"NoC occupancy", util::fmt_percent(s.noc_occupancy)});
+  if (cfg.chips > 1) {
+    t.add_row({"inter-chip link occupancy",
+               util::fmt_percent(s.inter_chip_occupancy)});
+  }
   t.add_row({"speedup vs back-to-back",
              util::fmt_speedup(s.speedup_vs_back_to_back)});
   t.print();
@@ -369,9 +395,8 @@ int cmd_stream(const Args& args) {
 int cmd_tune(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
   sim::SystemConfig cfg;
-  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
+  apply_system_args(args, &cfg);
   cfg.overlap_comm = args.flag("overlap");
-  if (args.flag("no-cache")) cfg.noc_result_cache = false;
   const sim::CmpSystem system(cfg);
   const auto traffic =
       core::traffic_dense(spec, system.topology(), cfg.bytes_per_value);
@@ -383,8 +408,7 @@ int cmd_tune(const Args& args) {
   tcfg.seed = static_cast<std::uint64_t>(args.num("seed", 0x4c535343));
   const tune::TuneOutcome out = tune::tune(spec, traffic, cfg, tcfg);
 
-  util::Table t("tuned " + spec.name + " on " + std::to_string(cfg.cores) +
-                " cores");
+  util::Table t("tuned " + spec.name + " on " + system_desc(cfg));
   t.set_header({"schedule", "est-cyc", "sim-cyc", "speedup"});
   t.add_row({"kernel-wise baseline", std::to_string(out.baseline_est_cycles),
              std::to_string(out.baseline_sim_cycles), "1x"});
@@ -405,8 +429,12 @@ int cmd_tune(const Args& args) {
   tune::ScheduleCache cache;
   std::string error;
   if (!cache.load_file(path, &error)) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+    // A stale-format store is exactly what this retune replaces: warn,
+    // start fresh, and let the save below rewrite it at the current
+    // version. (verify/infer keep their own policies: hard fail / miss.)
+    std::fprintf(stderr, "warning: %s (starting a fresh store)\n",
+                 error.c_str());
+    cache = tune::ScheduleCache{};
   }
   tune::CacheEntry entry;
   entry.candidate = out.best;
@@ -471,15 +499,21 @@ std::string audit_entry(const std::string& key_string,
              "' is illegal for compute layer " + std::to_string(i) + "\n";
     }
   }
+  if (key.chips == 0 || key.cores % key.chips != 0) {
+    return "        " + std::to_string(key.chips) +
+           " chips cannot tile " + std::to_string(key.cores) + " cores\n";
+  }
+  // Placement permutes one chip's mesh (the whole machine on one chip).
+  const std::size_t chip_cores = key.cores / key.chips;
   if (!cand.placement.empty()) {
-    if (cand.placement.size() != key.cores) {
+    if (cand.placement.size() != chip_cores) {
       return "        placement maps " +
              std::to_string(cand.placement.size()) + " partitions on a " +
-             std::to_string(key.cores) + "-core machine\n";
+             std::to_string(chip_cores) + "-core chip\n";
     }
-    std::vector<bool> seen(key.cores, false);
+    std::vector<bool> seen(chip_cores, false);
     for (const std::size_t c : cand.placement) {
-      if (c >= key.cores || seen[c]) {
+      if (c >= chip_cores || seen[c]) {
         return "        placement is not a permutation of the core range\n";
       }
       seen[c] = true;
@@ -488,18 +522,21 @@ std::string audit_entry(const std::string& key_string,
 
   sim::SystemConfig cfg;
   cfg.cores = key.cores;
+  cfg.chips = key.chips;
   cfg.noc = key.noc;
   cfg.noc_clock_divider = key.noc_clock_divider;
   sched::VerifyReport report;
   try {
-    const noc::MeshTopology topo = noc::MeshTopology::for_cores(key.cores);
+    // Traffic rides each chip's own mesh (== the whole machine when the
+    // key has one chip).
+    const noc::MeshTopology topo = noc::MeshTopology::for_cores(chip_cores);
     const auto traffic = core::traffic_dense(spec, topo, cfg.bytes_per_value);
     const sched::Schedule schedule =
         tune::lower_candidate(spec, traffic, cfg, cand, key.strategy);
     sched::VerifyOptions vopts;
     vopts.accel = cfg.accel;
     vopts.accel.dram_bytes_per_cycle =
-        cfg.chip_dram_bytes_per_cycle / static_cast<double>(cfg.cores);
+        cfg.chip_dram_bytes_per_cycle / static_cast<double>(chip_cores);
     vopts.noc = key.noc;
     report = sched::verify(schedule, vopts);
   } catch (const std::exception& e) {
@@ -553,8 +590,7 @@ int cmd_verify(const Args& args) {
 int cmd_profile(const Args& args) {
   const nn::NetSpec spec = analytic_net(args.str("net", "convnet"));
   sim::SystemConfig cfg;
-  cfg.cores = static_cast<std::size_t>(args.num("cores", 16));
-  if (args.flag("no-cache")) cfg.noc_result_cache = false;
+  apply_system_args(args, &cfg);
   const auto requests = static_cast<std::size_t>(args.num("requests", 8));
   const sim::CmpSystem system(cfg);
   const auto traffic =
@@ -629,7 +665,7 @@ int cmd_profile(const Args& args) {
 
   const prof::BlameBreakdown& blame = attribution.blame;
   util::Table t(spec.name + " profile: " + std::to_string(requests) +
-                " requests on " + std::to_string(cfg.cores) + " cores");
+                " requests on " + system_desc(cfg));
   t.set_header({"metric", "value"});
   const auto cyc = [](std::uint64_t v) { return std::to_string(v) + " cyc"; };
   const auto pct = [&](std::uint64_t v) {
@@ -644,6 +680,14 @@ int cmd_profile(const Args& args) {
                                    pct(blame.compute_cycles) + ")"});
   t.add_row({"blame: NoC contention",
              cyc(blame.noc_cycles) + " (" + pct(blame.noc_cycles) + ")"});
+  if (cfg.chips > 1) {
+    t.add_row({"blame: inter-chip link", cyc(blame.inter_chip_cycles) + " (" +
+                                             pct(blame.inter_chip_cycles) +
+                                             ")"});
+    t.add_row({"blame: dep stall on inter-chip",
+               cyc(blame.dep_stall_on_inter_chip_cycles) + " (" +
+                   pct(blame.dep_stall_on_inter_chip_cycles) + ")"});
+  }
   t.add_row({"blame: dep stall on comm",
              cyc(blame.dep_stall_on_comm_cycles) + " (" +
                  pct(blame.dep_stall_on_comm_cycles) + ")"});
@@ -682,17 +726,21 @@ void usage() {
       "  traffic    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "  pipeline   --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
       "  infer      --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "             [--overlap] [--no-cache] [--schedule-dump out.json]\n"
+      "             [--chips C] [--overlap] [--no-cache]\n"
+      "             [--schedule-dump out.json]\n"
       "             [--tuned-cache store.json] [--no-tuned]\n"
       "  stream     --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "             [--requests N] [--no-cache]\n"
+      "             [--chips C] [--requests N] [--no-cache]\n"
       "             [--tuned-cache store.json] [--no-tuned]\n"
       "  tune       --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "             [--budget N] [--restarts N] [--top-k N] [--seed N]\n"
-      "             [--overlap] [--tuned-cache store.json]\n"
+      "             [--chips C] [--budget N] [--restarts N] [--top-k N]\n"
+      "             [--seed N] [--overlap] [--tuned-cache store.json]\n"
       "  profile    --net mlp|lenet|convnet|alexnet|vgg19 --cores N\n"
-      "             [--requests N] [--out profile.json] [--tune-budget N]\n"
-      "             [--no-cache] [--tuned-cache store.json] [--no-tuned]\n"
+      "             [--chips C] [--requests N] [--out profile.json]\n"
+      "             [--tune-budget N] [--no-cache]\n"
+      "             [--tuned-cache store.json] [--no-tuned]\n"
+      "  (--chips C pipelines stages across C chips; C must divide the\n"
+      "   core count)\n"
       "  verify     [--tuned-cache store.json]\n"
       "             statically audit every cached tuned schedule; exits\n"
       "             nonzero on any violation\n"

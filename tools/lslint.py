@@ -51,11 +51,12 @@ RULES = {
         "into unordered containers are fine — only iteration is flagged.",
     ),
     "check-needs-message": (
-        "message-less LS_CHECK( in src/sched or src/noc",
-        "Schedule and NoC invariants fire on data (schedules, caches,\n"
-        "traffic), not just code bugs; a bare LS_CHECK abort with no\n"
-        "diagnostic is undebuggable from a CI log. Use LS_CHECK_MSG with\n"
-        "the violated quantity in the message.",
+        "message-less LS_CHECK( in src/sched, src/noc, or src/tune",
+        "Schedule, NoC, and tuner invariants fire on data (schedules,\n"
+        "caches, traffic, tuned-store files — the multi-chip hierarchy\n"
+        "added chip/stage constraints to all three), not just code bugs;\n"
+        "a bare LS_CHECK abort with no diagnostic is undebuggable from a\n"
+        "CI log. Use LS_CHECK_MSG with the violated quantity.",
     ),
     "check-include-hygiene": (
         "uses LS_CHECK*/check::kEnabled without including check/check.hpp",
@@ -185,12 +186,13 @@ def check_unordered_iteration(path, text, raw, report):
 
 def check_needs_message(path, text, raw, report):
     norm = path.replace(os.sep, "/")
-    if "src/sched/" not in norm and "src/noc/" not in norm:
+    if ("src/sched/" not in norm and "src/noc/" not in norm
+            and "src/tune/" not in norm):
         return
     for hit in PLAIN_CHECK.finditer(text):
         report(path, line_of(text, hit.start()), "check-needs-message",
-               "message-less LS_CHECK in sched/noc — use LS_CHECK_MSG with "
-               "the violated quantity")
+               "message-less LS_CHECK in sched/noc/tune — use LS_CHECK_MSG "
+               "with the violated quantity")
 
 
 def check_include_hygiene(path, text, raw, report):

@@ -46,7 +46,8 @@ fi
 # they are this run's regression baseline for the bench_diff soft gate.
 baseline_dir="$build_dir/bench_baseline"
 mkdir -p "$baseline_dir"
-for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json; do
+for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json \
+         BENCH_multichip.json; do
   [ -s "$repo_root/$f" ] && cp "$repo_root/$f" "$baseline_dir/$f"
 done
 
@@ -126,6 +127,34 @@ if grep -q '"speedup_sim":0\.' "$repo_root/BENCH_tune.json"; then
   exit 1
 fi
 
+# Multi-chip scale-out bench (model cycles, deterministic): at the
+# embedded-NoC operating point, pipelining ConvNet stages across 4 x 16-core
+# chips must beat one flat 64-core mesh by >= 1.3x — the ISSUE 10
+# acceptance gate, read from the json so the table and the gate cannot
+# diverge.
+"$build_dir/bench/bench_multichip" --requests 32 \
+  --json "$repo_root/BENCH_multichip.json"
+[ -s "$repo_root/BENCH_multichip.json" ] || {
+  echo "multichip bench: missing BENCH_multichip.json" >&2; exit 1; }
+grep -q '"bench":"multichip"' "$repo_root/BENCH_multichip.json"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$repo_root/BENCH_multichip.json" <<'PYEOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))["rows"]
+row = [r for r in rows if r["net"] == "ConvNet" and r["chips"] == 4]
+if not row:
+    print("multichip gate FAILED: no ConvNet 4-chip row", file=sys.stderr)
+    sys.exit(1)
+s = row[0]["speedup_vs_one_chip"]
+if s < 1.3:
+    print("multichip gate FAILED: ConvNet 4x16 speedup %.2fx < 1.3x vs one "
+          "64-core mesh" % s, file=sys.stderr)
+    sys.exit(1)
+print("multichip gate OK: ConvNet 4x16 streaming %.2fx vs one 64-core mesh"
+      % s)
+PYEOF
+fi
+
 # Tune smoke: a bounded search on the small net must populate the schedule
 # cache, and a follow-up inference must pick the tuned schedule up.
 tune_dir="$build_dir/tune_smoke"
@@ -158,7 +187,8 @@ fi
 # vary across runners, so a regression here warns loudly but does not
 # fail tier-1 — the hard gates above (speedup > 1, structure greps) still
 # do. Structure mismatches (renamed/missing metrics) also surface here.
-for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json; do
+for f in BENCH_kernels.json BENCH_stream.json BENCH_tune.json \
+         BENCH_multichip.json; do
   [ -s "$baseline_dir/$f" ] || continue
   if ! "$build_dir/tools/bench_diff" "$baseline_dir/$f" "$repo_root/$f" \
       --threshold 0.25; then
@@ -212,4 +242,4 @@ done
 grep -q '"traceEvents"' "$obs_dir/trace.json"
 grep -q '"noc_link_heatmap"' "$obs_dir/metrics.json"
 
-echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json / BENCH_tune.json, obs smoke in $obs_dir, profiles in $profile_dir"
+echo "tier1 OK — bench results in BENCH_kernels.json / BENCH_stream.json / BENCH_tune.json / BENCH_multichip.json, obs smoke in $obs_dir, profiles in $profile_dir"
